@@ -1,0 +1,52 @@
+"""Benchmark harness plumbing.
+
+Each benchmark runs one paper experiment at BENCH scale exactly once
+(``benchmark.pedantic`` with a single round — experiments are minutes-
+long pipelines, not microbenchmarks), asserts the *shape* of the result
+(who wins, roughly by how much, where crossovers fall) and records the
+rendered table.  All tables are written to ``benchmarks/results/`` and
+echoed at the end of the session so ``pytest benchmarks/ --benchmark-only``
+reproduces every row the paper reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.reporting import ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_COLLECTED: list[ExperimentResult] = []
+
+
+@pytest.fixture()
+def record_result():
+    """Call with an ExperimentResult to persist and echo its table."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.to_text() + "\n")
+        _COLLECTED.append(result)
+        return result
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _COLLECTED:
+        return
+    lines = ["", "=" * 72, "REPRODUCED TABLES AND FIGURES", "=" * 72]
+    for result in sorted(_COLLECTED, key=lambda r: r.experiment_id):
+        lines.append("")
+        lines.append(result.to_text())
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ALL.txt").write_text(report + "\n")
+    # Echo to the terminal (bypasses capture at session end).
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(report)

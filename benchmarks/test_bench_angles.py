@@ -1,0 +1,23 @@
+"""E03 — Figure 10: per-angle accuracy.
+
+Shape to hold: facing-zone and non-facing-zone angles score high while
+the borderline +-45/60/75 arc is markedly worse (the soft boundary).
+"""
+
+import numpy as np
+
+from repro.datasets import BENCH
+from repro.experiments import exp_angles
+
+
+def test_bench_angles(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_angles.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    by_zone: dict[str, list[float]] = {}
+    for row in result.rows:
+        by_zone.setdefault(row["zone"], []).append(row["accuracy_pct"])
+    assert result.summary["core_zone_accuracy"] > 85.0
+    core = np.mean(by_zone["facing"] + by_zone["non-facing"])
+    assert core > np.mean(by_zone["borderline"])

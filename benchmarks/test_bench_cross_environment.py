@@ -1,0 +1,18 @@
+"""E11 — cross-environment performance (Section IV-B8).
+
+Shape to hold: training in one room and testing in the other collapses
+accuracy (paper: 77.73%), while one mixed session per room restores it
+(paper: ~95-97%).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_cross_environment
+
+
+def test_bench_cross_environment(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_cross_environment.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["mixed"] > result.summary["cross_room"] + 5.0
+    assert result.summary["mixed"] > 88.0

@@ -1,0 +1,20 @@
+"""E02 — Table III: facing/non-facing definitions.
+
+Shape to hold: Definition-4 (exclude the borderline arc, narrow
+non-facing training arc) is the best performer, as in the paper
+(96.95% accuracy, FRR 3.33%, FAR 2.78%).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_definitions
+
+
+def test_bench_definitions(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_definitions.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    accuracy = {row["definition"]: row["accuracy_pct"] for row in result.rows}
+    assert accuracy["Definition-4"] >= accuracy["Definition-1"]
+    assert result.summary["best_accuracy"] > 90.0
+    assert accuracy["Definition-4"] >= result.summary["best_accuracy"] - 3.0

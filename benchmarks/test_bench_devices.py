@@ -1,0 +1,21 @@
+"""E07 — Figure 13: F1 per device.
+
+Shape to hold: all three prototypes work well; the wider-aperture,
+lower-self-noise devices (D1/D2) are at least on par with D3
+(paper: 97.47 / 96.26 / 94.99 %).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_devices
+
+
+def test_bench_devices(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_devices.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    f1 = result.summary
+    assert all(f1[d] > 85.0 for d in ("D1", "D2", "D3"))
+    assert f1["D1"] >= f1["D3"] - 3.0
+    snr = {row["device"]: row["snr_db"] for row in result.rows}
+    assert snr["D1"] > snr["D3"]  # quieter microphones on D1

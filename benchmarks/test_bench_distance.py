@@ -1,0 +1,18 @@
+"""E05 — impact of distance (Section IV-B2).
+
+Shape to hold: accuracy falls with distance but stays high at 5 m
+(paper: 98.38 / 97.50 / 92.55 %).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_distance
+
+
+def test_bench_distance(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_distance.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    accuracy = {row["distance_m"]: row["accuracy_pct"] for row in result.rows}
+    assert accuracy[1.0] >= accuracy[5.0] - 3.0
+    assert all(value > 80.0 for value in accuracy.values())

@@ -1,0 +1,18 @@
+"""E19 — comparison with the DoV baseline (Section II).
+
+Shape to hold: HeadTalk's SRP-PHAT + directivity feature set beats the
+GCC-PHAT-only baseline on identical audio (paper: 94.20% vs 92.0%).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_dov_comparison
+
+
+def test_bench_dov_comparison(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_dov_comparison.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["headtalk_margin_pct"] > -2.0
+    accuracy = {row["features"]: row["accuracy_pct"] for row in result.rows}
+    assert all(value > 75.0 for value in accuracy.values())

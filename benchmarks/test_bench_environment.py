@@ -1,0 +1,20 @@
+"""E08 — Figure 14: F1 per environment.
+
+Shape to hold: the quieter, less reverberant lab beats the home
+(paper: 98.08% vs 94.39%), and both stay high.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_environment
+
+
+def test_bench_environment(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_environment.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    f1 = {row["room"]: row["f1_mean_pct"] for row in result.rows}
+    assert f1["lab"] >= f1["home"] - 2.0
+    assert f1["home"] > 85.0
+    rt60 = {row["room"]: row["rt60_1khz_s"] for row in result.rows}
+    assert rt60["home"] > rt60["lab"]

@@ -1,0 +1,21 @@
+"""E27 (ablation) — feature-block contributions.
+
+Shape to hold: the full feature set is at least as good as GCC windows
+alone (the DoV baseline's information), and no tiny sub-block on its
+own beats the full set by a meaningful margin.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_feature_ablation
+
+
+def test_bench_feature_ablation(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_feature_ablation.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    summary = result.summary
+    assert summary["full"] >= summary["gcc_only"] - 2.0
+    assert summary["full"] > 85.0
+    accuracy = {row["features"]: row["accuracy_pct"] for row in result.rows}
+    assert all(value > 60.0 for value in accuracy.values())

@@ -1,0 +1,19 @@
+"""E01 — liveness detection (Section IV-A1).
+
+Regenerates the pretrain -> transfer -> incremental-retrain EER table.
+Shape to hold: transfer to the in-domain pool degrades the pretrained
+model, and a 20% incremental slice restores high accuracy / low EER.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_liveness
+
+
+def test_bench_liveness(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_liveness.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["final_eer"] <= result.summary["transfer_eer"] + 1.0
+    assert result.summary["final_accuracy"] > 88.0
+    assert len(result.rows) == 4

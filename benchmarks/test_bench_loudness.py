@@ -1,0 +1,18 @@
+"""E15 — impact of loudness (Section IV-B12).
+
+Shape to hold: the 70 dB-trained model generalizes to 60 and 80 dB, and
+louder speech is not worse (paper: 93.33% at 60 dB, 95.83% at 80 dB).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_loudness
+
+
+def test_bench_loudness(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_loudness.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    accuracy = result.summary
+    assert accuracy["80dB"] >= accuracy["60dB"] - 3.0
+    assert all(value > 80.0 for value in accuracy.values())

@@ -1,0 +1,19 @@
+"""E09 — Table IV: number of microphones.
+
+Shape to hold: more channels help up to a point (paper peaks at 5 of
+D2's 6 channels) and even two well-separated mics are serviceable.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_microphones
+
+
+def test_bench_microphones(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_microphones.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    accuracy = {row["n_channels"]: row["accuracy_pct"] for row in result.rows}
+    assert result.summary["best_n_channels"] >= 3
+    assert max(accuracy.values()) >= accuracy[2]
+    assert all(value > 80.0 for value in accuracy.values())

@@ -1,0 +1,18 @@
+"""E20 — classifier selection (Section IV-A).
+
+Shape to hold: the SVM is at (or within noise of) the top of the four
+backends, matching the paper's choice of SVM over RF/DT/kNN.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_model_selection
+
+
+def test_bench_model_selection(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_model_selection.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    f1 = {row["backend"]: row["mean_f1_pct"] for row in result.rows}
+    assert f1["svm"] >= result.summary["best_f1"] - 4.0
+    assert f1["svm"] > f1["dt"]  # a 5-split tree cannot keep up

@@ -1,0 +1,20 @@
+"""E24 (extension) — moving speakers.
+
+Shape to hold: P(facing) orders the turn scenarios by how much of the
+utterance was spoken inside the facing zone; steady-facing scores far
+above steady-backward.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_moving_speaker
+
+
+def test_bench_moving_speaker(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_moving_speaker.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    summary = result.summary
+    assert summary["steady_facing"] > summary["steady_backward"]
+    assert summary["steady_facing"] > summary["away"] - 0.05
+    assert summary["toward"] >= summary["steady_backward"]

@@ -1,0 +1,16 @@
+"""E25 (extension) — multi-VA addressee disambiguation.
+
+Shape to hold: whichever device the speaker faces reports the higher
+facing probability — head orientation picks the addressee.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_multi_va
+
+
+def test_bench_multi_va(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_multi_va.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["addressee_disambiguated"]

@@ -1,0 +1,20 @@
+"""E16 — surrounding objects (Section IV-B13).
+
+Shape to hold: a fully blocked device degrades sharply (paper: 70%),
+partial blockage costs little (95.83%), and raising the device above
+the obstruction recovers accuracy (95%).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_objects
+
+
+def test_bench_objects(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_objects.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    accuracy = result.summary
+    assert accuracy["full"] < accuracy["partial"]
+    assert accuracy["raised"] > accuracy["full"]
+    assert accuracy["partial"] > 80.0

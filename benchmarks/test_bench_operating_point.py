@@ -1,0 +1,18 @@
+"""E26 (extension) — facing-threshold operating points.
+
+Shape to hold: FAR falls and FRR rises monotonically with the
+threshold, and the orientation score EER is small.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_operating_point
+
+
+def test_bench_operating_point(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_operating_point.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["far_monotone_decreasing"]
+    assert result.summary["frr_monotone_increasing"]
+    assert result.summary["eer_pct"] < 20.0

@@ -1,0 +1,17 @@
+"""E10 — device placement (Section IV-B7).
+
+Shape to hold: a model trained at location A still performs above 80%
+when the device moves to B or C within the room (paper: 97.5% / 91.25%).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_placement
+
+
+def test_bench_placement(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_placement.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert set(result.summary) == {"B", "C"}
+    assert all(value > 75.0 for value in result.summary.values())

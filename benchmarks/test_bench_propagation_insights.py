@@ -1,0 +1,19 @@
+"""E23 — Figures 5-6: the propagation insights behind the features.
+
+Shape to hold: forward speech arrives stronger (Fig. 5) with a larger
+high/low band ratio, and the SRP lag curve peaks higher when facing
+(Fig. 6b).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_propagation_insights
+
+
+def test_bench_propagation_insights(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_propagation_insights.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["rms_forward_over_backward"] > 1.05
+    assert result.summary["hlbr_forward_over_backward"] > 1.05
+    assert result.summary["srp_forward_over_backward"] > 0.9

@@ -1,0 +1,20 @@
+"""E18 — run-time performance (Section IV-B15).
+
+Shape to hold: both inference stages complete within a VA's wake-word
+response window (the paper's PC numbers are 42 ms liveness + 136 ms
+orientation; absolute values are hardware-bound).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_runtime
+
+
+def test_bench_runtime(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_runtime.run, kwargs={"scale": BENCH, "n_trials": 20}, rounds=1, iterations=1
+    )
+    record_result(result)
+    latency = {row["stage"]: row["mean_ms"] for row in result.rows}
+    assert latency["liveness"] > 0
+    assert latency["orientation"] > 0
+    assert result.summary["total_ms"] < 2000.0  # well inside the response window

@@ -1,0 +1,16 @@
+"""E14 — sitting vs standing (Section IV-B11).
+
+Shape to hold: a standing-trained model still detects orientation for a
+seated speaker (paper: 93.33%).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_sitting
+
+
+def test_bench_sitting(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_sitting.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["sitting_accuracy"] > 80.0

@@ -1,0 +1,19 @@
+"""E22 — Figure 3: human vs replay spectra.
+
+Shape to hold: live speech keeps several times more >4 kHz energy than
+loudspeaker replay, and its high-frequency decay is shallower.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_spectra
+
+
+def test_bench_spectra(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_spectra.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.summary["human_to_replay_hf_ratio"] > 2.0
+    slopes = {row["source"]: row["decay_db_per_octave"] for row in result.rows}
+    assert slopes["live human"] > slopes["sony srs-x5 replay"]
+    assert slopes["live human"] > slopes["galaxy s21 replay"]

@@ -1,0 +1,24 @@
+"""E12 — Figure 15: temporal stability with incremental learning.
+
+Shape to hold: week/month-old test data degrades the original model and
+high-confidence self-training recovers most of the loss (paper: ~81-83%
+stale, ~95% after absorbing 40 fresh samples).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_temporal
+
+
+def test_bench_temporal(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_temporal.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    for timeframe in ("week", "month"):
+        stale = result.summary["stale"][timeframe]
+        recovered = result.summary["recovered"][timeframe]
+        # Self-training never collapses the model...
+        assert recovered >= stale - 6.0
+        assert recovered > 85.0
+    # ...and aged data is harder than fresh cross-session data was.
+    assert min(result.summary["stale"].values()) < 97.0

@@ -1,0 +1,18 @@
+"""E04 — Figure 11: impact of training-set size.
+
+Shape to hold: F1 rises with the per-class training count and is
+already high (paper: >92%) by ~20 samples per class.
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_training_size
+
+
+def test_bench_training_size(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_training_size.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    f1 = result.column("f1_mean_pct")
+    assert f1[-1] >= f1[0] - 2.0  # grows (allowing small noise)
+    assert result.summary["f1_at_20"] > 85.0

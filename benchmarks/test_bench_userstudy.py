@@ -1,0 +1,23 @@
+"""E21 — user study (Section V, Table V).
+
+Shape to hold: the simulated participants interact successfully with
+the prototype; the SUS comparison favors HeadTalk over the mute button
+(paper: 77.38 +- 6.26 vs 74.75 +- 8.12), both above the 68-point bar.
+"""
+
+from repro.datasets import BENCH
+from repro.userstudy import simulation
+
+
+def test_bench_userstudy(benchmark, record_result):
+    result = benchmark.pedantic(
+        simulation.run,
+        kwargs={"scale": BENCH, "n_participants": 3},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert result.summary["mean_interaction_accuracy"] > 0.7
+    assert result.summary["sus_headtalk"] > 68.0
+    assert abs(result.summary["sus_headtalk"] - 77.38) < 8.0
+    assert result.summary["headtalk_beats_mute"]

@@ -1,0 +1,18 @@
+"""E06 — Figure 12: F1 per wake word.
+
+Shape to hold: no significant differences across the three wake words
+(paper: 95.92 / 96.40 / 96.39 %).
+"""
+
+from repro.datasets import BENCH
+from repro.experiments import exp_wakewords
+
+
+def test_bench_wakewords(benchmark, record_result):
+    result = benchmark.pedantic(
+        exp_wakewords.run, kwargs={"scale": BENCH}, rounds=1, iterations=1
+    )
+    record_result(result)
+    means = result.column("f1_mean_pct")
+    assert all(value > 85.0 for value in means)
+    assert result.summary["max_minus_min_f1"] < 8.0

@@ -1,0 +1,62 @@
+"""Cross-user household: can HeadTalk serve people it never enrolled?
+
+Reproduces the spirit of Section IV-B14 at example scale: a model
+trained on several simulated residents is tested on a guest, with and
+without ADASYN minority upsampling (the DoV angle grid makes "facing"
+the minority class).
+
+Run with:  python examples/cross_user_household.py
+"""
+
+import numpy as np
+
+from repro.core import BASELINE_DEFINITION, FACING, NON_FACING, OrientationDetector
+from repro.datasets import Scale, make_dov_like
+from repro.experiments.common import labeled_arrays
+from repro.ml import adasyn, binary_report, group_k_fold
+
+EXAMPLE_SCALE = Scale(
+    name="example", locations=((1.0, 0.0), (3.0, 0.0)), repetitions=1, sessions=1
+)
+
+
+def main() -> None:
+    print("rendering the multi-user corpus (4 residents)...")
+    dataset = make_dov_like(scale=EXAMPLE_SCALE, n_users=4, seed=0)
+    X, y = labeled_arrays(dataset, BASELINE_DEFINITION)
+    raw = [BASELINE_DEFINITION.training_label(a) for a in dataset.angles]
+    keep = np.asarray([label is not None for label in raw])
+    speakers = dataset.field("speaker")[keep]
+    facing_count = int(np.sum(y == FACING))
+    print(
+        f"{len(y)} labelled utterances; class balance: "
+        f"{facing_count} facing vs {len(y) - facing_count} non-facing"
+    )
+
+    print("\nleave-one-resident-out, plain training:")
+    plain, upsampled = [], []
+    for user, train_rows, test_rows in group_k_fold(speakers):
+        detector = OrientationDetector(backend="svm").fit(X[train_rows], y[train_rows])
+        report = binary_report(y[test_rows], detector.predict(X[test_rows]), FACING)
+        plain.append(report.accuracy)
+        print(f"  guest {user}: accuracy {100 * report.accuracy:5.1f}%  F1 {100 * report.f1:5.1f}%")
+
+    print("\nleave-one-resident-out, ADASYN-balanced training:")
+    for user, train_rows, test_rows in group_k_fold(speakers):
+        y01 = (y[train_rows] == FACING).astype(int)
+        X_bal, y01_bal = adasyn(X[train_rows], y01, random_state=0)
+        y_bal = np.where(y01_bal == 1, FACING, NON_FACING)
+        detector = OrientationDetector(backend="svm").fit(X_bal, y_bal)
+        report = binary_report(y[test_rows], detector.predict(X[test_rows]), FACING)
+        upsampled.append(report.accuracy)
+        print(f"  guest {user}: accuracy {100 * report.accuracy:5.1f}%  F1 {100 * report.f1:5.1f}%")
+
+    print(
+        f"\nmean accuracy: plain {100 * np.mean(plain):.1f}%  "
+        f"vs ADASYN {100 * np.mean(upsampled):.1f}%"
+    )
+    print("(the paper reports 88.66% over 10 users with ADASYN)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Replay-attack demo: a compromised smart TV replays the wake word.
+
+The paper's threat model: an adversary (or an accidental TV broadcast)
+plays a recorded wake word through a loudspeaker in the same room.  A
+normal-mode VA uploads everything; HeadTalk's liveness stage detects the
+mechanical source and soft-mutes.
+
+Run with:  python examples/replay_attack_demo.py
+"""
+
+import numpy as np
+
+from repro.acoustics import (
+    GALAXY_S21,
+    HumanSpeaker,
+    LAB_PLACEMENTS,
+    LoudspeakerSource,
+    RirConfig,
+    Scene,
+    SpeakerPose,
+    lab_room,
+    render_capture,
+)
+from repro.arrays import default_channel_subset, get_device
+from repro.core import (
+    ENTER_HEADTALK,
+    Enrollment,
+    EventKind,
+    HeadTalkConfig,
+    HeadTalkPipeline,
+    LIVE_HUMAN,
+    LivenessDetector,
+    MECHANICAL,
+    Mode,
+    VoiceAssistantController,
+    preprocess,
+)
+from repro.datasets import speaker_profile, stable_seed
+
+FS = 48_000
+
+
+def build_system(array, scene, rir, rng):
+    """Enroll orientation and train liveness on owner + replay samples."""
+    owner = HumanSpeaker(profile=speaker_profile(0), name="owner")
+    tv = LoudspeakerSource(voice=owner, model=GALAXY_S21, name="smart-tv")
+
+    audios, angles = [], []
+    waveforms, labels = [], []
+    for angle in (0.0, 15.0, -15.0, 30.0, -30.0, 90.0, -90.0, 135.0, -135.0, 180.0):
+        for _ in range(2):
+            posed = scene.with_pose(SpeakerPose(distance_m=1.0, head_angle_deg=angle))
+            human_capture = render_capture(
+                posed, owner.emit("computer", FS, rng), rng=rng, rir_config=rir
+            )
+            audio = preprocess(human_capture)
+            audios.append(audio)
+            angles.append(angle)
+            waveforms.append(audio.reference)
+            labels.append(LIVE_HUMAN)
+            replay_capture = render_capture(
+                posed, tv.emit("computer", FS, rng), rng=rng, rir_config=rir
+            )
+            waveforms.append(preprocess(replay_capture).reference)
+            labels.append(MECHANICAL)
+
+    enrollment = Enrollment(array=array)
+    detector = enrollment.enroll(audios, angles)
+    liveness = LivenessDetector(epochs=300, random_state=0)
+    liveness.network.batch_size = 8
+    liveness.fit(waveforms, np.asarray(labels), FS)
+    pipeline = HeadTalkPipeline(
+        array=array, liveness=liveness, orientation=detector, config=HeadTalkConfig()
+    )
+    return owner, tv, pipeline
+
+
+def main() -> None:
+    device = get_device("D2")
+    array = device.subset(default_channel_subset(device))
+    scene = Scene(
+        room=lab_room(),
+        device=array,
+        placement=LAB_PLACEMENTS["A"],
+        pose=SpeakerPose(distance_m=1.0),
+    )
+    rir = RirConfig(max_order=2, tail_seed=stable_seed("tail", "lab", "A"))
+    rng = np.random.default_rng(7)
+    print("training the prototype (enrollment + liveness)...")
+    owner, tv, pipeline = build_system(array, scene, rir, rng)
+
+    controller = VoiceAssistantController(pipeline=pipeline)
+    controller.voice_command(ENTER_HEADTALK, now=0.0)
+    assert controller.mode is Mode.HEADTALK
+
+    # The attack: the TV replays "computer" from across the room.
+    tv_pose = scene.with_pose(SpeakerPose(distance_m=3.0, head_angle_deg=0.0, mouth_height=1.0))
+    print("\n-- smart TV replays the wake word --")
+    for attempt in range(3):
+        capture = render_capture(tv_pose, tv.emit("computer", FS, rng), rng=rng, rir_config=rir)
+        event = controller.on_wake_word(capture, now=10.0 + attempt)
+        detail = event.decision.reason if event.decision else ""
+        print(f"attempt {attempt + 1}: {event.kind.value} ({detail})")
+
+    # The owner then speaks while facing the device.
+    print("\n-- the owner asks, facing the device --")
+    owner_pose = scene.with_pose(SpeakerPose(distance_m=1.0, head_angle_deg=0.0))
+    capture = render_capture(owner_pose, owner.emit("computer", FS, rng), rng=rng, rir_config=rir)
+    event = controller.on_wake_word(capture, now=100.0)
+    print(f"owner wake word: {event.kind.value}")
+    followup = controller.on_followup_audio(now=105.0)
+    print(f"owner follow-up command: {followup.kind.value}")
+
+    uploads = controller.uploaded_count()
+    blocked = sum(1 for e in controller.audit_log if e.kind is EventKind.SOFT_MUTED)
+    print(f"\naudit: {uploads} uploads, {blocked} soft-muted events")
+    print("the replay attempts never reached the cloud.")
+
+
+if __name__ == "__main__":
+    main()

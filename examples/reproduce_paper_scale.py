@@ -1,0 +1,67 @@
+"""Reproduce selected experiments at the paper's full Table II scale.
+
+`BENCH` scale (the benchmark default) trims the location grid to the M
+column so the whole suite runs in minutes.  `PAPER` scale renders the
+full 9,072-utterance Dataset-1 grid and takes on the order of **hours**
+on a laptop — use this script when you want the full-fat numbers.
+
+Usage:
+    python examples/reproduce_paper_scale.py E02          # one experiment
+    python examples/reproduce_paper_scale.py E02 E05 E09  # several
+    python examples/reproduce_paper_scale.py --estimate   # cost preview
+"""
+
+import argparse
+import sys
+import time
+
+from repro.datasets import PAPER, dataset1_specs
+from repro.experiments import ALL_EXPERIMENTS
+
+# Rough per-experiment capture counts at PAPER scale (for the estimate).
+CAPTURES = {
+    "E02": 2 * 9 * 14 * 2 * 2 + 2 * 9 * 2 * 2 * 2,
+    "E03": 2 * 9 * 14 * 2 * 2 + 2 * 9 * 2 * 2 * 2,
+    "E04": 2 * 9 * 14 * 2,
+    "E05": 9072,
+    "E06": 9072,
+    "E07": 9072,
+    "E08": 9072,
+    "E09": 5 * 2 * 9 * 14 * 2,
+    "E12": 2 * 9 * 14 * 2 + 336,
+}
+SECONDS_PER_CAPTURE = 0.12
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids")
+    parser.add_argument("--estimate", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.estimate or not args.experiments:
+        total = sum(spec.n_utterances for spec in dataset1_specs(PAPER))
+        print(f"Dataset-1 at PAPER scale: {total} captures")
+        print(f"approx render cost: {total * SECONDS_PER_CAPTURE / 60:.0f} min (one-time, cached per process)")
+        for experiment_id, captures in sorted(CAPTURES.items()):
+            print(
+                f"  {experiment_id}: ~{captures} captures, "
+                f"~{captures * SECONDS_PER_CAPTURE / 60:.0f} min render"
+            )
+        return 0
+
+    for experiment_id in args.experiments:
+        experiment_id = experiment_id.upper()
+        if experiment_id not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {experiment_id}", file=sys.stderr)
+            return 2
+        started = time.time()
+        result = ALL_EXPERIMENTS[experiment_id](scale=PAPER, seed=args.seed)
+        print(result.to_text())
+        print(f"[{experiment_id} at PAPER scale: {time.time() - started:.0f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Run any of the paper-reproduction experiments from the command line.
+
+Usage:
+    python examples/run_experiment.py E02            # Table III
+    python examples/run_experiment.py E02 E05 E23    # several
+    python examples/run_experiment.py --list
+    python examples/run_experiment.py --scale tiny E02
+
+Scales: ``bench`` (default, shape-preserving), ``tiny`` (smoke),
+``paper`` (full Table II sample counts; slow).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.datasets import BENCH, PAPER, TINY
+from repro.experiments import ALL_EXPERIMENTS
+
+SCALES = {"bench": BENCH, "tiny": TINY, "paper": PAPER}
+
+DESCRIPTIONS = {
+    "E01": "liveness: human vs mechanical (Section IV-A1)",
+    "E02": "Table III: facing definitions",
+    "E03": "Figure 10: per-angle accuracy",
+    "E04": "Figure 11: training-set size",
+    "E05": "distance (Section IV-B2)",
+    "E06": "Figure 12: wake words",
+    "E07": "Figure 13: devices",
+    "E08": "Figure 14: environments",
+    "E09": "Table IV: number of microphones",
+    "E10": "device placement (Section IV-B7)",
+    "E11": "cross-environment (Section IV-B8)",
+    "E12": "Figure 15: temporal stability",
+    "E13": "ambient noise (Section IV-B10)",
+    "E14": "sitting vs standing (Section IV-B11)",
+    "E15": "loudness (Section IV-B12)",
+    "E16": "surrounding objects (Section IV-B13)",
+    "E17": "Figure 16: cross-user",
+    "E18": "runtime (Section IV-B15)",
+    "E19": "DoV comparison (Section II)",
+    "E20": "classifier selection (Section IV-A)",
+    "E21": "user study (Section V)",
+    "E22": "Figure 3: human vs replay spectra",
+    "E23": "Figures 5-6: propagation insights",
+    "E24": "extension: moving speakers",
+    "E25": "extension: multi-VA disambiguation",
+    "E26": "extension: operating-point sweep",
+    "E27": "ablation: feature-block contributions",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (E01..E23)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for experiment_id in sorted(ALL_EXPERIMENTS):
+            print(f"{experiment_id}  {DESCRIPTIONS[experiment_id]}")
+        return 0
+
+    scale = SCALES[args.scale]
+    for experiment_id in args.experiments:
+        experiment_id = experiment_id.upper()
+        if experiment_id not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {experiment_id}; use --list", file=sys.stderr)
+            return 2
+        started = time.time()
+        result = ALL_EXPERIMENTS[experiment_id](scale=scale, seed=args.seed)
+        print(result.to_text())
+        print(f"[{experiment_id} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""An evening with a HeadTalk-enabled voice assistant.
+
+Walks the privacy-control state machine (Figure 1) through a realistic
+timeline: normal mode, entering HeadTalk mode, a facing wake word that
+opens a session, follow-up commands inside and outside the session
+window, a background utterance while cooking (not facing), and the
+hardware mute button.  Prints the full privacy audit log at the end.
+
+Run with:  python examples/smart_home_session.py
+"""
+
+import numpy as np
+
+from repro.acoustics import (
+    HOME_PLACEMENT,
+    HumanSpeaker,
+    RirConfig,
+    Scene,
+    SpeakerPose,
+    home_room,
+    render_capture,
+)
+from repro.arrays import default_channel_subset, get_device
+from repro.core import (
+    ENTER_HEADTALK,
+    Enrollment,
+    HeadTalkConfig,
+    HeadTalkPipeline,
+    LivenessDetector,
+    VoiceAssistantController,
+    preprocess,
+)
+from repro.datasets import speaker_profile, stable_seed
+
+FS = 48_000
+
+
+def main() -> None:
+    device = get_device("D2")
+    array = device.subset(default_channel_subset(device))
+    room = home_room()
+    scene = Scene(
+        room=room,
+        device=array,
+        placement=HOME_PLACEMENT,
+        pose=SpeakerPose(distance_m=1.0),
+    )
+    rir = RirConfig(max_order=2, tail_seed=stable_seed("tail", "home", "shelf"))
+    rng = np.random.default_rng(3)
+    resident = HumanSpeaker(profile=speaker_profile(5), name="resident")
+
+    # Enroll orientation on a quick angle sweep (liveness is skipped in
+    # this walkthrough to keep the focus on the mode semantics).
+    audios, angles = [], []
+    for angle in (0.0, 15.0, -15.0, 30.0, -30.0, 90.0, -90.0, 135.0, -135.0, 180.0):
+        for _ in range(2):
+            posed = scene.with_pose(SpeakerPose(distance_m=1.0, head_angle_deg=angle))
+            capture = render_capture(posed, resident.emit("computer", FS, rng), rng=rng, rir_config=rir)
+            audios.append(preprocess(capture))
+            angles.append(angle)
+    enrollment = Enrollment(array=array)
+    detector = enrollment.enroll(audios, angles)
+
+    pipeline = HeadTalkPipeline(
+        array=array,
+        liveness=LivenessDetector(),  # untrained; bypassed below
+        orientation=detector,
+        config=HeadTalkConfig(session_seconds=30.0),
+    )
+    # Orientation-only gating for this walkthrough.
+    original_evaluate = pipeline.evaluate
+    pipeline.evaluate = lambda capture: original_evaluate(capture, check_liveness=False)
+
+    controller = VoiceAssistantController(pipeline=pipeline)
+
+    def wake(angle_deg, distance_m, now, note):
+        posed = scene.with_pose(
+            SpeakerPose(distance_m=distance_m, head_angle_deg=angle_deg)
+        )
+        capture = render_capture(
+            posed, resident.emit("computer", FS, rng), rng=rng, rir_config=rir
+        )
+        event = controller.on_wake_word(capture, now=now)
+        print(f"t={now:6.0f}s  {note:<42s} -> {event.kind.value}")
+
+    print("18:00 — assistant starts in normal mode")
+    wake(0.0, 1.0, 0.0, "wake word (normal mode: always uploads)")
+
+    print("\n18:05 — resident enables HeadTalk mode by voice")
+    controller.voice_command(ENTER_HEADTALK, now=300.0)
+
+    wake(0.0, 1.0, 310.0, "facing wake word (opens session)")
+    print(f"           session open: {controller.session_open_at(320.0)}")
+    controller.on_followup_audio(now=320.0)
+    print("t=   320s  follow-up command inside session          -> uploaded")
+
+    wake(180.0, 3.0, 400.0, "talking away from device while cooking")
+    wake(90.0, 3.0, 460.0, "chatting sideways with family")
+    wake(0.0, 1.0, 520.0, "facing wake word again (new session)")
+
+    print("\n19:00 — hardware mute for a private phone call")
+    controller.press_mute_button(now=3600.0)
+    wake(0.0, 1.0, 3610.0, "wake word while hard-muted")
+    controller.press_mute_button(now=3900.0)
+
+    print("\n== privacy audit log ==")
+    for event in controller.audit_log:
+        print(f"  t={event.time:6.0f}s  [{event.mode.value:8s}] {event.kind.value:15s} {event.detail}")
+    print(f"\ntotal uploads to the cloud: {controller.uploaded_count()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""HeadTalk reproduction: speaker orientation-aware privacy control for VAs.
+
+Reproduction of Zhang, Sabir & Das, "Speaker Orientation-Aware Privacy
+Control to Thwart Misactivation of Voice Assistants" (DSN 2023), built
+entirely on simulated acoustics (see DESIGN.md for the substitution map).
+
+Quick tour
+----------
+- ``repro.acoustics`` — wake-word synthesis, oriented sources, rooms,
+  image-source reverberation, calibrated noise (the data substitute).
+- ``repro.arrays`` — the D1/D2/D3 microphone-array geometries.
+- ``repro.dsp`` — Butterworth front-end, GCC-PHAT, SRP-PHAT, VAD, ...
+- ``repro.ml`` — SVM/RF/DT/kNN, SMOTE/ADASYN, metrics, a numpy NN.
+- ``repro.core`` — the HeadTalk pipeline and privacy-control modes.
+- ``repro.datasets`` — Table II dataset builders (Dataset-1..8).
+- ``repro.experiments`` — one runner per paper table/figure.
+- ``repro.userstudy`` — SUS scoring and the Section V study.
+"""
+
+from .core import (
+    HeadTalkConfig,
+    HeadTalkPipeline,
+    LivenessDetector,
+    Mode,
+    OrientationDetector,
+    OrientationFeatureExtractor,
+    VoiceAssistantController,
+)
+from .reporting import ExperimentResult, render_table
+
+__version__ = "1.0.0"
+
+# Persistence imports after __version__: the module reads it at import.
+from .persistence import load_model, save_model  # noqa: E402
+
+__all__ = [
+    "ExperimentResult",
+    "HeadTalkConfig",
+    "HeadTalkPipeline",
+    "LivenessDetector",
+    "Mode",
+    "OrientationDetector",
+    "OrientationFeatureExtractor",
+    "VoiceAssistantController",
+    "load_model",
+    "render_table",
+    "save_model",
+    "__version__",
+]

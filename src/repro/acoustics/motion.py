@@ -1,0 +1,107 @@
+"""Moving-speaker rendering (extension).
+
+The paper's limitations section notes "our analysis does not cover the
+impact of moving speakers".  This module renders an utterance while the
+head rotates: the waveform is split into short segments, each segment is
+propagated with the interpolated head orientation, and the segments are
+cross-faded back together.  Physically this approximates a turning head
+as a piecewise-constant orientation, which is accurate for turn rates
+below a few hundred degrees per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .image_source import RirConfig
+from .noise import NoiseSource, rms_to_spl, spl_to_rms
+from .propagation import Capture, render_capture
+from .scene import Scene, SpeakerPose
+from .sources import SourceRendering
+
+
+def render_turning_capture(
+    scene: Scene,
+    rendering: SourceRendering,
+    angle_start_deg: float,
+    angle_end_deg: float,
+    n_segments: int = 6,
+    loudness_db_spl: float = 70.0,
+    rng: np.random.Generator | None = None,
+    rir_config: RirConfig | None = None,
+    ambient: NoiseSource | None = None,
+    crossfade_ms: float = 8.0,
+) -> Capture:
+    """Render one utterance while the head turns from start to end angle.
+
+    The base pose (distance, radial direction, mouth height) comes from
+    ``scene.pose``; only ``head_angle_deg`` sweeps linearly across the
+    utterance.  Returns a capture of the same length a static render
+    would produce.
+    """
+    rng = rng or np.random.default_rng()
+    if n_segments < 1:
+        raise ValueError("n_segments must be >= 1")
+    waveform = np.asarray(rendering.waveform, dtype=float)
+    if waveform.size < n_segments:
+        raise ValueError("waveform too short for the requested segments")
+    sample_rate = rendering.sample_rate
+    fade = max(1, int(crossfade_ms / 1000.0 * sample_rate))
+
+    edges = np.linspace(0, waveform.size, n_segments + 1).astype(int)
+    angles = np.linspace(angle_start_deg, angle_end_deg, n_segments)
+
+    # One global gain (utterance RMS -> target SPL); each segment is
+    # rendered at the SPL matching its own share of the energy so quiet
+    # and loud phones keep their natural relative levels.
+    full_rms = float(np.sqrt(np.mean(waveform**2))) + 1e-15
+    global_gain = spl_to_rms(loudness_db_spl) / full_rms
+
+    pieces: list[np.ndarray] = []
+    n_out = 0
+    for segment_index in range(n_segments):
+        start = max(0, edges[segment_index] - (fade if segment_index else 0))
+        stop = edges[segment_index + 1]
+        chunk = waveform[start:stop]
+        # Fade the chunk edges so segment joins do not click.
+        window = np.ones(chunk.size)
+        if segment_index > 0:
+            ramp = min(fade, chunk.size)
+            window[:ramp] = np.linspace(0.0, 1.0, ramp)
+        if segment_index < n_segments - 1:
+            ramp = min(fade, chunk.size)
+            window[-ramp:] *= np.linspace(1.0, 0.0, ramp)
+        shaped = chunk * window
+        segment_rms = float(np.sqrt(np.mean(shaped**2)))
+        if segment_rms < 1e-12:
+            continue
+        segment_spl = rms_to_spl(global_gain * segment_rms)
+        segment_rendering = replace(rendering, waveform=shaped)
+        posed = scene.with_pose(
+            SpeakerPose(
+                distance_m=scene.pose.distance_m,
+                radial_deg=scene.pose.radial_deg,
+                head_angle_deg=float(angles[segment_index]),
+                mouth_height=scene.pose.mouth_height,
+            )
+        )
+        capture = render_capture(
+            posed,
+            segment_rendering,
+            loudness_db_spl=segment_spl,
+            rng=rng,
+            rir_config=rir_config,
+            ambient=ambient,
+        )
+        pieces.append((start, capture.channels))
+        n_out = max(n_out, start + capture.channels.shape[1])
+
+    if not pieces:
+        raise ValueError("utterance is silent; nothing to render")
+    n_mics = pieces[0][1].shape[0]
+    mixed = np.zeros((n_mics, n_out))
+    for start, channels in pieces:
+        mixed[:, start : start + channels.shape[1]] += channels
+    return Capture(channels=mixed, sample_rate=sample_rate)

@@ -1,0 +1,149 @@
+"""Shoebox room model with frequency-dependent absorption.
+
+Reverberation is the carrier of HeadTalk's Insight 1: the room impulse
+response changes with speaker orientation because the direct path and
+every reflection leave the mouth at different angles.  The room model
+supplies per-band wall reflection coefficients and the Eyring
+reverberation-time estimate (Eq. in Section III-B2) used to size the
+diffuse tail of simulated impulse responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+FOOT = 0.3048
+"""One foot in meters (the paper quotes room sizes in feet)."""
+
+
+@dataclass(frozen=True)
+class Material:
+    """Frequency-dependent absorption of the room's surfaces.
+
+    ``band_centers_hz`` and ``absorption`` describe the average Sabine
+    absorption coefficient sampled at octave centers; values in between
+    are log-frequency interpolated.
+    """
+
+    name: str
+    band_centers_hz: tuple[float, ...]
+    absorption: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.band_centers_hz) != len(self.absorption):
+            raise ValueError("band_centers_hz and absorption must align")
+        if len(self.absorption) < 2:
+            raise ValueError("need at least two absorption samples")
+        if any(not 0 < a < 1 for a in self.absorption):
+            raise ValueError("absorption coefficients must be in (0, 1)")
+
+    def absorption_at(self, frequency_hz: float) -> float:
+        """Interpolated absorption coefficient at a frequency."""
+        log_centers = np.log10(np.asarray(self.band_centers_hz))
+        value = np.interp(
+            np.log10(max(frequency_hz, 1.0)), log_centers, np.asarray(self.absorption)
+        )
+        return float(np.clip(value, 0.01, 0.99))
+
+    def reflection_at(self, frequency_hz: float) -> float:
+        """Pressure reflection coefficient ``sqrt(1 - alpha)``."""
+        return float(np.sqrt(1.0 - self.absorption_at(frequency_hz)))
+
+
+LAB_MATERIAL = Material(
+    name="office (carpet, dropped ceiling, drywall)",
+    band_centers_hz=(125.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0),
+    absorption=(0.18, 0.24, 0.32, 0.38, 0.42, 0.45, 0.48),
+)
+
+HOME_MATERIAL = Material(
+    name="living room (hard floor, furniture, windows)",
+    band_centers_hz=(125.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0),
+    absorption=(0.1, 0.14, 0.18, 0.22, 0.25, 0.28, 0.3),
+)
+
+
+@dataclass(frozen=True)
+class Room:
+    """Axis-aligned shoebox room.
+
+    The origin is a floor corner; ``dimensions`` are (length, width,
+    height) in meters along (x, y, z).
+    """
+
+    name: str
+    dimensions: tuple[float, float, float]
+    material: Material
+    ambient_noise_db_spl: float = 33.0
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.dimensions):
+            raise ValueError("room dimensions must be positive")
+        if not 0 <= self.ambient_noise_db_spl <= 120:
+            raise ValueError("ambient noise SPL out of range")
+
+    @property
+    def volume(self) -> float:
+        """Room volume in cubic meters."""
+        lx, ly, lz = self.dimensions
+        return lx * ly * lz
+
+    @property
+    def surface_area(self) -> float:
+        """Total interior surface area in square meters."""
+        lx, ly, lz = self.dimensions
+        return 2.0 * (lx * ly + lx * lz + ly * lz)
+
+    def contains(self, point: np.ndarray, margin: float = 0.0) -> bool:
+        """Whether a point lies inside the room (with optional margin)."""
+        p = np.asarray(point, dtype=float)
+        if p.shape != (3,):
+            raise ValueError("point must be shape (3,)")
+        return all(
+            margin <= p[axis] <= self.dimensions[axis] - margin for axis in range(3)
+        )
+
+    def eyring_rt60(self, frequency_hz: float = 1000.0) -> float:
+        """Eyring reverberation time at a frequency, in seconds.
+
+        ``T = k * V / (-S * ln(1 - alpha))`` with ``k = 0.161`` (SI units).
+        """
+        alpha = self.material.absorption_at(frequency_hz)
+        denominator = -self.surface_area * np.log(1.0 - alpha)
+        return float(0.161 * self.volume / denominator)
+
+    def sabine_rt60(self, frequency_hz: float = 1000.0) -> float:
+        """Sabine reverberation time (the small-absorption approximation)."""
+        alpha = self.material.absorption_at(frequency_hz)
+        return float(0.161 * self.volume / (self.surface_area * alpha))
+
+
+def lab_room() -> Room:
+    """The paper's lab: a 20' x 14' office with 10' dropped ceilings, 33 dB."""
+    return Room(
+        name="lab",
+        dimensions=(20 * FOOT, 14 * FOOT, 10 * FOOT),
+        material=LAB_MATERIAL,
+        ambient_noise_db_spl=33.0,
+    )
+
+
+def home_room() -> Room:
+    """The paper's home: a 33' x 10' x 8' apartment living room, 43 dB."""
+    return Room(
+        name="home",
+        dimensions=(33 * FOOT, 10 * FOOT, 8 * FOOT),
+        material=HOME_MATERIAL,
+        ambient_noise_db_spl=43.0,
+    )
+
+
+def get_room(name: str) -> Room:
+    """Room by name (``"lab"`` or ``"home"``)."""
+    rooms = {"lab": lab_room, "home": home_room}
+    try:
+        return rooms[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown room {name!r}; expected 'lab' or 'home'") from None

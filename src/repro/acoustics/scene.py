@@ -1,0 +1,217 @@
+"""Scenes: a room, a device placement, a speaker pose, optional occlusion.
+
+Encodes the paper's data-collection geometry (Figures 8/9): the device
+sits on a table near a wall; the speaker stands on a grid of three
+distances (1/3/5 m) by three radial directions (-15/0/+15 deg) and
+rotates their head through 14 angles spanning 360 deg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..arrays.geometry import MicArray
+from .room import Room
+from .sources import MOUTH_HEIGHT_STANDING
+
+
+ANGLE_GRID_DEG: tuple[float, ...] = (
+    0.0, 15.0, -15.0, 30.0, -30.0, 45.0, -45.0,
+    60.0, -60.0, 90.0, -90.0, 135.0, -135.0, 180.0,
+)
+"""The 14 head angles of the data-collection protocol."""
+
+EXTRA_BORDER_ANGLES_DEG: tuple[float, ...] = (75.0, -75.0)
+"""Extra borderline angles collected for the Definition study (Table III)."""
+
+DISTANCE_GRID_M: tuple[float, ...] = (1.0, 3.0, 5.0)
+"""Speaker distances from the device."""
+
+RADIAL_GRID_DEG: tuple[float, ...] = (-15.0, 0.0, 15.0)
+"""Radial directions of the speaker grid (L/M/R columns)."""
+
+
+@dataclass(frozen=True)
+class Occlusion:
+    """Frequency-dependent attenuation of the direct path by nearby objects.
+
+    ``lf_gain``/``hf_gain`` are the direct-path amplitude gains at low and
+    high frequency; intermediate bands interpolate on a log-frequency axis
+    between ``lf_hz`` and ``hf_hz``.  Reflected paths are untouched, which
+    is what makes a blocked device "hear the voice like speech coming from
+    the backward direction" (Section IV-B13).
+    """
+
+    name: str
+    lf_gain: float
+    hf_gain: float
+    lf_hz: float = 250.0
+    hf_hz: float = 4000.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.hf_gain <= self.lf_gain <= 1.0:
+            raise ValueError("need 0 <= hf_gain <= lf_gain <= 1")
+        if not 0 < self.lf_hz < self.hf_hz:
+            raise ValueError("need 0 < lf_hz < hf_hz")
+
+    def band_gains(self, bands: list[tuple[float, float]]) -> np.ndarray:
+        """Direct-path gain per octave band."""
+        centers = np.array([np.sqrt(lo * hi) for lo, hi in bands])
+        position = (np.log10(centers) - np.log10(self.lf_hz)) / (
+            np.log10(self.hf_hz) - np.log10(self.lf_hz)
+        )
+        position = np.clip(position, 0.0, 1.0)
+        return self.lf_gain + (self.hf_gain - self.lf_gain) * position
+
+
+NO_OCCLUSION = Occlusion(name="open", lf_gain=1.0, hf_gain=1.0)
+PARTIAL_BLOCK = Occlusion(name="partial", lf_gain=0.95, hf_gain=0.68)
+FULL_BLOCK = Occlusion(name="full", lf_gain=0.3, hf_gain=0.04)
+
+
+@dataclass(frozen=True)
+class DevicePlacement:
+    """Where the device sits in the room.
+
+    The paper's placements: location A (study table, 74 cm), B (coffee
+    table, 45 cm), C (work table, 75 cm) in the lab; the home device sits
+    on a TV shelf at 83 cm.  ``facing_deg`` is the horizontal direction
+    the device front points, measured from +x.
+    """
+
+    name: str
+    position_xy: tuple[float, float]
+    height: float
+    facing_deg: float = 0.0
+    rotation_deg: float = 0.0
+    """Rotation of the device body (and hence the mic array) around the
+    vertical axis.  A re-placed smart speaker almost never comes back at
+    the same rotation, which shifts every inter-mic delay."""
+
+    def __post_init__(self) -> None:
+        if self.height <= 0:
+            raise ValueError("height must be positive")
+
+    @property
+    def position(self) -> np.ndarray:
+        """World-frame device center."""
+        return np.array([self.position_xy[0], self.position_xy[1], self.height])
+
+
+LAB_PLACEMENTS = {
+    "A": DevicePlacement(name="A", position_xy=(0.5, 2.13), height=0.74),
+    "B": DevicePlacement(name="B", position_xy=(1.5, 1.0), height=0.45),
+    "C": DevicePlacement(name="C", position_xy=(0.8, 3.4), height=0.75),
+}
+"""Device placements in the lab (Figure 8)."""
+
+HOME_PLACEMENT = DevicePlacement(name="shelf", position_xy=(0.5, 1.52), height=0.83)
+"""The near-window TV-shelf placement in the home (Figure 9)."""
+
+
+def rotate_xy(vector: np.ndarray, angle_deg: float) -> np.ndarray:
+    """Rotate a 3-vector around the z axis by ``angle_deg`` degrees."""
+    theta = np.deg2rad(angle_deg)
+    cos, sin = np.cos(theta), np.sin(theta)
+    x, y, z = np.asarray(vector, dtype=float)
+    return np.array([cos * x - sin * y, sin * x + cos * y, z])
+
+
+@dataclass(frozen=True)
+class SpeakerPose:
+    """Speaker location and head orientation relative to the device.
+
+    ``distance_m`` and ``radial_deg`` place the speaker on the collection
+    grid (radial angle measured from the device's facing direction);
+    ``head_angle_deg`` rotates the head away from the device (0 = facing
+    it); ``mouth_height`` distinguishes standing from sitting.
+    """
+
+    distance_m: float
+    radial_deg: float = 0.0
+    head_angle_deg: float = 0.0
+    mouth_height: float = MOUTH_HEIGHT_STANDING
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ValueError("distance_m must be positive")
+        if self.mouth_height <= 0:
+            raise ValueError("mouth_height must be positive")
+
+    @property
+    def grid_label(self) -> str:
+        """Paper-style grid label: L/M/R column + distance (e.g. ``M3``)."""
+        column = {-15.0: "L", 0.0: "M", 15.0: "R"}.get(self.radial_deg, "?")
+        return f"{column}{int(round(self.distance_m))}"
+
+
+@dataclass(frozen=True)
+class Scene:
+    """A complete capture geometry."""
+
+    room: Room
+    device: MicArray
+    placement: DevicePlacement
+    pose: SpeakerPose
+    occlusion: Occlusion = NO_OCCLUSION
+
+    def __post_init__(self) -> None:
+        if not self.room.contains(self.placement.position):
+            raise ValueError(
+                f"device placement {self.placement.name} outside room {self.room.name}"
+            )
+        if not self.room.contains(self.source_position, margin=0.05):
+            raise ValueError(
+                f"speaker pose {self.pose} falls outside room {self.room.name}"
+            )
+
+    @property
+    def mic_positions(self) -> np.ndarray:
+        """World-frame microphone positions, ``(n_mics, 3)``."""
+        local = self.device.positions
+        if self.placement.rotation_deg:
+            local = np.stack(
+                [rotate_xy(p, self.placement.rotation_deg) for p in local]
+            )
+        return local + self.placement.position
+
+    @property
+    def source_position(self) -> np.ndarray:
+        """World-frame mouth position."""
+        outward = rotate_xy(
+            np.array([1.0, 0.0, 0.0]),
+            self.placement.facing_deg + self.pose.radial_deg,
+        )
+        xy = self.placement.position + self.pose.distance_m * outward
+        return np.array([xy[0], xy[1], self.pose.mouth_height])
+
+    @property
+    def facing_vector(self) -> np.ndarray:
+        """World-frame unit vector the speaker's head points along.
+
+        At ``head_angle_deg == 0`` the head points from the mouth toward
+        the device; positive angles rotate it counterclockwise (top view).
+        """
+        to_device = self.placement.position - self.source_position
+        to_device[2] = 0.0  # heads rotate in the horizontal plane
+        norm = np.linalg.norm(to_device)
+        if norm < 1e-9:
+            raise ValueError("speaker is on top of the device")
+        return rotate_xy(to_device / norm, self.pose.head_angle_deg)
+
+    def with_pose(self, pose: SpeakerPose) -> "Scene":
+        """Copy of the scene with a different speaker pose."""
+        return replace(self, pose=pose)
+
+    def with_occlusion(self, occlusion: Occlusion) -> "Scene":
+        """Copy of the scene with a different occlusion setting."""
+        return replace(self, occlusion=occlusion)
+
+
+def raised_placement(placement: DevicePlacement, extra_height: float = 0.148) -> DevicePlacement:
+    """The paper's mitigation: raise the device above surrounding objects."""
+    if extra_height <= 0:
+        raise ValueError("extra_height must be positive")
+    return replace(placement, height=placement.height + extra_height)

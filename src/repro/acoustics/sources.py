@@ -1,0 +1,194 @@
+"""Sound sources: live human speakers and mechanical (replay) speakers.
+
+A source bundles (a) how the wake-word waveform is produced and (b) how
+it radiates (directivity).  The :class:`LoudspeakerSource` reproduces the
+replay-channel coloration documented in the paper's Figure 3: live human
+speech keeps structured energy above 4 kHz with an exponential decay,
+whereas audio re-recorded and replayed through a loudspeaker loses that
+structure — its residual high band is weaker and more uniform (a flat
+electronics/driver noise floor), and the low end is band-limited by the
+driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+from scipy import signal as sps
+
+from .directivity import DirectivityModel, human_head_directivity, loudspeaker_directivity
+from .speech import VocalProfile, random_profile, synthesize_wake_word
+
+MOUTH_HEIGHT_STANDING = 1.65
+"""Approximate mouth height of a standing adult (meters)."""
+
+MOUTH_HEIGHT_SITTING = 1.2
+"""Approximate mouth height of a seated adult (meters)."""
+
+
+@dataclass(frozen=True)
+class SourceRendering:
+    """A rendered emission: the waveform and the radiating directivity."""
+
+    waveform: np.ndarray
+    sample_rate: int
+    directivity: DirectivityModel
+    is_live_human: bool
+    label: str
+
+
+@dataclass(frozen=True)
+class HumanSpeaker:
+    """A live human speaker with a stable vocal profile.
+
+    ``directivity`` and the mouth heights are person-specific physical
+    traits (head shape, body height); they default to population-average
+    values but the dataset layer draws individual ones per simulated
+    user so cross-user experiments see real inter-person variation.
+    """
+
+    profile: VocalProfile
+    name: str = "human"
+    directivity: DirectivityModel | None = None
+    standing_mouth_height: float = MOUTH_HEIGHT_STANDING
+    sitting_mouth_height: float = MOUTH_HEIGHT_SITTING
+
+    def __post_init__(self) -> None:
+        if not 1.2 <= self.standing_mouth_height <= 2.0:
+            raise ValueError("standing_mouth_height outside plausible range")
+        if not 0.9 <= self.sitting_mouth_height <= 1.5:
+            raise ValueError("sitting_mouth_height outside plausible range")
+
+    @classmethod
+    def random(cls, rng: np.random.Generator, name: str = "human") -> "HumanSpeaker":
+        """A speaker with randomly drawn but fixed physical traits."""
+        from .directivity import individual_head_directivity
+
+        return cls(
+            profile=random_profile(rng),
+            name=name,
+            directivity=individual_head_directivity(rng),
+            standing_mouth_height=float(np.clip(rng.normal(1.62, 0.08), 1.45, 1.8)),
+            sitting_mouth_height=float(np.clip(rng.normal(1.18, 0.05), 1.05, 1.35)),
+        )
+
+    def emit(
+        self,
+        wake_word: str,
+        sample_rate: int,
+        rng: np.random.Generator,
+    ) -> SourceRendering:
+        """Utter the wake word once."""
+        waveform = synthesize_wake_word(wake_word, self.profile, sample_rate, rng)
+        return SourceRendering(
+            waveform=waveform,
+            sample_rate=sample_rate,
+            directivity=self.directivity or human_head_directivity(),
+            is_live_human=True,
+            label=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class LoudspeakerModel:
+    """Replay-channel parameters for one mechanical speaker model."""
+
+    name: str
+    low_cutoff_hz: float
+    rolloff_hz: float
+    rolloff_db_per_octave: float
+    noise_floor_db: float
+    distortion: float
+
+    def __post_init__(self) -> None:
+        if self.low_cutoff_hz <= 0 or self.rolloff_hz <= self.low_cutoff_hz:
+            raise ValueError("need 0 < low_cutoff_hz < rolloff_hz")
+        if self.rolloff_db_per_octave >= 0:
+            raise ValueError("rolloff must be negative (attenuation)")
+        if not 0 <= self.distortion < 1:
+            raise ValueError("distortion must be in [0, 1)")
+
+
+SONY_SRS_X5 = LoudspeakerModel(
+    name="sony-srs-x5",
+    low_cutoff_hz=70.0,
+    rolloff_hz=4200.0,
+    rolloff_db_per_octave=-11.0,
+    noise_floor_db=-46.0,
+    distortion=0.02,
+)
+"""High-end portable speaker (paper's replay device for Dataset-2)."""
+
+GALAXY_S21 = LoudspeakerModel(
+    name="galaxy-s21",
+    low_cutoff_hz=220.0,
+    rolloff_hz=3800.0,
+    rolloff_db_per_octave=-14.0,
+    noise_floor_db=-42.0,
+    distortion=0.05,
+)
+"""Smartphone speaker (Figure 3's second replay device)."""
+
+
+def replay_channel(
+    audio: np.ndarray,
+    sample_rate: int,
+    model: LoudspeakerModel,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Pass audio through a record-then-replay loudspeaker channel."""
+    x = np.asarray(audio, dtype=float)
+    if x.size == 0:
+        return x.copy()
+    # Driver band limiting: lose the lowest octave(s)...
+    sos = sps.butter(2, model.low_cutoff_hz, btype="highpass", fs=sample_rate, output="sos")
+    y = sps.sosfilt(sos, x)
+    # ...and shelve the highs down with the model's roll-off slope.
+    n = y.size
+    spectrum = np.fft.rfft(y)
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    octaves = np.zeros_like(freqs)
+    above = freqs > model.rolloff_hz
+    octaves[above] = np.log2(freqs[above] / model.rolloff_hz)
+    gain = 10.0 ** (model.rolloff_db_per_octave * octaves / 20.0)
+    y = np.fft.irfft(spectrum * gain, n)
+    # Mild odd-harmonic distortion from the small driver.
+    if model.distortion > 0:
+        drive = 1.0 + 4.0 * model.distortion
+        y = np.tanh(drive * y) / np.tanh(drive)
+    # Flat electronics noise floor — this is what makes the >4 kHz region
+    # of replayed audio look uniform rather than structured (Fig. 3).
+    rms = np.sqrt(np.mean(y**2)) + 1e-12
+    noise_rms = rms * 10.0 ** (model.noise_floor_db / 20.0)
+    y = y + noise_rms * rng.standard_normal(n)
+    peak = np.abs(y).max()
+    if peak > 0:
+        y = y / peak
+    return y
+
+
+@dataclass(frozen=True)
+class LoudspeakerSource:
+    """A mechanical speaker replaying a recorded human utterance."""
+
+    voice: HumanSpeaker
+    model: LoudspeakerModel = SONY_SRS_X5
+    name: str = "loudspeaker"
+
+    def emit(
+        self,
+        wake_word: str,
+        sample_rate: int,
+        rng: np.random.Generator,
+    ) -> SourceRendering:
+        """Replay one recorded utterance of the wake word."""
+        recorded = synthesize_wake_word(wake_word, self.voice.profile, sample_rate, rng)
+        waveform = replay_channel(recorded, sample_rate, self.model, rng)
+        return SourceRendering(
+            waveform=waveform,
+            sample_rate=sample_rate,
+            directivity=loudspeaker_directivity(),
+            is_live_human=False,
+            label=f"{self.name}:{self.model.name}",
+        )

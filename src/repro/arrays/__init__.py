@@ -1,0 +1,25 @@
+"""Microphone-array geometry substrate."""
+
+from .devices import (
+    SAMPLE_RATE,
+    all_devices,
+    default_channel_subset,
+    get_device,
+    make_d1,
+    make_d2,
+    make_d3,
+)
+from .geometry import SPEED_OF_SOUND, MicArray, circular_positions
+
+__all__ = [
+    "SAMPLE_RATE",
+    "SPEED_OF_SOUND",
+    "MicArray",
+    "all_devices",
+    "circular_positions",
+    "default_channel_subset",
+    "get_device",
+    "make_d1",
+    "make_d2",
+    "make_d3",
+]

@@ -1,0 +1,184 @@
+"""Microphone-array geometry.
+
+A :class:`MicArray` holds the 3-D positions of the microphones of a
+prototype device, provides pairwise geometry (distances, maximum aperture)
+and the steering-delay computations needed by the delay-and-sum beamformer
+and the SRP-PHAT feature extractor.
+
+All positions are in meters, in a right-handed coordinate frame where the
+array centroid sits at the local origin and ``+x`` points toward the
+device's nominal "front".
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+SPEED_OF_SOUND = 343.0
+"""Speed of sound in air at ~20 C (m/s)."""
+
+
+@dataclass(frozen=True)
+class MicArray:
+    """Geometry of one microphone array.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name (e.g. ``"D2"``).
+    positions:
+        ``(n_mics, 3)`` array of microphone coordinates, meters, relative
+        to the array centroid.
+    sample_rate:
+        Native capture rate in Hz (the paper records at 48 kHz).
+    """
+
+    name: str
+    positions: np.ndarray
+    sample_rate: int = 48_000
+    description: str = ""
+    _pos: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(
+                f"positions must have shape (n_mics, 3), got {pos.shape}"
+            )
+        if pos.shape[0] < 2:
+            raise ValueError("an array needs at least two microphones")
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        pos = pos - pos.mean(axis=0)
+        pos.setflags(write=False)
+        object.__setattr__(self, "positions", pos)
+
+    @property
+    def n_mics(self) -> int:
+        """Number of microphones in the array."""
+        return int(self.positions.shape[0])
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Array centroid (always the local origin by construction)."""
+        return self.positions.mean(axis=0)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All unordered microphone index pairs ``(i, j)`` with ``i < j``."""
+        return list(itertools.combinations(range(self.n_mics), 2))
+
+    def pair_distance(self, i: int, j: int) -> float:
+        """Euclidean distance between microphones *i* and *j* in meters."""
+        return float(np.linalg.norm(self.positions[i] - self.positions[j]))
+
+    @property
+    def aperture(self) -> float:
+        """Largest inter-microphone distance in meters."""
+        return max(self.pair_distance(i, j) for i, j in self.pairs())
+
+    def max_delay_seconds(self, speed_of_sound: float = SPEED_OF_SOUND) -> float:
+        """Largest possible inter-mic time difference of arrival (seconds)."""
+        return self.aperture / speed_of_sound
+
+    def max_delay_samples(self, speed_of_sound: float = SPEED_OF_SOUND) -> int:
+        """Largest possible TDoA in samples at the native rate (ceil)."""
+        return math.ceil(self.max_delay_seconds(speed_of_sound) * self.sample_rate)
+
+    def subset(self, channels: list[int] | tuple[int, ...], name: str | None = None) -> "MicArray":
+        """Return a new array using only the given channel indices."""
+        channels = list(channels)
+        if len(channels) < 2:
+            raise ValueError("a subset needs at least two channels")
+        if len(set(channels)) != len(channels):
+            raise ValueError(f"duplicate channels in subset: {channels}")
+        for ch in channels:
+            if not 0 <= ch < self.n_mics:
+                raise ValueError(f"channel {ch} out of range for {self.name}")
+        sub_name = name or f"{self.name}[{','.join(str(c) for c in channels)}]"
+        return MicArray(
+            name=sub_name,
+            positions=self.positions[channels],
+            sample_rate=self.sample_rate,
+            description=f"subset of {self.name}",
+        )
+
+    def max_aperture_subset(self, n_channels: int) -> list[int]:
+        """Pick ``n_channels`` channel indices maximizing mutual spread.
+
+        The paper (Section IV-B6) selects microphones "in an order that
+        results in the greatest distance among them" because larger spacing
+        yields longer inter-mic delays.  We reproduce that with a greedy
+        farthest-point selection seeded by the single farthest pair.
+        """
+        if not 2 <= n_channels <= self.n_mics:
+            raise ValueError(
+                f"n_channels must be in [2, {self.n_mics}], got {n_channels}"
+            )
+        best_pair = max(self.pairs(), key=lambda p: self.pair_distance(*p))
+        chosen = [best_pair[0], best_pair[1]]
+        while len(chosen) < n_channels:
+            remaining = [c for c in range(self.n_mics) if c not in chosen]
+            # Farthest-point: maximize the minimum distance to the chosen set.
+            nxt = max(
+                remaining,
+                key=lambda c: min(self.pair_distance(c, k) for k in chosen),
+            )
+            chosen.append(nxt)
+        return sorted(chosen)
+
+    def steering_delays(
+        self,
+        source_position: np.ndarray,
+        array_position: np.ndarray | None = None,
+        speed_of_sound: float = SPEED_OF_SOUND,
+    ) -> np.ndarray:
+        """Per-microphone propagation delays from a point source (seconds).
+
+        Parameters
+        ----------
+        source_position:
+            ``(3,)`` world-frame source location.
+        array_position:
+            World-frame location of the array centroid; local frame if None.
+        """
+        source = np.asarray(source_position, dtype=float)
+        if source.shape != (3,):
+            raise ValueError(f"source_position must be shape (3,), got {source.shape}")
+        origin = np.zeros(3) if array_position is None else np.asarray(array_position, dtype=float)
+        mic_world = self.positions + origin
+        dists = np.linalg.norm(mic_world - source, axis=1)
+        return dists / speed_of_sound
+
+    def tdoa(
+        self,
+        source_position: np.ndarray,
+        pair: tuple[int, int],
+        array_position: np.ndarray | None = None,
+        speed_of_sound: float = SPEED_OF_SOUND,
+    ) -> float:
+        """Time difference of arrival ``delay_i - delay_j`` for a mic pair."""
+        delays = self.steering_delays(source_position, array_position, speed_of_sound)
+        i, j = pair
+        return float(delays[i] - delays[j])
+
+
+def circular_positions(
+    n_mics: int, radius: float, z: float = 0.0, start_angle: float = 0.0
+) -> np.ndarray:
+    """Positions of ``n_mics`` microphones evenly spaced on a circle.
+
+    ``start_angle`` is in radians measured from +x toward +y.
+    """
+    if n_mics < 1:
+        raise ValueError("n_mics must be >= 1")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    angles = start_angle + 2.0 * np.pi * np.arange(n_mics) / n_mics
+    return np.stack(
+        [radius * np.cos(angles), radius * np.sin(angles), np.full(n_mics, z)],
+        axis=1,
+    )

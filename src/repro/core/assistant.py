@@ -1,0 +1,109 @@
+"""The complete always-listening assistant.
+
+Composes the full Figure-2 chain the way a deployment would run it:
+
+1. the :class:`~repro.core.wakeword.WakeWordSpotter` scans incoming
+   audio for an enrolled wake word (this is the "processed locally"
+   stage every VA already has);
+2. on detection, the capture goes to the privacy controller, which —
+   in HeadTalk mode — runs the liveness + orientation pipeline and
+   either opens a cloud session or soft-mutes.
+
+Audio that never triggers the spotter is dropped on the device, exactly
+like a stock VA; HeadTalk only adds its gate *after* wake-word
+detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..acoustics.propagation import Capture
+from ..dsp.segmenter import SegmenterConfig, extract_segments, segment_stream
+from .controller import AuditEvent, EventKind, Mode, VoiceAssistantController
+from .pipeline import HeadTalkPipeline
+from .wakeword import Detection, WakeWordSpotter
+
+
+@dataclass(frozen=True)
+class UtteranceOutcome:
+    """What happened to one incoming utterance."""
+
+    spotted: bool
+    detection: Detection | None
+    event: AuditEvent | None
+
+    @property
+    def uploaded(self) -> bool:
+        """Whether any audio left the device for the cloud."""
+        if self.event is None:
+            return False
+        return self.event.kind in (EventKind.UPLOADED, EventKind.SESSION_COMMAND)
+
+
+@dataclass
+class AlwaysOnAssistant:
+    """Spotter + privacy controller, wired end to end.
+
+    The spotter must be enrolled (``assistant.spotter.enroll(...)``)
+    and the pipeline's detectors trained before use.
+    """
+
+    pipeline: HeadTalkPipeline
+    spotter: WakeWordSpotter = field(default_factory=WakeWordSpotter)
+    controller: VoiceAssistantController = None
+
+    def __post_init__(self) -> None:
+        if self.controller is None:
+            self.controller = VoiceAssistantController(pipeline=self.pipeline)
+
+    @property
+    def mode(self) -> Mode:
+        """Current privacy mode."""
+        return self.controller.mode
+
+    def hear(self, capture: Capture, now: float = 0.0) -> UtteranceOutcome:
+        """Process one utterance as the always-on loop would.
+
+        The spotter listens on the first channel; only a recognized wake
+        word reaches the privacy controller.  In MUTE mode nothing is
+        processed at all (microphones are off).
+        """
+        if self.controller.mode is Mode.MUTE:
+            event = self.controller.on_wake_word(capture, now=now)
+            return UtteranceOutcome(spotted=False, detection=None, event=event)
+        detection = self.spotter.detect(capture.channels[0], capture.sample_rate)
+        if not detection.detected:
+            # Background speech: dropped on-device, nothing logged.
+            return UtteranceOutcome(spotted=False, detection=detection, event=None)
+        event = self.controller.on_wake_word(capture, now=now)
+        return UtteranceOutcome(spotted=True, detection=detection, event=event)
+
+    def hear_stream(
+        self,
+        channels: np.ndarray,
+        sample_rate: int,
+        start_time: float = 0.0,
+        segmenter: SegmenterConfig | None = None,
+    ) -> list[UtteranceOutcome]:
+        """Process a continuous multi-channel stream.
+
+        The stream is segmented into candidate utterances (energy VAD
+        with hysteresis on the first channel) and each segment goes
+        through :meth:`hear` with its wall-clock offset, so session
+        timing matches the audio timeline.
+        """
+        stream = np.atleast_2d(np.asarray(channels, dtype=float))
+        segments = segment_stream(stream[0], sample_rate, segmenter)
+        outcomes = []
+        for segment, chunk in zip(segments, extract_segments(stream, segments)):
+            capture = Capture(channels=chunk, sample_rate=sample_rate)
+            now = start_time + segment.start / sample_rate
+            outcomes.append(self.hear(capture, now=now))
+        return outcomes
+
+    def uploaded_count(self) -> int:
+        """Total cloud uploads so far."""
+        return self.controller.uploaded_count()

@@ -1,0 +1,198 @@
+"""Privacy-control state machine (Figure 1).
+
+A VA runs in one of three modes:
+
+- **NORMAL** — classic behaviour: every detected wake word opens a cloud
+  session.
+- **MUTE** — the hardware mute button: microphones off, nothing is
+  processed (the speaker keeps playing media but cannot hear commands).
+- **HEADTALK** — wake words are gated by the HeadTalk pipeline; a
+  rejected wake word *soft mutes* (no audio leaves the device, media
+  keeps playing), and an accepted one opens a session during which
+  follow-up commands need no re-check ("once the wake word is detected
+  while facing forward, the user does not need to continuously face the
+  device for the remaining session").
+
+Mode changes arrive as voice commands ("enter HeadTalk mode") or the
+physical mute button.  Every event is recorded in an audit log so the
+examples and the user-study simulation can show exactly what audio
+would / would not have been uploaded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..acoustics.propagation import Capture
+from .pipeline import ACCEPT, Decision, HeadTalkPipeline
+
+
+class Mode(enum.Enum):
+    """Operating modes of the privacy control."""
+
+    NORMAL = "normal"
+    MUTE = "mute"
+    HEADTALK = "headtalk"
+
+
+class EventKind(enum.Enum):
+    """What happened to a piece of audio (audit-log entries)."""
+
+    UPLOADED = "uploaded"
+    SOFT_MUTED = "soft-muted"
+    HARD_MUTED = "hard-muted"
+    SESSION_COMMAND = "session-command"
+    MODE_CHANGE = "mode-change"
+
+
+ENTER_HEADTALK = "enter headtalk mode"
+EXIT_HEADTALK = "exit headtalk mode"
+DELETE_HISTORY = "delete everything i said"
+
+
+@dataclass(frozen=True)
+class CloudRecording:
+    """One piece of audio the cloud service retains."""
+
+    time: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One entry of the privacy audit log."""
+
+    time: float
+    kind: EventKind
+    mode: Mode
+    detail: str
+    decision: Decision | None = None
+
+
+@dataclass
+class VoiceAssistantController:
+    """A VA front-end with the HeadTalk privacy control installed.
+
+    Time is injected (``now`` arguments) so sessions are deterministic in
+    tests and simulations.
+    """
+
+    pipeline: HeadTalkPipeline
+    mode: Mode = Mode.NORMAL
+    audit_log: list[AuditEvent] = field(default_factory=list)
+    cloud_recordings: list[CloudRecording] = field(default_factory=list)
+    _session_expiry: float = field(default=float("-inf"), repr=False)
+
+    @property
+    def session_active(self) -> bool:
+        """Whether a facing-verified session is currently open."""
+        return self._session_expiry > float("-inf")
+
+    def session_open_at(self, now: float) -> bool:
+        """Whether a session is open at the given time."""
+        return now < self._session_expiry
+
+    def press_mute_button(self, now: float = 0.0) -> Mode:
+        """Toggle the hardware mute button."""
+        self.mode = Mode.NORMAL if self.mode is Mode.MUTE else Mode.MUTE
+        self._session_expiry = float("-inf")
+        self._log(now, EventKind.MODE_CHANGE, f"mute button -> {self.mode.value}")
+        return self.mode
+
+    def voice_command(self, text: str, now: float = 0.0) -> Mode:
+        """Apply a recognized mode-change voice command."""
+        normalized = text.strip().lower()
+        if self.mode is Mode.MUTE:
+            self._log(now, EventKind.HARD_MUTED, f"ignored while muted: {text!r}")
+            return self.mode
+        if normalized == ENTER_HEADTALK:
+            self.mode = Mode.HEADTALK
+            self._session_expiry = float("-inf")
+            self._log(now, EventKind.MODE_CHANGE, "entered HeadTalk mode")
+        elif normalized == EXIT_HEADTALK:
+            self.mode = Mode.NORMAL
+            self._session_expiry = float("-inf")
+            self._log(now, EventKind.MODE_CHANGE, "exited HeadTalk mode")
+        elif normalized == DELETE_HISTORY:
+            self.delete_history(now)
+        else:
+            raise ValueError(f"unrecognized mode command {text!r}")
+        return self.mode
+
+    def delete_history(self, now: float = 0.0) -> int:
+        """The classic retroactive control: delete cloud recordings.
+
+        This is the existing privacy mechanism the paper's user study
+        compares HeadTalk against — it only helps *after* audio has
+        already left the device.  Returns how many recordings were
+        deleted.  The on-device audit log is untouched (it never left
+        the device).
+        """
+        deleted = len(self.cloud_recordings)
+        self.cloud_recordings.clear()
+        self._log(
+            now, EventKind.MODE_CHANGE, f"deleted {deleted} cloud recordings"
+        )
+        return deleted
+
+    def on_wake_word(self, capture: Capture, now: float = 0.0) -> AuditEvent:
+        """Handle a detected wake-word capture according to the mode."""
+        if self.mode is Mode.MUTE:
+            return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
+        if self.mode is Mode.NORMAL:
+            return self._log(now, EventKind.UPLOADED, "normal mode: wake word uploaded")
+
+        # HEADTALK mode.
+        if self.session_open_at(now):
+            return self._log(
+                now, EventKind.SESSION_COMMAND, "within facing-verified session"
+            )
+        decision = self.pipeline.evaluate(capture)
+        if decision.accepted:
+            self._session_expiry = now + self.pipeline.config.session_seconds
+            return self._log(
+                now,
+                EventKind.UPLOADED,
+                "facing live human: session opened",
+                decision,
+            )
+        return self._log(
+            now,
+            EventKind.SOFT_MUTED,
+            f"rejected ({decision.reason}); device stays functional",
+            decision,
+        )
+
+    def on_followup_audio(self, now: float = 0.0) -> AuditEvent:
+        """Handle post-wake command audio (no wake word)."""
+        if self.mode is Mode.MUTE:
+            return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
+        if self.mode is Mode.NORMAL:
+            return self._log(now, EventKind.UPLOADED, "normal mode: command uploaded")
+        if self.session_open_at(now):
+            return self._log(now, EventKind.SESSION_COMMAND, "session command uploaded")
+        return self._log(
+            now, EventKind.SOFT_MUTED, "no open session: command not uploaded"
+        )
+
+    def uploaded_count(self) -> int:
+        """How many audit events sent audio to the cloud."""
+        uploading = {EventKind.UPLOADED, EventKind.SESSION_COMMAND}
+        return sum(1 for event in self.audit_log if event.kind in uploading)
+
+    def _log(
+        self,
+        now: float,
+        kind: EventKind,
+        detail: str,
+        decision: Decision | None = None,
+    ) -> AuditEvent:
+        event = AuditEvent(
+            time=now, kind=kind, mode=self.mode, detail=detail, decision=decision
+        )
+        self.audit_log.append(event)
+        if kind in (EventKind.UPLOADED, EventKind.SESSION_COMMAND):
+            # Mirror what the manufacturer's cloud now retains.
+            self.cloud_recordings.append(CloudRecording(time=now, detail=detail))
+        return event

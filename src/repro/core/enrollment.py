@@ -1,0 +1,144 @@
+"""Enrollment: turning collected utterances into a trained detector.
+
+Bridges the dataset layer and the orientation model: applies the chosen
+facing definition to angle-labelled utterances (excluding soft-boundary
+angles), extracts features and fits the classifier.  Also exposes the
+self-training refresh used for temporal drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arrays.geometry import MicArray
+from ..ml.incremental import select_high_confidence
+from .config import FACING, DEFAULT_DEFINITION, FacingDefinition, ground_truth_label
+from .features import OrientationFeatureExtractor
+from .orientation import OrientationDetector
+from .preprocessing import DenoisedAudio
+
+
+@dataclass
+class EnrollmentSet:
+    """Feature matrix + labels assembled under a facing definition."""
+
+    X: np.ndarray
+    labels: np.ndarray
+    angles: np.ndarray
+    n_excluded: int
+
+    @property
+    def n_samples(self) -> int:
+        """Number of usable training samples."""
+        return int(self.X.shape[0])
+
+
+def build_enrollment_set(
+    audios: list[DenoisedAudio],
+    angles_deg: list[float] | np.ndarray,
+    extractor: OrientationFeatureExtractor,
+    definition: FacingDefinition = DEFAULT_DEFINITION,
+) -> EnrollmentSet:
+    """Extract features and labels, dropping excluded (boundary) angles."""
+    if len(audios) != len(angles_deg):
+        raise ValueError("audios and angles must align")
+    if not audios:
+        raise ValueError("no enrollment utterances")
+    rows: list[np.ndarray] = []
+    labels: list[str] = []
+    kept_angles: list[float] = []
+    n_excluded = 0
+    for audio, angle in zip(audios, angles_deg):
+        label = definition.training_label(float(angle))
+        if label is None:
+            n_excluded += 1
+            continue
+        rows.append(extractor.extract(audio))
+        labels.append(label)
+        kept_angles.append(float(angle))
+    if not rows:
+        raise ValueError("every enrollment angle was excluded by the definition")
+    return EnrollmentSet(
+        X=np.stack(rows),
+        labels=np.asarray(labels),
+        angles=np.asarray(kept_angles),
+        n_excluded=n_excluded,
+    )
+
+
+def ground_truth_labels(angles_deg: np.ndarray) -> np.ndarray:
+    """System-level facing ground truth for arbitrary test angles."""
+    return np.asarray([ground_truth_label(float(a)) for a in np.asarray(angles_deg)])
+
+
+@dataclass
+class Enrollment:
+    """Manages a user's orientation training data and model lifecycle."""
+
+    array: MicArray
+    definition: FacingDefinition = DEFAULT_DEFINITION
+    backend: str = "svm"
+    random_state: int = 0
+    extractor: OrientationFeatureExtractor | None = None
+    detector: OrientationDetector | None = None
+    _X: np.ndarray | None = field(default=None, repr=False)
+    _labels: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.extractor is None:
+            self.extractor = OrientationFeatureExtractor(self.array)
+
+    def enroll(
+        self, audios: list[DenoisedAudio], angles_deg: list[float] | np.ndarray
+    ) -> OrientationDetector:
+        """Initial enrollment: build the training set and fit the model."""
+        enrollment_set = build_enrollment_set(
+            audios, angles_deg, self.extractor, self.definition
+        )
+        self._X = enrollment_set.X
+        self._labels = enrollment_set.labels
+        self.detector = OrientationDetector(
+            backend=self.backend, random_state=self.random_state
+        )
+        self.detector.fit(self._X, self._labels)
+        return self.detector
+
+    def refresh(
+        self,
+        audios: list[DenoisedAudio],
+        n_to_add: int,
+        confidence_threshold: float = 0.8,
+    ) -> int:
+        """Absorb high-confidence new samples and retrain (Section IV-B9).
+
+        Returns the number of pseudo-labelled samples added.
+        """
+        if self.detector is None or self._X is None:
+            raise RuntimeError("enroll before refresh")
+        if n_to_add < 0:
+            raise ValueError("n_to_add must be >= 0")
+        X_new_full = self.extractor.extract_batch(audios)
+        X_new = self.detector.scaler.transform(X_new_full)
+        rows, labels = select_high_confidence(
+            self.detector.model, X_new, confidence_threshold
+        )
+        if rows.size > n_to_add:
+            proba = self.detector.model.predict_proba(X_new[rows])
+            order = np.argsort(-proba.max(axis=1), kind="stable")[:n_to_add]
+            rows, labels = rows[order], labels[order]
+        if rows.size == 0:
+            return 0
+        self._X = np.vstack([self._X, X_new_full[rows]])
+        self._labels = np.concatenate([self._labels, labels])
+        self.detector = OrientationDetector(
+            backend=self.backend, random_state=self.random_state
+        )
+        self.detector.fit(self._X, self._labels)
+        return int(rows.size)
+
+    @property
+    def n_training_samples(self) -> int:
+        """Current size of the training pool."""
+        return 0 if self._X is None else int(self._X.shape[0])

@@ -1,0 +1,172 @@
+"""Orientation feature extraction (Section III-B3).
+
+From the denoised multi-channel audio, extract:
+
+**Speech reverberation features**
+
+- the per-pair GCC-PHAT lag windows, sized to the array aperture
+  (e.g. 6 pairs x 27 lags + 6 TDoA values = 168 values for D2);
+- the weighted SRP-PHAT lag curve's top-3 peak values (reverberation
+  produces 3-4 peaks whose ranking flips between facing/non-facing);
+- five-statistic summaries (kurtosis, skewness, max, MAD, std) of the
+  SRP curve and of the pooled GCC values.
+
+**Speech directivity features**
+
+- the high-low band ratio (HLBR) between 500-4000 Hz and 100-400 Hz;
+- (mean, RMS, std) over 20 equal chunks of the low band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arrays.geometry import MicArray
+from ..dsp.gcc import pairwise_gcc
+from ..dsp.spectral import high_low_band_ratio, low_band_chunk_stats
+from ..dsp.srp import srp_max_lag_for
+from ..dsp.stats import summary_vector, top_k_peaks
+from ..dsp.stft import mean_power_spectrum
+from .preprocessing import DenoisedAudio
+
+N_SRP_PEAKS = 3
+N_LOW_BAND_CHUNKS = 20
+
+
+@dataclass(frozen=True)
+class OrientationFeatureExtractor:
+    """Feature extractor bound to one array geometry.
+
+    Parameters
+    ----------
+    array:
+        The (possibly channel-subset) microphone array whose geometry
+        sizes the GCC/SRP lag windows.
+    """
+
+    array: MicArray
+
+    @property
+    def max_lag(self) -> int:
+        """Half-window of correlation lags (12/13/10 for D1/D2/D3)."""
+        return srp_max_lag_for(self.array)
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        """Microphone pairs used for cross-correlation."""
+        return self.array.pairs()
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the extracted feature vector."""
+        n_pairs = len(self.pairs)
+        window = 2 * self.max_lag + 1
+        gcc_block = n_pairs * window + n_pairs  # windows + TDoAs
+        stats_block = 2 * 5  # SRP summary + GCC summary
+        directivity_block = 1 + 3 * N_LOW_BAND_CHUNKS
+        return gcc_block + N_SRP_PEAKS + stats_block + directivity_block
+
+    def feature_groups(self) -> dict[str, slice]:
+        """Index ranges of the semantic feature blocks.
+
+        Keys: ``gcc`` (per-pair correlation windows + TDoAs), ``srp``
+        (top-3 SRP peaks + SRP summary statistics), ``stats`` (pooled
+        GCC statistics), ``directivity`` (HLBR + low-band chunk stats).
+        Used by the feature-ablation experiment.
+        """
+        n_pairs = len(self.pairs)
+        window = 2 * self.max_lag + 1
+        gcc_end = n_pairs * window + n_pairs
+        srp_end = gcc_end + N_SRP_PEAKS + 5
+        stats_end = srp_end + 5
+        return {
+            "gcc": slice(0, gcc_end),
+            "srp": slice(gcc_end, srp_end),
+            "stats": slice(srp_end, stats_end),
+            "directivity": slice(stats_end, self.n_features),
+        }
+
+    def extract(self, audio: DenoisedAudio) -> np.ndarray:
+        """Feature vector for one denoised utterance."""
+        channels = np.asarray(audio.channels, dtype=float)
+        if channels.ndim != 2 or channels.shape[0] != self.array.n_mics:
+            raise ValueError(
+                f"expected {self.array.n_mics} channels, got shape {channels.shape}"
+            )
+        if channels.shape[1] < 4 * (self.max_lag + 1):
+            raise ValueError("utterance too short for correlation analysis")
+
+        gcc = pairwise_gcc(channels, self.pairs, self.max_lag)
+        tdoa_samples = np.argmax(gcc, axis=1) - (gcc.shape[1] - 1) // 2
+        tdoas = tdoa_samples / self.array.sample_rate
+
+        srp = gcc.sum(axis=0)
+        srp_peaks = top_k_peaks(srp, N_SRP_PEAKS)
+        srp_stats = summary_vector(srp)
+        gcc_stats = summary_vector(gcc)
+
+        freqs, power = mean_power_spectrum(audio.reference, audio.sample_rate)
+        hlbr = high_low_band_ratio(freqs, power)
+        chunks = low_band_chunk_stats(freqs, power, n_chunks=N_LOW_BAND_CHUNKS)
+
+        features = np.concatenate(
+            [
+                gcc.ravel(),
+                tdoas,
+                srp_peaks,
+                srp_stats,
+                gcc_stats,
+                [hlbr],
+                chunks,
+            ]
+        )
+        if features.size != self.n_features:
+            raise AssertionError(
+                f"feature size {features.size} != declared {self.n_features}"
+            )
+        return features
+
+    def extract_batch(self, audios: list[DenoisedAudio]) -> np.ndarray:
+        """Feature matrix ``(n_utterances, n_features)``."""
+        if not audios:
+            raise ValueError("no utterances given")
+        return np.stack([self.extract(a) for a in audios])
+
+
+@dataclass(frozen=True)
+class GccOnlyFeatureExtractor:
+    """Baseline extractor: GCC-PHAT features only (Ahuja et al. style).
+
+    Used by the DoV comparison experiment (E19): the paper attributes its
+    ~3% edge to SRP-PHAT + directivity features; this baseline drops
+    them, keeping only the per-pair GCC windows and TDoAs.
+    """
+
+    array: MicArray
+
+    @property
+    def max_lag(self) -> int:
+        """Half-window of correlation lags."""
+        return srp_max_lag_for(self.array)
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the baseline feature vector."""
+        n_pairs = len(self.array.pairs())
+        return n_pairs * (2 * self.max_lag + 1) + n_pairs
+
+    def extract(self, audio: DenoisedAudio) -> np.ndarray:
+        """GCC windows + TDoAs for one utterance."""
+        channels = np.asarray(audio.channels, dtype=float)
+        gcc = pairwise_gcc(channels, self.array.pairs(), self.max_lag)
+        tdoa_samples = np.argmax(gcc, axis=1) - (gcc.shape[1] - 1) // 2
+        tdoas = tdoa_samples / self.array.sample_rate
+        return np.concatenate([gcc.ravel(), tdoas])
+
+    def extract_batch(self, audios: list[DenoisedAudio]) -> np.ndarray:
+        """Feature matrix ``(n_utterances, n_features)``."""
+        if not audios:
+            raise ValueError("no utterances given")
+        return np.stack([self.extract(a) for a in audios])

@@ -1,0 +1,102 @@
+"""Speaker-orientation detector.
+
+Wraps feature scaling and the classifier backend (SVM by default, with
+RF/DT/kNN baselines for the model-selection experiment) behind a
+facing / non-facing API over feature vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.base import Classifier
+from ..ml.decision_tree import DecisionTreeClassifier
+from ..ml.knn import KNeighborsClassifier
+from ..ml.logistic import LogisticRegression
+from ..ml.random_forest import RandomForestClassifier
+from ..ml.scaler import StandardScaler
+from ..ml.svm import SVC
+from .config import FACING, NON_FACING
+
+
+def make_backend(name: str, random_state: int = 0) -> Classifier:
+    """Classifier backends the paper compares (Section IV-A).
+
+    ``"svm"`` — RBF SVC (the selected model); ``"rf"`` — 200-tree bagged
+    forest; ``"dt"`` — CART with at most 5 splits; ``"knn"`` — k=3.
+    ``"lr"`` (extension, not in the paper) — L2 logistic regression, the
+    calibrated-by-construction baseline.
+    """
+    name = name.lower()
+    if name == "svm":
+        return SVC(C=10.0, kernel="rbf", gamma="scale", random_state=random_state)
+    if name == "rf":
+        return RandomForestClassifier(n_estimators=200, random_state=random_state)
+    if name == "dt":
+        return DecisionTreeClassifier(max_splits=5, random_state=random_state)
+    if name == "knn":
+        return KNeighborsClassifier(n_neighbors=3)
+    if name == "lr":
+        return LogisticRegression(l2=1.0)
+    raise ValueError(f"unknown backend {name!r}; expected svm/rf/dt/knn/lr")
+
+
+BACKEND_NAMES = ("svm", "rf", "dt", "knn")
+
+
+@dataclass
+class OrientationDetector:
+    """Facing / non-facing classifier over orientation features.
+
+    Parameters
+    ----------
+    backend:
+        One of ``svm`` (default), ``rf``, ``dt``, ``knn``.
+    """
+
+    backend: str = "svm"
+    random_state: int = 0
+    scaler: StandardScaler = field(default_factory=StandardScaler)
+    model: Classifier | None = None
+
+    def fit(self, X: np.ndarray, labels: np.ndarray) -> "OrientationDetector":
+        """Train on feature vectors with FACING/NON_FACING labels."""
+        labels = np.asarray(labels)
+        valid = {FACING, NON_FACING}
+        seen = set(np.unique(labels).tolist())
+        if not seen <= valid:
+            raise ValueError(f"labels must be in {valid}, got {seen}")
+        if len(seen) < 2:
+            raise ValueError("training data must contain both classes")
+        X_scaled = self.scaler.fit_transform(np.asarray(X, dtype=float))
+        self.model = make_backend(self.backend, self.random_state)
+        self.model.fit(X_scaled, labels)
+        return self
+
+    def _require_model(self) -> Classifier:
+        if self.model is None:
+            raise RuntimeError("OrientationDetector has not been fitted")
+        return self.model
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """FACING/NON_FACING label per feature vector."""
+        model = self._require_model()
+        return model.predict(self.scaler.transform(np.asarray(X, dtype=float)))
+
+    def facing_probability(self, X: np.ndarray) -> np.ndarray:
+        """P(facing) per feature vector."""
+        model = self._require_model()
+        proba = model.predict_proba(self.scaler.transform(np.asarray(X, dtype=float)))
+        column = int(np.nonzero(model.classes_ == FACING)[0][0])
+        return proba[:, column]
+
+    def is_facing(self, features: np.ndarray, threshold: float = 0.5) -> bool:
+        """Decision for a single utterance's feature vector."""
+        vector = np.asarray(features, dtype=float).reshape(1, -1)
+        return bool(self.facing_probability(vector)[0] >= threshold)
+
+    def score(self, X: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy against FACING/NON_FACING ground truth."""
+        return float(np.mean(self.predict(X) == np.asarray(labels)))

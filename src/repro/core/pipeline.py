@@ -1,0 +1,127 @@
+"""The HeadTalk decision pipeline (Figure 2).
+
+``HeadTalkPipeline`` composes the preprocessing front-end, the liveness
+detector and the orientation detector into a single
+``evaluate(capture) -> Decision``:
+
+1. denoise + trim + normalize;
+2. reject if no speech activity;
+3. reject ("mechanical") if the liveness score is below threshold;
+4. reject ("non-facing") if the facing probability is below threshold;
+5. otherwise accept — only then would audio go to the cloud.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..acoustics.propagation import Capture
+from ..arrays.geometry import MicArray
+from .config import HeadTalkConfig
+from .features import OrientationFeatureExtractor
+from .liveness import LivenessDetector
+from .orientation import OrientationDetector
+from .preprocessing import DenoisedAudio, preprocess
+
+REJECT_NO_SPEECH = "no-speech"
+REJECT_MECHANICAL = "mechanical-source"
+REJECT_NON_FACING = "non-facing"
+ACCEPT = "accepted"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of evaluating one wake-word capture."""
+
+    accepted: bool
+    reason: str
+    liveness_score: float
+    facing_probability: float
+    liveness_ms: float
+    orientation_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end decision latency in milliseconds."""
+        return self.liveness_ms + self.orientation_ms
+
+
+@dataclass
+class HeadTalkPipeline:
+    """Liveness + orientation gate over wake-word captures.
+
+    Both detectors must be trained (see ``core.enrollment`` and
+    ``LivenessDetector.fit``) before calling :meth:`evaluate`.
+    """
+
+    array: MicArray
+    liveness: LivenessDetector
+    orientation: OrientationDetector
+    config: HeadTalkConfig = field(default_factory=HeadTalkConfig)
+    extractor: OrientationFeatureExtractor | None = None
+
+    def __post_init__(self) -> None:
+        if self.extractor is None:
+            self.extractor = OrientationFeatureExtractor(self.array)
+
+    def evaluate(self, capture: Capture, check_liveness: bool = True) -> Decision:
+        """Run the full gate for one capture."""
+        if capture.n_mics != self.array.n_mics:
+            raise ValueError(
+                f"capture has {capture.n_mics} channels, array has {self.array.n_mics}"
+            )
+        audio = preprocess(capture)
+        if not audio.had_speech:
+            return Decision(
+                accepted=False,
+                reason=REJECT_NO_SPEECH,
+                liveness_score=0.0,
+                facing_probability=0.0,
+                liveness_ms=0.0,
+                orientation_ms=0.0,
+            )
+
+        liveness_score = 1.0
+        liveness_ms = 0.0
+        if check_liveness:
+            start = time.perf_counter()
+            liveness_score = float(
+                self.liveness.scores([audio.reference], audio.sample_rate)[0]
+            )
+            liveness_ms = (time.perf_counter() - start) * 1000.0
+            if liveness_score < self.config.liveness_threshold:
+                return Decision(
+                    accepted=False,
+                    reason=REJECT_MECHANICAL,
+                    liveness_score=liveness_score,
+                    facing_probability=0.0,
+                    liveness_ms=liveness_ms,
+                    orientation_ms=0.0,
+                )
+
+        start = time.perf_counter()
+        features = self.extractor.extract(audio)
+        facing_probability = float(
+            self.orientation.facing_probability(features.reshape(1, -1))[0]
+        )
+        orientation_ms = (time.perf_counter() - start) * 1000.0
+        if facing_probability < self.config.facing_threshold:
+            return Decision(
+                accepted=False,
+                reason=REJECT_NON_FACING,
+                liveness_score=liveness_score,
+                facing_probability=facing_probability,
+                liveness_ms=liveness_ms,
+                orientation_ms=orientation_ms,
+            )
+        return Decision(
+            accepted=True,
+            reason=ACCEPT,
+            liveness_score=liveness_score,
+            facing_probability=facing_probability,
+            liveness_ms=liveness_ms,
+            orientation_ms=orientation_ms,
+        )

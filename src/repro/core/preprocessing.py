@@ -1,0 +1,58 @@
+"""Preprocessing front-end (the 'Prepossessing' block of Figure 2).
+
+Captures the wake command, removes out-of-band noise with the paper's
+fifth-order Butterworth band-pass (100 Hz - 16 kHz), trims to the active
+speech region and normalizes amplitude — producing the *denoised audio*
+consumed by both feature extractors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..acoustics.propagation import Capture
+from ..dsp.filters import headtalk_bandpass
+from ..dsp.vad import detect_activity
+
+
+@dataclass(frozen=True)
+class DenoisedAudio:
+    """Output of the preprocessing block."""
+
+    channels: np.ndarray
+    sample_rate: int
+    had_speech: bool
+
+    @property
+    def reference(self) -> np.ndarray:
+        """The first channel (used for single-channel liveness input)."""
+        return self.channels[0]
+
+
+def preprocess(
+    capture: Capture,
+    vad_threshold: float = 0.05,
+    normalize: bool = True,
+) -> DenoisedAudio:
+    """Denoise, trim and normalize a capture.
+
+    Amplitude is normalized so the loudest channel peaks at 1.0 (the
+    paper normalizes audio between -1 and 1), which removes raw loudness
+    as a trivial cue while keeping every inter-channel and spectral
+    relationship intact.
+    """
+    bandpass = headtalk_bandpass(capture.sample_rate)
+    filtered = bandpass.apply(capture.channels)
+    activity = detect_activity(filtered[0], capture.sample_rate, vad_threshold)
+    had_speech = activity.is_speech
+    if had_speech:
+        filtered = filtered[:, activity.start : activity.end]
+    if normalize:
+        peak = np.abs(filtered).max()
+        if peak > 0:
+            filtered = filtered / peak
+    return DenoisedAudio(
+        channels=filtered, sample_rate=capture.sample_rate, had_speech=had_speech
+    )

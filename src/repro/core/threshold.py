@@ -1,0 +1,107 @@
+"""Operating-point selection for the accept thresholds.
+
+The pipeline thresholds two probabilities (liveness, facing).  A
+deployment picks those thresholds against a policy: "never upload more
+than 1% of non-facing audio" (a FAR budget) or "reject at most 5% of
+honest facing requests" (an FRR budget).  These helpers turn labelled
+validation scores into such thresholds, complementing the E26
+operating-point sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.metrics import equal_error_rate
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A chosen threshold and the error rates it achieves on validation."""
+
+    threshold: float
+    far: float
+    frr: float
+    policy: str
+
+
+def _validated(y_true: np.ndarray, scores: np.ndarray):
+    y = np.asarray(y_true).astype(int)
+    s = np.asarray(scores, dtype=float)
+    if y.shape != s.shape or y.ndim != 1:
+        raise ValueError("y_true and scores must be equal-length 1-D arrays")
+    if not set(np.unique(y)) <= {0, 1}:
+        raise ValueError("y_true must be binary 0/1 (1 = accept-worthy)")
+    if y.sum() == 0 or y.sum() == y.size:
+        raise ValueError("need both positive and negative validation samples")
+    return y, s
+
+
+def _rates_at(y: np.ndarray, s: np.ndarray, threshold: float) -> tuple[float, float]:
+    accepted = s >= threshold
+    far = float(np.mean(accepted[y == 0]))
+    frr = float(np.mean(~accepted[y == 1]))
+    return far, frr
+
+
+def threshold_for_far(
+    y_true: np.ndarray, scores: np.ndarray, max_far: float
+) -> OperatingPoint:
+    """Smallest threshold whose validation FAR is within the budget.
+
+    Choosing the smallest such threshold maximizes usability (lowest
+    FRR) subject to the privacy constraint.
+    """
+    if not 0.0 <= max_far <= 1.0:
+        raise ValueError("max_far must be in [0, 1]")
+    y, s = _validated(y_true, scores)
+    candidates = np.unique(np.concatenate([s, [np.inf]]))
+    for threshold in candidates:  # ascending
+        far, frr = _rates_at(y, s, threshold)
+        if far <= max_far:
+            return OperatingPoint(
+                threshold=float(threshold), far=far, frr=frr,
+                policy=f"FAR <= {max_far:g}",
+            )
+    raise RuntimeError("unreachable: FAR at +inf is 0")
+
+
+def threshold_for_frr(
+    y_true: np.ndarray, scores: np.ndarray, max_frr: float
+) -> OperatingPoint:
+    """Largest threshold whose validation FRR is within the budget.
+
+    Choosing the largest such threshold maximizes privacy (lowest FAR)
+    subject to the usability constraint.
+    """
+    if not 0.0 <= max_frr <= 1.0:
+        raise ValueError("max_frr must be in [0, 1]")
+    y, s = _validated(y_true, scores)
+    candidates = np.unique(np.concatenate([s, [-np.inf]]))
+    for threshold in candidates[::-1]:  # descending
+        far, frr = _rates_at(y, s, threshold)
+        if frr <= max_frr:
+            return OperatingPoint(
+                threshold=float(threshold), far=far, frr=frr,
+                policy=f"FRR <= {max_frr:g}",
+            )
+    raise RuntimeError("unreachable: FRR at -inf is 0")
+
+
+def threshold_at_eer(y_true: np.ndarray, scores: np.ndarray) -> OperatingPoint:
+    """Threshold closest to the equal-error operating point."""
+    y, s = _validated(y_true, scores)
+    candidates = np.unique(s)
+    best, best_gap = None, np.inf
+    for threshold in candidates:
+        far, frr = _rates_at(y, s, threshold)
+        gap = abs(far - frr)
+        if gap < best_gap:
+            best_gap = gap
+            best = OperatingPoint(
+                threshold=float(threshold), far=far, frr=frr, policy="EER"
+            )
+    assert best is not None
+    return best

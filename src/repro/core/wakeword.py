@@ -1,0 +1,160 @@
+"""Wake-word spotting.
+
+The paper assumes the VA's existing wake-word engine ("audio is first
+processed locally until the wake keyword is recognized") and gates what
+happens *after* detection.  To make the repository a complete system, a
+lightweight spotter is provided: dynamic-time-warping template matching
+over log-filterbank frames — the classic small-footprint keyword
+spotter, adequate for simulated audio and runnable on VA-class hardware.
+
+Usage::
+
+    spotter = WakeWordSpotter()
+    spotter.enroll("computer", waveforms, sample_rate)
+    spotter.detect(capture_channel, sample_rate)   # -> Detection
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dsp.resample import to_liveness_input
+from ..dsp.stft import log_mel_like_features
+from ..dsp.vad import detect_activity
+
+SPOTTER_SAMPLE_RATE = 16_000
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray, band: int | None = None) -> float:
+    """Dynamic-time-warping distance between two feature sequences.
+
+    ``a`` and ``b`` are ``(n_frames, n_features)``; frame cost is
+    Euclidean.  A Sakoe-Chiba band of half-width ``band`` (frames)
+    bounds the warp; None allows any alignment.  The result is
+    normalized by the alignment path length so different-length words
+    are comparable.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError("sequences must be (frames, features) with equal features")
+    n, m = a.shape[0], b.shape[0]
+    if n == 0 or m == 0:
+        raise ValueError("sequences must be non-empty")
+    band = band if band is not None else max(n, m)
+    # Pairwise frame distances, vectorized.
+    a2 = np.sum(a**2, axis=1)[:, None]
+    b2 = np.sum(b**2, axis=1)[None, :]
+    cost = np.sqrt(np.maximum(a2 + b2 - 2.0 * (a @ b.T), 0.0))
+
+    accumulated = np.full((n + 1, m + 1), np.inf)
+    accumulated[0, 0] = 0.0
+    for i in range(1, n + 1):
+        j_lo = max(1, i - band)
+        j_hi = min(m, i + band)
+        for j in range(j_lo, j_hi + 1):
+            best_prev = min(
+                accumulated[i - 1, j],
+                accumulated[i, j - 1],
+                accumulated[i - 1, j - 1],
+            )
+            accumulated[i, j] = cost[i - 1, j - 1] + best_prev
+    path_length = n + m
+    return float(accumulated[n, m] / path_length)
+
+
+@dataclass(frozen=True)
+class Detection:
+    """Spotting outcome for one audio snippet."""
+
+    detected: bool
+    word: str | None
+    distance: float
+    threshold: float
+
+
+@dataclass
+class WakeWordSpotter:
+    """DTW template matcher over enrolled wake-word examples.
+
+    Parameters
+    ----------
+    n_bands:
+        Log-filterbank bands per frame.
+    band:
+        Sakoe-Chiba half-width (frames) for the DTW warp.
+    margin:
+        Detection threshold multiplier over the enrolled word's
+        self-distance spread (mean + margin * std of leave-one-out
+        template distances).
+    """
+
+    n_bands: int = 24
+    band: int = 12
+    margin: float = 2.5
+    templates: dict[str, list[np.ndarray]] = field(default_factory=dict)
+    thresholds: dict[str, float] = field(default_factory=dict)
+
+    def featurize(self, audio: np.ndarray, sample_rate: int) -> np.ndarray:
+        """One utterance -> mean-variance-normalized feature frames."""
+        x = to_liveness_input(audio, sample_rate, SPOTTER_SAMPLE_RATE)
+        activity = detect_activity(x, SPOTTER_SAMPLE_RATE)
+        if activity.is_speech:
+            x = x[activity.start : activity.end]
+        frames = log_mel_like_features(
+            x, SPOTTER_SAMPLE_RATE, n_bands=self.n_bands,
+            frame_length=400, hop_length=200,
+        )
+        mean = frames.mean(axis=0, keepdims=True)
+        std = frames.std(axis=0, keepdims=True) + 1e-9
+        return (frames - mean) / std
+
+    def enroll(
+        self, word: str, waveforms: list[np.ndarray], sample_rate: int
+    ) -> float:
+        """Store templates for a word and calibrate its threshold.
+
+        Returns the calibrated threshold (mean + margin*std of
+        leave-one-out template-to-template DTW distances).
+        """
+        if len(waveforms) < 2:
+            raise ValueError("enroll needs at least two example utterances")
+        features = [self.featurize(np.asarray(w, dtype=float), sample_rate) for w in waveforms]
+        distances = []
+        for i in range(len(features)):
+            for j in range(i + 1, len(features)):
+                distances.append(dtw_distance(features[i], features[j], self.band))
+        threshold = float(np.mean(distances) + self.margin * np.std(distances))
+        self.templates[word] = features
+        self.thresholds[word] = threshold
+        return threshold
+
+    def distance_to(self, word: str, audio: np.ndarray, sample_rate: int) -> float:
+        """Smallest DTW distance from the audio to the word's templates."""
+        if word not in self.templates:
+            raise KeyError(f"word {word!r} is not enrolled")
+        query = self.featurize(np.asarray(audio, dtype=float), sample_rate)
+        return min(
+            dtw_distance(query, template, self.band)
+            for template in self.templates[word]
+        )
+
+    def detect(self, audio: np.ndarray, sample_rate: int) -> Detection:
+        """Check the audio against every enrolled word; best match wins."""
+        if not self.templates:
+            raise RuntimeError("no wake words enrolled")
+        best_word, best_distance = None, np.inf
+        for word in self.templates:
+            distance = self.distance_to(word, audio, sample_rate)
+            if distance < best_distance:
+                best_word, best_distance = word, distance
+        threshold = self.thresholds[best_word]
+        detected = best_distance <= threshold
+        return Detection(
+            detected=detected,
+            word=best_word if detected else None,
+            distance=float(best_distance),
+            threshold=threshold,
+        )

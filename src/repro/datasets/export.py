@@ -1,0 +1,128 @@
+"""Dataset persistence (.npz).
+
+The in-process cache makes repeated experiments cheap, but PAPER-scale
+rendering takes tens of minutes and should survive the process.  These
+helpers serialize datasets to ``.npz`` without pickle: features as plain
+arrays, metadata as per-field columns, so files are portable and safe
+to share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from pathlib import Path
+
+import numpy as np
+
+from .store import LivenessDataset, OrientationDataset, UtteranceMeta
+
+_FORMAT = 1
+_META_FIELDS = [f.name for f in fields(UtteranceMeta)]
+
+
+def _meta_columns(meta: list[UtteranceMeta]) -> dict[str, np.ndarray]:
+    return {
+        f"meta_{name}": np.asarray([getattr(m, name) for m in meta])
+        for name in _META_FIELDS
+    }
+
+
+def _meta_from_columns(data, n: int) -> list[UtteranceMeta]:
+    columns = {}
+    for name in _META_FIELDS:
+        key = f"meta_{name}"
+        if key not in data:
+            raise ValueError(f"file is missing metadata column {name!r}")
+        columns[name] = data[key]
+    out = []
+    for k in range(n):
+        kwargs = {name: columns[name][k] for name in _META_FIELDS}
+        for name in ("room", "device", "wake_word", "source", "speaker",
+                     "placement", "occlusion", "timeframe", "posture"):
+            kwargs[name] = str(kwargs[name])
+        for name in ("angle_deg", "distance_m", "radial_deg", "loudness_db"):
+            kwargs[name] = float(kwargs[name])
+        for name in ("session", "repetition"):
+            kwargs[name] = int(kwargs[name])
+        out.append(UtteranceMeta(**kwargs))
+    return out
+
+
+def save_orientation_dataset(dataset: OrientationDataset, path: str | Path) -> Path:
+    """Write an orientation dataset to ``.npz``."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.array([_FORMAT]),
+        kind=np.array(["orientation"]),
+        X=dataset.X,
+        extractor_name=np.array([dataset.extractor_name]),
+        **_meta_columns(dataset.meta),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_orientation_dataset(path: str | Path) -> OrientationDataset:
+    """Read an orientation dataset written by :func:`save_orientation_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check_header(data, "orientation")
+        X = data["X"]
+        meta = _meta_from_columns(data, X.shape[0])
+        extractor_name = str(data["extractor_name"][0])
+    return OrientationDataset(X=X, meta=meta, extractor_name=extractor_name)
+
+
+def save_liveness_dataset(dataset: LivenessDataset, path: str | Path) -> Path:
+    """Write a liveness dataset to ``.npz``.
+
+    Variable-length feature matrices are concatenated along the frame
+    axis with an offsets vector, avoiding pickle.
+    """
+    path = Path(path)
+    if not dataset.features:
+        raise ValueError("cannot save an empty dataset")
+    n_bands = dataset.features[0].shape[1]
+    if any(f.shape[1] != n_bands for f in dataset.features):
+        raise ValueError("inconsistent band counts across features")
+    stacked = np.concatenate(dataset.features, axis=0)
+    offsets = np.cumsum([0] + [f.shape[0] for f in dataset.features])
+    payload = {
+        "format_version": np.array([_FORMAT]),
+        "kind": np.array(["liveness"]),
+        "stacked": stacked,
+        "offsets": offsets,
+        "labels": dataset.labels,
+    }
+    if dataset.meta:
+        payload.update(_meta_columns(dataset.meta))
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_liveness_dataset(path: str | Path) -> LivenessDataset:
+    """Read a liveness dataset written by :func:`save_liveness_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check_header(data, "liveness")
+        stacked = data["stacked"]
+        offsets = data["offsets"]
+        labels = data["labels"]
+        features = [
+            stacked[offsets[k] : offsets[k + 1]] for k in range(offsets.size - 1)
+        ]
+        meta = (
+            _meta_from_columns(data, labels.size)
+            if "meta_room" in data
+            else []
+        )
+    return LivenessDataset(features=features, labels=labels, meta=meta)
+
+
+def _check_header(data, expected_kind: str) -> None:
+    if "format_version" not in data or "kind" not in data:
+        raise ValueError("not a repro dataset file")
+    version = int(data["format_version"][0])
+    if version != _FORMAT:
+        raise ValueError(f"dataset format {version}; this build reads {_FORMAT}")
+    kind = str(data["kind"][0])
+    if kind != expected_kind:
+        raise ValueError(f"file holds a {kind} dataset, expected {expected_kind}")

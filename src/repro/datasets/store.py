@@ -1,0 +1,197 @@
+"""Dataset containers.
+
+Raw multi-channel audio at 48 kHz is too large to keep for thousands of
+utterances, so datasets store what the models consume: orientation
+feature vectors (and, for liveness corpora, log-filterbank matrices)
+plus per-utterance metadata rich enough to slice every experiment out of
+one container.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field, fields, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UtteranceMeta:
+    """Everything the experiments filter on, for one utterance."""
+
+    room: str
+    device: str
+    wake_word: str
+    angle_deg: float
+    distance_m: float
+    radial_deg: float
+    session: int
+    repetition: int
+    source: str = "human"  # "human" or "replay"
+    speaker: str = "user0"
+    loudness_db: float = 70.0
+    placement: str = "A"
+    occlusion: str = "open"
+    timeframe: str = "day"  # "day", "week", "month"
+    posture: str = "standing"
+
+    @property
+    def grid_label(self) -> str:
+        """Paper-style grid label (L1..R5)."""
+        column = {-15.0: "L", 0.0: "M", 15.0: "R"}.get(self.radial_deg, "?")
+        return f"{column}{int(round(self.distance_m))}"
+
+    @property
+    def is_live_human(self) -> bool:
+        """Whether the utterance came from a live human source."""
+        return self.source == "human"
+
+
+_META_FIELDS = {f.name for f in fields(UtteranceMeta)} | {"grid_label", "is_live_human"}
+
+
+def _matches(meta: UtteranceMeta, key: str, wanted) -> bool:
+    value = getattr(meta, key)
+    if isinstance(wanted, (list, tuple, set, frozenset, np.ndarray)):
+        return value in set(
+            wanted.tolist() if isinstance(wanted, np.ndarray) else wanted
+        )
+    return value == wanted
+
+
+@dataclass
+class OrientationDataset:
+    """Feature matrix + aligned metadata for orientation experiments."""
+
+    X: np.ndarray
+    meta: list[UtteranceMeta]
+    extractor_name: str = "headtalk"
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=float)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got {self.X.shape}")
+        if self.X.shape[0] != len(self.meta):
+            raise ValueError(
+                f"{self.X.shape[0]} feature rows but {len(self.meta)} metadata entries"
+            )
+
+    def __len__(self) -> int:
+        return len(self.meta)
+
+    def field(self, name: str) -> np.ndarray:
+        """Metadata column as an array (e.g. ``field('angle_deg')``)."""
+        if name not in _META_FIELDS:
+            raise ValueError(f"unknown metadata field {name!r}")
+        return np.asarray([getattr(m, name) for m in self.meta])
+
+    @property
+    def angles(self) -> np.ndarray:
+        """Head angles in degrees."""
+        return self.field("angle_deg")
+
+    def mask(self, **filters) -> np.ndarray:
+        """Boolean mask of utterances matching all filters.
+
+        Filter values may be scalars or collections (membership test),
+        e.g. ``mask(room="lab", session=[0, 1])``.
+        """
+        for key in filters:
+            if key not in _META_FIELDS:
+                raise ValueError(f"unknown filter field {key!r}")
+        out = np.ones(len(self.meta), dtype=bool)
+        for key, wanted in filters.items():
+            out &= np.asarray([_matches(m, key, wanted) for m in self.meta])
+        return out
+
+    def subset(self, **filters) -> "OrientationDataset":
+        """New dataset containing only the matching utterances."""
+        mask = self.mask(**filters)
+        return self.take(np.nonzero(mask)[0])
+
+    def take(self, rows: np.ndarray) -> "OrientationDataset":
+        """New dataset with the given row indices."""
+        rows = np.asarray(rows, dtype=int)
+        return OrientationDataset(
+            X=self.X[rows],
+            meta=[self.meta[int(r)] for r in rows],
+            extractor_name=self.extractor_name,
+        )
+
+    def split_by(self, name: str) -> dict:
+        """Partition by a metadata field; returns {value: dataset}."""
+        values = self.field(name)
+        return {
+            value: self.take(np.nonzero(values == value)[0])
+            for value in np.unique(values)
+        }
+
+    def concat(self, other: "OrientationDataset") -> "OrientationDataset":
+        """Concatenate two datasets with matching feature spaces."""
+        if self.X.shape[1] != other.X.shape[1]:
+            raise ValueError("feature dimensions differ")
+        return OrientationDataset(
+            X=np.vstack([self.X, other.X]),
+            meta=self.meta + other.meta,
+            extractor_name=self.extractor_name,
+        )
+
+    def session_split(
+        self, train_session: int
+    ) -> tuple["OrientationDataset", "OrientationDataset"]:
+        """Cross-session split: train on one session, test on the rest."""
+        sessions = self.field("session")
+        if train_session not in sessions:
+            raise ValueError(f"session {train_session} not present")
+        train_mask = sessions == train_session
+        if train_mask.all():
+            raise ValueError("dataset has a single session; cannot cross-split")
+        return self.take(np.nonzero(train_mask)[0]), self.take(np.nonzero(~train_mask)[0])
+
+
+@dataclass
+class LivenessDataset:
+    """Log-filterbank features + live/replay labels for liveness work."""
+
+    features: list[np.ndarray]
+    labels: np.ndarray
+    meta: list[UtteranceMeta] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=int)
+        if self.labels.shape[0] != len(self.features):
+            raise ValueError("labels and features must align")
+        if self.meta and len(self.meta) != len(self.features):
+            raise ValueError("meta and features must align")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def take(self, rows: Iterable[int]) -> "LivenessDataset":
+        """Subset by row indices."""
+        rows = [int(r) for r in rows]
+        return LivenessDataset(
+            features=[self.features[r] for r in rows],
+            labels=self.labels[rows],
+            meta=[self.meta[r] for r in rows] if self.meta else [],
+        )
+
+    def split(
+        self, fractions: tuple[float, ...], rng: np.random.Generator
+    ) -> list["LivenessDataset"]:
+        """Random stratified split into len(fractions) parts.
+
+        Fractions must sum to ~1 (the paper's incremental split is
+        20:20:60 for train/validation/test).
+        """
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError("fractions must sum to 1")
+        parts: list[list[int]] = [[] for _ in fractions]
+        for label in np.unique(self.labels):
+            rows = np.nonzero(self.labels == label)[0]
+            rng.shuffle(rows)
+            edges = np.cumsum([int(round(f * rows.size)) for f in fractions[:-1]])
+            chunks = np.split(rows, edges)
+            for part, chunk in zip(parts, chunks):
+                part.extend(chunk.tolist())
+        return [self.take(part) for part in parts]

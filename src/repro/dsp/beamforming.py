@@ -1,0 +1,64 @@
+"""Delay-and-sum beamforming (Eq. 2-3 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arrays.geometry import SPEED_OF_SOUND, MicArray
+
+
+def fractional_delay(signal: np.ndarray, delay_samples: float) -> np.ndarray:
+    """Delay a signal by a (possibly fractional) number of samples.
+
+    Implemented in the frequency domain (linear-phase shift) with
+    zero-padding so the shifted tail is not wrapped around.
+    """
+    x = np.asarray(signal, dtype=float).ravel()
+    if x.size == 0:
+        return x.copy()
+    pad = int(np.ceil(abs(delay_samples))) + 1
+    n_fft = 1 << (x.size + 2 * pad - 1).bit_length()
+    spectrum = np.fft.rfft(x, n_fft)
+    freqs = np.fft.rfftfreq(n_fft)
+    shifted = np.fft.irfft(spectrum * np.exp(-2j * np.pi * freqs * delay_samples), n_fft)
+    return shifted[: x.size]
+
+
+def delay_and_sum(
+    channels: np.ndarray,
+    delays_seconds: np.ndarray,
+    sample_rate: int,
+) -> np.ndarray:
+    """Time-align channels by their steering delays and sum (Eq. 2).
+
+    ``delays_seconds[i]`` is the propagation delay from the hypothesized
+    source to microphone *i*; aligning means *advancing* each channel by
+    its delay (relative to the minimum so no channel needs negative time).
+    """
+    x = np.asarray(channels, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"channels must be (n_mics, n_samples), got {x.shape}")
+    delays = np.asarray(delays_seconds, dtype=float)
+    if delays.shape != (x.shape[0],):
+        raise ValueError("need one delay per channel")
+    rel = (delays - delays.min()) * sample_rate
+    aligned = [fractional_delay(x[i], -rel[i]) for i in range(x.shape[0])]
+    return np.sum(aligned, axis=0)
+
+
+def steered_power(
+    channels: np.ndarray,
+    array: MicArray,
+    source_position: np.ndarray,
+    array_position: np.ndarray | None = None,
+    speed_of_sound: float = SPEED_OF_SOUND,
+) -> float:
+    """Output power of the delay-and-sum beamformer steered at a point.
+
+    This is the direct (non-PHAT) form of the steered response power in
+    Eq. 4; the SRP-PHAT module computes the whitened variant used for
+    features.
+    """
+    delays = array.steering_delays(source_position, array_position, speed_of_sound)
+    summed = delay_and_sum(channels, delays, array.sample_rate)
+    return float(np.mean(summed**2))

@@ -1,0 +1,147 @@
+"""IIR filtering front-end.
+
+The paper's preprocessing block removes environment-induced low and high
+frequency components with a **fifth-order Butterworth band-pass filter**
+keeping 100 Hz - 16 kHz (Section III).  This module provides that filter
+plus a small octave-style filterbank used by the band-split image-source
+room simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sps
+
+
+@dataclass(frozen=True)
+class BandpassFilter:
+    """A zero-phase Butterworth band-pass filter.
+
+    Parameters
+    ----------
+    low_hz, high_hz:
+        Pass-band edges in Hz.
+    sample_rate:
+        Signal sample rate in Hz.
+    order:
+        Butterworth order (the paper uses 5).
+    """
+
+    low_hz: float
+    high_hz: float
+    sample_rate: int
+    order: int = 5
+
+    def __post_init__(self) -> None:
+        nyquist = self.sample_rate / 2.0
+        if not 0 < self.low_hz < self.high_hz:
+            raise ValueError(
+                f"need 0 < low_hz < high_hz, got {self.low_hz}, {self.high_hz}"
+            )
+        if self.high_hz >= nyquist:
+            raise ValueError(
+                f"high_hz {self.high_hz} must be below Nyquist {nyquist}"
+            )
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+
+    def _sos(self) -> np.ndarray:
+        return sps.butter(
+            self.order,
+            [self.low_hz, self.high_hz],
+            btype="bandpass",
+            fs=self.sample_rate,
+            output="sos",
+        )
+
+    def apply(self, audio: np.ndarray) -> np.ndarray:
+        """Filter forward-backward (zero phase) along the last axis."""
+        x = np.asarray(audio, dtype=float)
+        if x.shape[-1] < 3 * (2 * self.order + 1):
+            # Too short for filtfilt edge padding; fall back to causal.
+            return sps.sosfilt(self._sos(), x, axis=-1)
+        return sps.sosfiltfilt(self._sos(), x, axis=-1)
+
+
+def headtalk_bandpass(sample_rate: int) -> BandpassFilter:
+    """The paper's denoising filter: 5th-order Butterworth, 100-16000 Hz.
+
+    For sample rates whose Nyquist is at or below 16 kHz the upper edge is
+    pulled just under Nyquist so the same preprocessing applies to
+    downsampled audio.
+    """
+    high = min(16_000.0, 0.45 * sample_rate)
+    return BandpassFilter(low_hz=100.0, high_hz=high, sample_rate=sample_rate, order=5)
+
+
+def lowpass(audio: np.ndarray, cutoff_hz: float, sample_rate: int, order: int = 5) -> np.ndarray:
+    """Zero-phase Butterworth low-pass along the last axis."""
+    if not 0 < cutoff_hz < sample_rate / 2:
+        raise ValueError(f"cutoff {cutoff_hz} out of (0, Nyquist) range")
+    sos = sps.butter(order, cutoff_hz, btype="lowpass", fs=sample_rate, output="sos")
+    return sps.sosfiltfilt(sos, np.asarray(audio, dtype=float), axis=-1)
+
+
+def highpass(audio: np.ndarray, cutoff_hz: float, sample_rate: int, order: int = 5) -> np.ndarray:
+    """Zero-phase Butterworth high-pass along the last axis."""
+    if not 0 < cutoff_hz < sample_rate / 2:
+        raise ValueError(f"cutoff {cutoff_hz} out of (0, Nyquist) range")
+    sos = sps.butter(order, cutoff_hz, btype="highpass", fs=sample_rate, output="sos")
+    return sps.sosfiltfilt(sos, np.asarray(audio, dtype=float), axis=-1)
+
+
+def octave_band_edges(
+    sample_rate: int, low_hz: float = 125.0, n_bands: int = 6
+) -> list[tuple[float, float]]:
+    """Edges of an octave-spaced filterbank covering speech frequencies.
+
+    Bands double in width starting at ``low_hz`` and are clipped below
+    Nyquist.  Used by the room simulator to apply frequency-dependent
+    absorption and source directivity.
+    """
+    if n_bands < 1:
+        raise ValueError("n_bands must be >= 1")
+    nyquist = sample_rate / 2.0
+    edges: list[tuple[float, float]] = []
+    lo = low_hz
+    for _ in range(n_bands):
+        hi = min(lo * 2.0, nyquist * 0.98)
+        if hi <= lo:
+            break
+        edges.append((lo, hi))
+        lo = hi
+        if hi >= nyquist * 0.98:
+            break
+    if not edges:
+        raise ValueError("no valid bands below Nyquist")
+    return edges
+
+
+def band_split(
+    audio: np.ndarray,
+    sample_rate: int,
+    edges: list[tuple[float, float]],
+    order: int = 4,
+) -> list[np.ndarray]:
+    """Split a signal into band-limited components that sum approximately
+    back to the band-passed original.
+
+    The first band additionally keeps everything below its lower edge and
+    the last band everything above its upper edge, so no energy inside the
+    overall span is lost.
+    """
+    x = np.asarray(audio, dtype=float)
+    parts: list[np.ndarray] = []
+    for k, (lo, hi) in enumerate(edges):
+        if len(edges) == 1:
+            parts.append(x.copy())
+        elif k == 0:
+            parts.append(lowpass(x, hi, sample_rate, order))
+        elif k == len(edges) - 1:
+            parts.append(highpass(x, lo, sample_rate, order))
+        else:
+            band = BandpassFilter(lo, hi, sample_rate, order)
+            parts.append(band.apply(x))
+    return parts

@@ -1,0 +1,87 @@
+"""Sound-source localization (direction of arrival).
+
+HeadTalk's related work builds on classic SRP-PHAT *localization*; this
+module provides that capability directly: estimate the azimuth (and
+optionally range) of a talker from a multi-channel capture by steering
+the SRP over a candidate grid.  Used by tests as an independent
+cross-check of the propagation geometry, and useful on its own for a
+multi-VA deployment that wants to know *where* the speaker is, not just
+which way they face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arrays.geometry import MicArray
+from .srp import srp_max_lag_for, srp_phat_map
+
+
+@dataclass(frozen=True)
+class AzimuthEstimate:
+    """DoA estimate with its steered-power profile."""
+
+    azimuth_deg: float
+    power: float
+    grid_deg: np.ndarray
+    profile: np.ndarray
+
+    def confidence(self) -> float:
+        """Peak-to-mean ratio of the steered power profile (>1)."""
+        mean = float(np.mean(self.profile))
+        if mean <= 1e-15:
+            return 1.0
+        return float(self.power / mean)
+
+
+def estimate_azimuth(
+    channels: np.ndarray,
+    array: MicArray,
+    assumed_range_m: float = 2.0,
+    assumed_height_m: float = 0.8,
+    resolution_deg: float = 5.0,
+    array_position: np.ndarray | None = None,
+) -> AzimuthEstimate:
+    """Azimuth of the dominant source, degrees from the array's +x axis.
+
+    SRP-PHAT is steered over a ring of candidate positions at the
+    assumed range/height; the far-field geometry makes the result
+    insensitive to the exact range.
+    """
+    if resolution_deg <= 0 or resolution_deg > 90:
+        raise ValueError("resolution_deg must be in (0, 90]")
+    if assumed_range_m <= 0:
+        raise ValueError("assumed_range_m must be positive")
+    origin = np.zeros(3) if array_position is None else np.asarray(array_position, dtype=float)
+    grid = np.arange(-180.0, 180.0, resolution_deg)
+    radians = np.deg2rad(grid)
+    candidates = np.stack(
+        [
+            origin[0] + assumed_range_m * np.cos(radians),
+            origin[1] + assumed_range_m * np.sin(radians),
+            np.full(grid.size, origin[2] + assumed_height_m),
+        ],
+        axis=1,
+    )
+    powers = srp_phat_map(
+        channels,
+        array,
+        candidates,
+        max_lag=srp_max_lag_for(array, margin_samples=2),
+        array_position=origin,
+    )
+    best = int(np.argmax(powers))
+    return AzimuthEstimate(
+        azimuth_deg=float(grid[best]),
+        power=float(powers[best]),
+        grid_deg=grid,
+        profile=powers,
+    )
+
+
+def angular_error_deg(estimate_deg: float, truth_deg: float) -> float:
+    """Smallest absolute angle between two azimuths (0..180)."""
+    delta = (estimate_deg - truth_deg + 180.0) % 360.0 - 180.0
+    return abs(float(delta))

@@ -1,0 +1,35 @@
+"""Sample-rate conversion.
+
+The liveness network consumes 16 kHz audio normalized to zero mean and
+unit variance (Section III-A), while the arrays capture at 48 kHz.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import signal as sps
+
+
+def resample(audio: np.ndarray, from_rate: int, to_rate: int) -> np.ndarray:
+    """Polyphase resampling along the last axis."""
+    if from_rate <= 0 or to_rate <= 0:
+        raise ValueError("sample rates must be positive")
+    x = np.asarray(audio, dtype=float)
+    if from_rate == to_rate:
+        return x.copy()
+    gcd = math.gcd(from_rate, to_rate)
+    up = to_rate // gcd
+    down = from_rate // gcd
+    return sps.resample_poly(x, up, down, axis=-1)
+
+
+def to_liveness_input(audio: np.ndarray, sample_rate: int, target_rate: int = 16_000) -> np.ndarray:
+    """Downsample to the liveness rate and normalize to zero mean, unit var."""
+    x = resample(np.asarray(audio, dtype=float), sample_rate, target_rate)
+    x = x - x.mean()
+    std = x.std()
+    if std > 1e-12:
+        x = x / std
+    return x

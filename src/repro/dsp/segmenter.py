@@ -1,0 +1,142 @@
+"""Stream segmentation: cut an always-on audio stream into utterances.
+
+The VA listens continuously; before the wake-word spotter can run, the
+stream must be chopped into candidate utterances.  This is a VAD with
+hysteresis: speech opens on sustained energy above an adaptive floor,
+closes after a hangover of silence, and over-long segments are split so
+a single utterance never grows unbounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vad import short_time_energy
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One detected utterance, in samples of the original stream."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ValueError(f"invalid segment [{self.start}, {self.end})")
+
+    @property
+    def n_samples(self) -> int:
+        """Segment length in samples."""
+        return self.end - self.start
+
+    def duration(self, sample_rate: int) -> float:
+        """Segment length in seconds."""
+        return self.n_samples / sample_rate
+
+
+@dataclass(frozen=True)
+class SegmenterConfig:
+    """Hysteresis parameters for stream segmentation."""
+
+    frame_ms: float = 20.0
+    open_ratio: float = 8.0
+    close_ratio: float = 3.0
+    hangover_ms: float = 250.0
+    min_speech_ms: float = 120.0
+    max_segment_s: float = 5.0
+    floor_percentile: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.open_ratio <= self.close_ratio:
+            raise ValueError("open_ratio must exceed close_ratio (hysteresis)")
+        if self.frame_ms <= 0 or self.hangover_ms < 0:
+            raise ValueError("frame_ms must be positive, hangover_ms >= 0")
+        if self.max_segment_s <= 0 or self.min_speech_ms < 0:
+            raise ValueError("bad segment duration limits")
+
+
+def segment_stream(
+    stream: np.ndarray,
+    sample_rate: int,
+    config: SegmenterConfig | None = None,
+) -> list[Segment]:
+    """Detect utterance segments in a mono stream.
+
+    The noise floor is the ``floor_percentile`` of frame energies; a
+    segment opens when energy exceeds ``open_ratio`` x floor, stays open
+    through dips above ``close_ratio`` x floor plus a hangover, and is
+    dropped if shorter than ``min_speech_ms``.
+    """
+    config = config or SegmenterConfig()
+    x = np.asarray(stream, dtype=float).ravel()
+    if x.size == 0:
+        return []
+    frame = max(16, int(config.frame_ms / 1000.0 * sample_rate))
+    hop = frame // 2
+    energy = short_time_energy(x, frame, hop)
+    if energy.size == 0 or energy.max() <= 0:
+        return []
+    floor = max(float(np.percentile(energy, config.floor_percentile)), 1e-12)
+    open_level = config.open_ratio * floor
+    close_level = config.close_ratio * floor
+    hang_frames = max(1, int(config.hangover_ms / config.frame_ms))
+    max_frames = max(1, int(config.max_segment_s * 1000.0 / config.frame_ms) * 2)
+    min_frames = max(1, int(config.min_speech_ms / config.frame_ms))
+
+    segments: list[Segment] = []
+    in_speech = False
+    start_frame = 0
+    quiet_run = 0
+    for k, value in enumerate(energy):
+        if not in_speech:
+            if value >= open_level:
+                in_speech = True
+                start_frame = k
+                quiet_run = 0
+            continue
+        if value >= close_level:
+            quiet_run = 0
+        else:
+            quiet_run += 1
+        too_long = k - start_frame >= max_frames
+        if quiet_run >= hang_frames or too_long:
+            end_frame = k - (quiet_run if not too_long else 0)
+            _append_segment(
+                segments, start_frame, end_frame, hop, frame, x.size, min_frames
+            )
+            in_speech = False
+            quiet_run = 0
+    if in_speech:
+        _append_segment(
+            segments, start_frame, energy.size, hop, frame, x.size, min_frames
+        )
+    return segments
+
+
+def _append_segment(
+    segments: list[Segment],
+    start_frame: int,
+    end_frame: int,
+    hop: int,
+    frame: int,
+    n_samples: int,
+    min_frames: int,
+) -> None:
+    if end_frame - start_frame < min_frames:
+        return
+    start = max(0, start_frame * hop - frame)
+    end = min(n_samples, end_frame * hop + frame)
+    if end > start:
+        segments.append(Segment(start=start, end=end))
+
+
+def extract_segments(
+    channels: np.ndarray,
+    segments: list[Segment],
+) -> list[np.ndarray]:
+    """Slice a (multi-channel) stream at the detected segments."""
+    x = np.atleast_2d(np.asarray(channels, dtype=float))
+    return [x[:, s.start : s.end] for s in segments]

@@ -1,0 +1,84 @@
+"""Statistical summaries and peak picking used by the feature extractor.
+
+The paper computes "kurtosis, skewness, maximum, absolute deviation (MAD),
+and standard deviation" over SRP and GCC vectors, and ranks the "top three
+peak values" of the steered response power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kurtosis(values: np.ndarray) -> float:
+    """Excess kurtosis (Fisher).  Zero for a Gaussian; 0.0 if degenerate."""
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size < 2:
+        return 0.0
+    mean = x.mean()
+    var = x.var()
+    if var <= 1e-30:
+        return 0.0
+    return float(((x - mean) ** 4).mean() / var**2 - 3.0)
+
+
+def skewness(values: np.ndarray) -> float:
+    """Sample skewness; 0.0 if degenerate."""
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size < 2:
+        return 0.0
+    mean = x.mean()
+    std = x.std()
+    if std <= 1e-15:
+        return 0.0
+    return float(((x - mean) ** 3).mean() / std**3)
+
+
+def mean_absolute_deviation(values: np.ndarray) -> float:
+    """Mean absolute deviation around the mean."""
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size == 0:
+        return 0.0
+    return float(np.abs(x - x.mean()).mean())
+
+
+def summary_vector(values: np.ndarray) -> np.ndarray:
+    """The paper's five-statistic summary of a vector.
+
+    Order: ``[kurtosis, skewness, max, MAD, std]``.
+    """
+    x = np.asarray(values, dtype=float).ravel()
+    maximum = float(x.max()) if x.size else 0.0
+    std = float(x.std()) if x.size else 0.0
+    return np.array(
+        [kurtosis(x), skewness(x), maximum, mean_absolute_deviation(x), std]
+    )
+
+
+def find_peaks(values: np.ndarray) -> np.ndarray:
+    """Indices of strict local maxima of a 1-D array (interior points)."""
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size < 3:
+        return np.array([], dtype=int)
+    interior = (x[1:-1] > x[:-2]) & (x[1:-1] >= x[2:])
+    return np.nonzero(interior)[0] + 1
+
+
+def top_k_peaks(values: np.ndarray, k: int = 3) -> np.ndarray:
+    """The ``k`` largest local-maximum values, descending, zero padded.
+
+    The paper ranks the top three SRP peaks as a feature; reverberation
+    typically produces 3-4 peaks.  When fewer than ``k`` local maxima
+    exist, the global maximum fills the first slot and zeros pad the rest,
+    keeping the feature dimension fixed.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    x = np.asarray(values, dtype=float).ravel()
+    peak_idx = find_peaks(x)
+    peaks = np.sort(x[peak_idx])[::-1] if peak_idx.size else np.array([])
+    if peaks.size == 0 and x.size:
+        peaks = np.array([x.max()])
+    out = np.zeros(k)
+    out[: min(k, peaks.size)] = peaks[:k]
+    return out

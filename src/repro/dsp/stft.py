@@ -1,0 +1,88 @@
+"""Short-time Fourier analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .windows import frame_signal, get_window
+
+
+def stft(
+    signal: np.ndarray,
+    frame_length: int = 1024,
+    hop_length: int = 512,
+    window: str = "hann",
+) -> np.ndarray:
+    """Short-time Fourier transform.
+
+    Returns a complex array of shape ``(n_frames, frame_length // 2 + 1)``
+    (one-sided spectrum per frame).
+    """
+    frames = frame_signal(signal, frame_length, hop_length)
+    win = get_window(window, frame_length)
+    return np.fft.rfft(frames * win, axis=1)
+
+
+def power_spectrogram(
+    signal: np.ndarray,
+    frame_length: int = 1024,
+    hop_length: int = 512,
+    window: str = "hann",
+) -> np.ndarray:
+    """Magnitude-squared STFT, shape ``(n_frames, n_bins)``."""
+    spectrum = stft(signal, frame_length, hop_length, window)
+    return np.abs(spectrum) ** 2
+
+
+def mean_power_spectrum(
+    signal: np.ndarray,
+    sample_rate: int,
+    frame_length: int = 1024,
+    hop_length: int = 512,
+    window: str = "hann",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Time-averaged one-sided power spectrum.
+
+    Returns ``(freqs_hz, power)`` where both arrays have
+    ``frame_length // 2 + 1`` entries.
+    """
+    power = power_spectrogram(signal, frame_length, hop_length, window)
+    if power.shape[0] == 0:
+        raise ValueError("signal too short for a single frame")
+    freqs = np.fft.rfftfreq(frame_length, d=1.0 / sample_rate)
+    return freqs, power.mean(axis=0)
+
+
+def log_mel_like_features(
+    signal: np.ndarray,
+    sample_rate: int,
+    n_bands: int = 40,
+    frame_length: int = 512,
+    hop_length: int = 256,
+    fmin: float = 50.0,
+    fmax: float | None = None,
+) -> np.ndarray:
+    """Log-compressed triangular filterbank energies, ``(n_frames, n_bands)``.
+
+    A mel-style front-end (triangular filters on a log-frequency axis) used
+    as the input representation of the liveness network.  It is not an
+    exact mel scale; band centers are geometrically spaced between ``fmin``
+    and ``fmax``, which preserves the high/low-frequency contrast the
+    liveness detector relies on.
+    """
+    if n_bands < 2:
+        raise ValueError("n_bands must be >= 2")
+    fmax = fmax or sample_rate / 2.0
+    if not 0 < fmin < fmax <= sample_rate / 2.0:
+        raise ValueError(f"need 0 < fmin < fmax <= Nyquist, got {fmin}, {fmax}")
+    power = power_spectrogram(signal, frame_length, hop_length)
+    freqs = np.fft.rfftfreq(frame_length, d=1.0 / sample_rate)
+    centers = np.geomspace(fmin, fmax, n_bands + 2)
+    bank = np.zeros((n_bands, freqs.size))
+    for b in range(n_bands):
+        lo, mid, hi = centers[b], centers[b + 1], centers[b + 2]
+        rising = (freqs - lo) / max(mid - lo, 1e-12)
+        falling = (hi - freqs) / max(hi - mid, 1e-12)
+        bank[b] = np.clip(np.minimum(rising, falling), 0.0, 1.0)
+    energies = power @ bank.T
+    return np.log(energies + 1e-10)

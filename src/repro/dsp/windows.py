@@ -1,0 +1,62 @@
+"""Analysis windows and frame slicing for short-time processing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hann(length: int) -> np.ndarray:
+    """Periodic Hann window of the given length (suitable for STFT)."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / length)
+
+
+def hamming(length: int) -> np.ndarray:
+    """Periodic Hamming window of the given length."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    n = np.arange(length)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / length)
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Window by name: ``"hann"``, ``"hamming"`` or ``"rect"``."""
+    name = name.lower()
+    if name == "hann":
+        return hann(length)
+    if name == "hamming":
+        return hamming(length)
+    if name in ("rect", "rectangular", "boxcar"):
+        return np.ones(length)
+    raise ValueError(f"unknown window {name!r}")
+
+
+def frame_signal(
+    signal: np.ndarray, frame_length: int, hop_length: int, pad: bool = True
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames.
+
+    Returns an array of shape ``(n_frames, frame_length)``.  When ``pad``
+    is true the tail is zero-padded so no samples are dropped; otherwise
+    only complete frames are returned.
+    """
+    x = np.asarray(signal, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if frame_length < 1 or hop_length < 1:
+        raise ValueError("frame_length and hop_length must be >= 1")
+    if x.size == 0:
+        return np.zeros((0, frame_length))
+    if pad:
+        n_frames = max(1, int(np.ceil(max(x.size - frame_length, 0) / hop_length)) + 1)
+        needed = (n_frames - 1) * hop_length + frame_length
+        if needed > x.size:
+            x = np.concatenate([x, np.zeros(needed - x.size)])
+    else:
+        n_frames = 1 + (x.size - frame_length) // hop_length if x.size >= frame_length else 0
+        if n_frames <= 0:
+            return np.zeros((0, frame_length))
+    idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
+    return x[idx]

@@ -1,0 +1,103 @@
+"""Experiment harness: one module per table/figure (see DESIGN.md index).
+
+Each module exposes ``run(scale=BENCH, seed=0, ...) -> ExperimentResult``.
+``ALL_EXPERIMENTS`` maps experiment ids to their runners; ``run_all``
+executes any subset and returns the results in id order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..reporting import ExperimentResult
+from . import (
+    exp_angles,
+    exp_cross_environment,
+    exp_cross_user,
+    exp_definitions,
+    exp_devices,
+    exp_distance,
+    exp_dov_comparison,
+    exp_environment,
+    exp_feature_ablation,
+    exp_liveness,
+    exp_loudness,
+    exp_microphones,
+    exp_model_selection,
+    exp_moving_speaker,
+    exp_multi_va,
+    exp_noise,
+    exp_objects,
+    exp_operating_point,
+    exp_placement,
+    exp_propagation_insights,
+    exp_runtime,
+    exp_sitting,
+    exp_spectra,
+    exp_temporal,
+    exp_training_size,
+    exp_wakewords,
+)
+from ..userstudy import simulation as exp_userstudy
+from .common import (
+    cross_session_evaluation,
+    default_dataset,
+    evaluate_detector,
+    factor_f1_cells,
+    fit_detector,
+    labeled_arrays,
+)
+
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "E01": exp_liveness.run,
+    "E02": exp_definitions.run,
+    "E03": exp_angles.run,
+    "E04": exp_training_size.run,
+    "E05": exp_distance.run,
+    "E06": exp_wakewords.run,
+    "E07": exp_devices.run,
+    "E08": exp_environment.run,
+    "E09": exp_microphones.run,
+    "E10": exp_placement.run,
+    "E11": exp_cross_environment.run,
+    "E12": exp_temporal.run,
+    "E13": exp_noise.run,
+    "E14": exp_sitting.run,
+    "E15": exp_loudness.run,
+    "E16": exp_objects.run,
+    "E17": exp_cross_user.run,
+    "E18": exp_runtime.run,
+    "E19": exp_dov_comparison.run,
+    "E20": exp_model_selection.run,
+    "E21": exp_userstudy.run,
+    "E22": exp_spectra.run,
+    "E23": exp_propagation_insights.run,
+    # Extensions beyond the paper (its stated future work / motivation):
+    "E24": exp_moving_speaker.run,
+    "E25": exp_multi_va.run,
+    "E26": exp_operating_point.run,
+    "E27": exp_feature_ablation.run,
+}
+
+
+def run_all(
+    experiment_ids: tuple[str, ...] | None = None, **kwargs
+) -> list[ExperimentResult]:
+    """Run a subset (default: all) of the experiments in id order."""
+    ids = sorted(experiment_ids or ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiment ids {unknown}")
+    return [ALL_EXPERIMENTS[i](**kwargs) for i in ids]
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "cross_session_evaluation",
+    "default_dataset",
+    "evaluate_detector",
+    "factor_f1_cells",
+    "fit_detector",
+    "labeled_arrays",
+    "run_all",
+]

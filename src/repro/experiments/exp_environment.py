@@ -1,0 +1,41 @@
+"""E08 — Figure 14: F1-score per environment (lab vs home).
+
+Paper: 98.08% (lab) vs 94.39% (home) — the home's higher ambient level
+(43 vs 33 dB) and denser furniture reverberation cost a few points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..acoustics.room import get_room
+from ..datasets.catalog import BENCH, Scale
+from ..reporting import ExperimentResult
+from .common import factor_f1_cells
+
+
+def run(scale: Scale = BENCH, seed: int = 0) -> ExperimentResult:
+    """Mean/std F1 per room over the Dataset-1 grid."""
+    cells = factor_f1_cells(scale, seed)
+    rows = []
+    for room in ("lab", "home"):
+        values = [100.0 * c["f1"] for c in cells if c["room"] == room]
+        model = get_room(room)
+        rows.append(
+            {
+                "room": room,
+                "f1_mean_pct": float(np.mean(values)),
+                "f1_std_pct": float(np.std(values)),
+                "ambient_db_spl": model.ambient_noise_db_spl,
+                "rt60_1khz_s": model.eyring_rt60(1000.0),
+            }
+        )
+    gap = rows[0]["f1_mean_pct"] - rows[1]["f1_mean_pct"]
+    return ExperimentResult(
+        experiment_id="E08",
+        title="Figure 14: F1 per environment",
+        headers=["room", "f1_mean_pct", "f1_std_pct", "ambient_db_spl", "rt60_1khz_s"],
+        rows=rows,
+        paper="98.08% lab vs 94.39% home",
+        summary={"lab_minus_home_f1": gap},
+    )

@@ -1,0 +1,92 @@
+"""E01 — Section IV-A1: human vs mechanical speaker.
+
+Three stages, mirroring the paper:
+
+1. **Pretrain** the liveness network on the ASVspoof-like corpus and
+   measure validation/test EER (paper: 98.56%/98.52% accuracy, EER
+   3.36%/3.90%).
+2. **Transfer** the pretrained model to the in-domain Dataset-1 (live
+   human) + Dataset-2 (Sony replay) pool — accuracy collapses (paper:
+   84.87%, EER 16.50%).
+3. **Incrementally retrain** on a 20% slice of the in-domain pool
+   (20:20:60 train/val/test) for 10 epochs — accuracy recovers (paper:
+   98.68%, EER 2.58% on test).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.liveness import LIVE_HUMAN, LivenessDetector
+from ..datasets.asvspoof import make_asvspoof_like
+from ..datasets.catalog import (
+    BENCH,
+    Scale,
+    build_liveness_dataset,
+    dataset1_specs,
+    dataset2_specs,
+)
+from ..ml.metrics import equal_error_rate
+from ..reporting import ExperimentResult
+
+
+def _evaluate(network, dataset) -> tuple[float, float]:
+    scores = network.scores(dataset.features, positive_label=LIVE_HUMAN)
+    predictions = (scores >= 0.5).astype(int)
+    accuracy = float(np.mean(predictions == dataset.labels))
+    eer = equal_error_rate(dataset.labels, scores, positive_label=LIVE_HUMAN)
+    return accuracy, eer
+
+
+def run(
+    scale: Scale = BENCH,
+    seed: int = 0,
+    n_pretrain: int = 160,
+    pretrain_epochs: int = 200,
+    adapt_epochs: int = 400,
+) -> ExperimentResult:
+    """Pretrain -> transfer -> incremental retrain, reporting acc/EER.
+
+    Epoch counts are higher than the paper's 20/10 because our
+    from-scratch numpy network trains from random initialization, while
+    the paper fine-tunes a pretrained wav2vec2; what is reproduced is
+    the three-stage protocol and the EER trajectory, not the step count.
+    """
+    corpus = make_asvspoof_like(n_utterances=n_pretrain, seed=seed)
+    rng = np.random.default_rng(seed)
+    pre_train, pre_val = corpus.split((0.8, 0.2), rng)
+
+    detector = LivenessDetector(epochs=pretrain_epochs, random_state=seed)
+    detector.network.batch_size = 16
+    detector.network.fit(pre_train.features, pre_train.labels, reset=True)
+    val_acc, val_eer = _evaluate(detector.network, pre_val)
+
+    # In-domain pool: Dataset-1 human slice + Dataset-2 replay.
+    human_specs = dataset1_specs(scale, rooms=("lab",), devices=("D2",), wake_words=("computer", "hey assistant"))
+    replay_specs = dataset2_specs(scale)
+    pool = build_liveness_dataset(human_specs + replay_specs, seed)
+    zero_shot_acc, zero_shot_eer = _evaluate(detector.network, pool)
+
+    adapt, inc_val, test = pool.split((0.2, 0.2, 0.6), rng)
+    detector.network.fit(adapt.features, adapt.labels, epochs=adapt_epochs, reset=False)
+    inc_val_acc, inc_val_eer = _evaluate(detector.network, inc_val)
+    test_acc, test_eer = _evaluate(detector.network, test)
+
+    rows = [
+        {"stage": "pretrain (ASVspoof-like val)", "accuracy_pct": 100 * val_acc, "eer_pct": 100 * val_eer, "n": len(pre_val)},
+        {"stage": "zero-shot transfer (Dataset-1+2)", "accuracy_pct": 100 * zero_shot_acc, "eer_pct": 100 * zero_shot_eer, "n": len(pool)},
+        {"stage": "incremental (val)", "accuracy_pct": 100 * inc_val_acc, "eer_pct": 100 * inc_val_eer, "n": len(inc_val)},
+        {"stage": "incremental (test)", "accuracy_pct": 100 * test_acc, "eer_pct": 100 * test_eer, "n": len(test)},
+    ]
+    return ExperimentResult(
+        experiment_id="E01",
+        title="Liveness: human vs mechanical speaker (Section IV-A1)",
+        headers=["stage", "accuracy_pct", "eer_pct", "n"],
+        rows=rows,
+        paper="pretrain 98.5% (EER ~3.4-3.9%); transfer 84.87% (EER 16.5%); after retrain 98.68% (EER 2.58%)",
+        summary={
+            "transfer_eer": 100 * zero_shot_eer,
+            "final_eer": 100 * test_eer,
+            "final_accuracy": 100 * test_acc,
+        },
+    )

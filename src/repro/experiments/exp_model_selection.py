@@ -1,0 +1,46 @@
+"""E20 — Section IV-A: classifier selection (SVM vs RF vs DT vs kNN).
+
+Cross-session F1 of the four classifier backends on the default slice,
+in both lab and home.  The paper finds SVM has the best average F1
+across both settings and adopts it everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import DEFAULT_DEFINITION
+from ..core.orientation import BACKEND_NAMES
+from ..datasets.catalog import BENCH, Scale, dataset1
+from ..reporting import ExperimentResult
+from .common import cross_session_evaluation
+
+
+def run(scale: Scale = BENCH, seed: int = 0) -> ExperimentResult:
+    """Mean cross-session F1 per backend per room."""
+    rows = []
+    for backend in BACKEND_NAMES:
+        cells = {}
+        for room in ("lab", "home"):
+            dataset = dataset1(
+                scale=scale, rooms=(room,), devices=("D2",), wake_words=("computer",), seed=seed
+            )
+            outcome = cross_session_evaluation(dataset, DEFAULT_DEFINITION, backend=backend)
+            cells[room] = 100.0 * outcome.mean_f1
+        rows.append(
+            {
+                "backend": backend,
+                "lab_f1_pct": cells["lab"],
+                "home_f1_pct": cells["home"],
+                "mean_f1_pct": float(np.mean(list(cells.values()))),
+            }
+        )
+    best = max(rows, key=lambda r: r["mean_f1_pct"])
+    return ExperimentResult(
+        experiment_id="E20",
+        title="Classifier selection (Section IV-A)",
+        headers=["backend", "lab_f1_pct", "home_f1_pct", "mean_f1_pct"],
+        rows=rows,
+        paper="SVM has the best average F1 across lab and home",
+        summary={"best_backend": best["backend"], "best_f1": best["mean_f1_pct"]},
+    )

@@ -1,0 +1,97 @@
+"""E24 (extension) — moving speakers.
+
+The paper's limitations section flags moving speakers as uncovered
+future work.  This extension probes it: the Definition-4 model (trained
+on static captures) classifies utterances spoken *while the head turns*.
+Expected shape: turns that stay inside the facing zone remain accepted,
+turns that cross the facing boundary mid-word land between the classes,
+and turns entirely in the non-facing region stay rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..acoustics.motion import render_turning_capture
+from ..acoustics.scene import SpeakerPose
+from ..core.config import DEFAULT_DEFINITION, FACING
+from ..core.preprocessing import preprocess
+from ..datasets.catalog import BENCH, Scale
+from ..datasets.collection import CollectionSpec, build_session_context, collect, stable_seed
+from ..reporting import ExperimentResult
+from .common import default_dataset, fit_detector
+
+TURN_SCENARIOS: tuple[tuple[str, float, float], ...] = (
+    ("steady facing (0 -> 0)", 0.0, 0.0),
+    ("small scan (-20 -> 20)", -20.0, 20.0),
+    ("turning toward (90 -> 0)", 90.0, 0.0),
+    ("turning away (0 -> 90)", 0.0, 90.0),
+    ("walk-by glance (135 -> 45)", 135.0, 45.0),
+    ("steady backward (180 -> 180)", 180.0, 180.0),
+)
+
+
+def run(scale: Scale = BENCH, seed: int = 0, n_repetitions: int = 4) -> ExperimentResult:
+    """P(facing) for utterances spoken during head turns."""
+    if n_repetitions < 1:
+        raise ValueError("n_repetitions must be >= 1")
+    train = default_dataset(scale, seed)
+    detector = fit_detector(train, DEFAULT_DEFINITION)
+
+    # Reuse the collection machinery to get a matched scene and speaker.
+    from ..acoustics.image_source import RirConfig
+    from ..acoustics.scene import LAB_PLACEMENTS, Scene
+    from ..acoustics.sources import HumanSpeaker
+    from ..arrays.devices import default_channel_subset, get_device
+    from ..core.features import OrientationFeatureExtractor
+
+    device = get_device("D2")
+    array = device.subset(default_channel_subset(device))
+    extractor = OrientationFeatureExtractor(array)
+    context = build_session_context(CollectionSpec(session=1), seed)
+    person = HumanSpeaker.random(
+        np.random.default_rng(stable_seed("speaker", 0)), name="user0"
+    )
+    scene = Scene(
+        room=context.room,
+        device=array,
+        placement=context.placement,
+        pose=SpeakerPose(distance_m=3.0),
+    )
+    rir = RirConfig(max_order=2, tail_seed=stable_seed("tail", "lab", "A"))
+
+    rows = []
+    for name, start, end in TURN_SCENARIOS:
+        probabilities = []
+        rng = np.random.default_rng(stable_seed("moving", seed, name))
+        for _ in range(n_repetitions):
+            emission = person.emit("computer", array.sample_rate, rng)
+            capture = render_turning_capture(
+                scene, emission, start, end, n_segments=6, rng=rng, rir_config=rir
+            )
+            features = extractor.extract(preprocess(capture))
+            probabilities.append(
+                float(detector.facing_probability(features.reshape(1, -1))[0])
+            )
+        mean_probability = float(np.mean(probabilities))
+        rows.append(
+            {
+                "scenario": name,
+                "p_facing": mean_probability,
+                "accepted": mean_probability >= 0.5,
+            }
+        )
+    by_name = {row["scenario"]: row["p_facing"] for row in rows}
+    return ExperimentResult(
+        experiment_id="E24",
+        title="Extension: moving speakers (paper future work)",
+        headers=["scenario", "p_facing", "accepted"],
+        rows=rows,
+        paper="not evaluated in the paper (listed as a limitation)",
+        summary={
+            "steady_facing": by_name["steady facing (0 -> 0)"],
+            "steady_backward": by_name["steady backward (180 -> 180)"],
+            "toward": by_name["turning toward (90 -> 0)"],
+            "away": by_name["turning away (0 -> 90)"],
+        },
+    )

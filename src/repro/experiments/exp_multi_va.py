@@ -1,0 +1,107 @@
+"""E25 (extension) — multiple voice assistants in one room.
+
+The paper's introduction motivates HeadTalk partly by VA proliferation:
+"multiple VAs will likely share the same physical space, which can lead
+to misactivating the wrong VAs".  This extension places two HeadTalk-
+enabled devices on opposite sides of the speaker; the speaker faces one
+of them and utters the wake word.  Desired shape: the faced device
+accepts, the other soft-mutes — head orientation disambiguates the
+addressee with no wake-word changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..acoustics.image_source import RirConfig
+from ..acoustics.propagation import render_capture
+from ..acoustics.room import lab_room
+from ..acoustics.scene import DevicePlacement, Scene, SpeakerPose
+from ..acoustics.sources import HumanSpeaker
+from ..arrays.devices import default_channel_subset, get_device
+from ..core.config import DEFAULT_DEFINITION
+from ..core.features import OrientationFeatureExtractor
+from ..core.preprocessing import preprocess
+from ..datasets.catalog import BENCH, Scale
+from ..datasets.collection import stable_seed
+from ..reporting import ExperimentResult
+from .common import default_dataset, fit_detector
+
+
+def _capture_for_device(room, array, placement, speaker_xy, facing_xy, mouth, emission, rng, rir):
+    """Render what one device hears given absolute speaker geometry."""
+    to_device = placement.position[:2] - speaker_xy
+    distance = float(np.linalg.norm(to_device))
+    device_bearing = np.degrees(np.arctan2(to_device[1], to_device[0]))
+    facing_bearing = np.degrees(np.arctan2(facing_xy[1], facing_xy[0]))
+    head_angle = ((facing_bearing - device_bearing + 180.0) % 360.0) - 180.0
+    # Express the geometry in the scene's device-relative convention.
+    radial = ((np.degrees(np.arctan2(-to_device[1], -to_device[0]))
+               - placement.facing_deg + 180.0) % 360.0) - 180.0
+    scene = Scene(
+        room=room,
+        device=array,
+        placement=placement,
+        pose=SpeakerPose(
+            distance_m=distance,
+            radial_deg=float(radial),
+            head_angle_deg=float(head_angle),
+            mouth_height=mouth,
+        ),
+    )
+    return render_capture(scene, emission, rng=rng, rir_config=rir), head_angle
+
+
+def run(scale: Scale = BENCH, seed: int = 0, n_repetitions: int = 4) -> ExperimentResult:
+    """Two devices, one facing speaker: who accepts the wake word?"""
+    train = default_dataset(scale, seed)
+    detector = fit_detector(train, DEFAULT_DEFINITION)
+
+    room = lab_room()
+    device = get_device("D2")
+    array = device.subset(default_channel_subset(device))
+    extractor = OrientationFeatureExtractor(array)
+    # Devices on opposite walls; facing_deg points each one at the speaker.
+    placement_a = DevicePlacement(name="va-east", position_xy=(0.6, 2.13), height=0.74, facing_deg=0.0)
+    placement_b = DevicePlacement(name="va-west", position_xy=(5.4, 2.13), height=0.74, facing_deg=180.0)
+    speaker_xy = np.array([3.0, 2.13])
+    person = HumanSpeaker.random(np.random.default_rng(stable_seed("speaker", 0)), name="user0")
+    rir = RirConfig(max_order=2, tail_seed=stable_seed("tail", "lab", "A"))
+
+    rows = []
+    for target_name, facing_xy in (
+        ("facing va-east", placement_a.position[:2] - speaker_xy),
+        ("facing va-west", placement_b.position[:2] - speaker_xy),
+    ):
+        probabilities = {"va-east": [], "va-west": []}
+        rng = np.random.default_rng(stable_seed("multi-va", seed, target_name))
+        for _ in range(n_repetitions):
+            emission = person.emit("computer", array.sample_rate, rng)
+            for placement in (placement_a, placement_b):
+                capture, _ = _capture_for_device(
+                    room, array, placement, speaker_xy, facing_xy,
+                    person.standing_mouth_height, emission, rng, rir,
+                )
+                features = extractor.extract(preprocess(capture))
+                probabilities[placement.name].append(
+                    float(detector.facing_probability(features.reshape(1, -1))[0])
+                )
+        rows.append(
+            {
+                "speaker": target_name,
+                "p_facing_va_east": float(np.mean(probabilities["va-east"])),
+                "p_facing_va_west": float(np.mean(probabilities["va-west"])),
+            }
+        )
+    correct = (
+        rows[0]["p_facing_va_east"] > rows[0]["p_facing_va_west"]
+        and rows[1]["p_facing_va_west"] > rows[1]["p_facing_va_east"]
+    )
+    return ExperimentResult(
+        experiment_id="E25",
+        title="Extension: multi-VA addressee disambiguation",
+        headers=["speaker", "p_facing_va_east", "p_facing_va_west"],
+        rows=rows,
+        paper="motivated in the introduction; not evaluated in the paper",
+        summary={"addressee_disambiguated": correct},
+    )

@@ -1,0 +1,66 @@
+"""E26 (extension) — privacy/usability operating-point sweep.
+
+HeadTalk's accept decision thresholds P(facing); the paper fixes the
+threshold implicitly at 0.5.  A deployment can trade usability (FRR —
+facing users rejected) against privacy (FAR — non-facing audio
+uploaded) by moving it.  This extension sweeps the threshold on
+cross-session scores and reports the FAR/FRR curve, its equal error
+rate, and suggested conservative/balanced/permissive operating points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import DEFAULT_DEFINITION, FACING
+from ..datasets.catalog import BENCH, Scale
+from ..ml.metrics import equal_error_rate, roc_curve
+from ..reporting import ExperimentResult
+from .common import default_dataset, fit_detector, labeled_arrays
+
+
+def run(
+    scale: Scale = BENCH,
+    seed: int = 0,
+    thresholds: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9),
+) -> ExperimentResult:
+    """FAR/FRR at a sweep of facing thresholds plus the EER."""
+    dataset = default_dataset(scale, seed)
+    train, test = dataset.session_split(0)
+    detector = fit_detector(train, DEFAULT_DEFINITION)
+    X, y = labeled_arrays(test, DEFAULT_DEFINITION)
+    scores = detector.facing_probability(X)
+    y01 = (y == FACING).astype(int)
+
+    rows = []
+    for threshold in thresholds:
+        accepted = scores >= threshold
+        positives = y01 == 1
+        frr = float(np.mean(~accepted[positives])) if positives.any() else 0.0
+        far = float(np.mean(accepted[~positives])) if (~positives).any() else 0.0
+        rows.append(
+            {
+                "threshold": threshold,
+                "far_pct": 100.0 * far,
+                "frr_pct": 100.0 * frr,
+            }
+        )
+    eer = equal_error_rate(y01, scores, positive_label=1)
+    far_curve, tpr_curve, _ = roc_curve(y01, scores, positive_label=1)
+    return ExperimentResult(
+        experiment_id="E26",
+        title="Extension: facing-threshold operating points",
+        headers=["threshold", "far_pct", "frr_pct"],
+        rows=rows,
+        paper="the paper operates at an implicit 0.5 threshold",
+        notes="raise the threshold for stronger privacy (lower FAR), lower it for fewer false rejections",
+        summary={
+            "eer_pct": 100.0 * eer,
+            "far_monotone_decreasing": bool(
+                np.all(np.diff([r["far_pct"] for r in rows]) <= 1e-9)
+            ),
+            "frr_monotone_increasing": bool(
+                np.all(np.diff([r["frr_pct"] for r in rows]) >= -1e-9)
+            ),
+        },
+    )

@@ -1,0 +1,86 @@
+"""E23 — Figures 5-6: the physical insights behind the features.
+
+(a) Figure 5: the same utterance at 0 vs 180 deg — forward speech
+    arrives stronger and with a larger high/low band ratio.
+(b) Figure 6a: GCC-PHAT between a mic pair peaks near the geometric
+    TDoA when facing, and spreads into reflection peaks when not.
+(c) Figure 6b: the weighted SRP lag curve — the smaller the facing
+    angle, the higher the peak power, with 3-4 reverberation peaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..acoustics.propagation import render_capture
+from ..acoustics.room import lab_room
+from ..acoustics.scene import LAB_PLACEMENTS, Scene, SpeakerPose
+from ..acoustics.sources import HumanSpeaker
+from ..arrays.devices import default_channel_subset, get_device
+from ..core.preprocessing import preprocess
+from ..datasets.catalog import BENCH, Scale
+from ..datasets.collection import stable_seed
+from ..dsp.spectral import high_low_band_ratio
+from ..dsp.srp import srp_max_lag_for, srp_phat_lag_curve
+from ..dsp.stats import find_peaks
+from ..dsp.stft import mean_power_spectrum
+from ..reporting import ExperimentResult
+
+
+def prominent_peak_count(curve: np.ndarray, threshold: float = 0.3) -> int:
+    """Local maxima whose height clears ``threshold`` of the global max."""
+    peaks = find_peaks(curve)
+    if peaks.size == 0:
+        return 0
+    return int(np.sum(curve[peaks] >= threshold * curve.max()))
+
+
+def run(scale: Scale = BENCH, seed: int = 0, n_repetitions: int = 6) -> ExperimentResult:
+    """RMS, HLBR and SRP peak structure at 0/90/180 deg."""
+    device = get_device("D2")
+    array = device.subset(default_channel_subset(device))
+    rng = np.random.default_rng(stable_seed("insights", seed))
+    speaker = HumanSpeaker.random(rng)
+    room = lab_room()
+    max_lag = srp_max_lag_for(array)
+
+    rows = []
+    for angle in (0.0, 90.0, 180.0):
+        rms_values, hlbr_values, srp_peaks, n_peaks = [], [], [], []
+        for _ in range(n_repetitions):
+            scene = Scene(
+                room=room,
+                device=array,
+                placement=LAB_PLACEMENTS["A"],
+                pose=SpeakerPose(distance_m=3.0, head_angle_deg=angle),
+            )
+            capture = render_capture(scene, speaker.emit("computer", array.sample_rate, rng), rng=rng)
+            rms_values.append(float(np.sqrt(np.mean(capture.channels**2))))
+            audio = preprocess(capture)
+            freqs, power = mean_power_spectrum(audio.reference, audio.sample_rate)
+            hlbr_values.append(high_low_band_ratio(freqs, power))
+            srp = srp_phat_lag_curve(audio.channels, array.pairs(), max_lag)
+            srp_peaks.append(float(srp.max()))
+            n_peaks.append(prominent_peak_count(srp))
+        rows.append(
+            {
+                "angle_deg": angle,
+                "capture_rms": float(np.mean(rms_values)),
+                "hlbr": float(np.mean(hlbr_values)),
+                "srp_peak": float(np.mean(srp_peaks)),
+                "n_srp_peaks": float(np.mean(n_peaks)),
+            }
+        )
+    forward, backward = rows[0], rows[-1]
+    return ExperimentResult(
+        experiment_id="E23",
+        title="Figures 5-6: propagation insights (0/90/180 deg)",
+        headers=["angle_deg", "capture_rms", "hlbr", "srp_peak", "n_srp_peaks"],
+        rows=rows,
+        paper="forward speech is stronger; smaller angles give higher SRP peaks; 3-4 peaks per curve",
+        summary={
+            "rms_forward_over_backward": forward["capture_rms"] / max(backward["capture_rms"], 1e-12),
+            "hlbr_forward_over_backward": forward["hlbr"] / max(backward["hlbr"], 1e-12),
+            "srp_forward_over_backward": forward["srp_peak"] / max(backward["srp_peak"], 1e-12),
+        },
+    )

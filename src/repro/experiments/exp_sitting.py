@@ -1,0 +1,36 @@
+"""E14 — Section IV-B11: sitting versus standing.
+
+The model trains on standing captures (mouth ~1.65 m) and is tested on
+seated captures (mouth ~1.2 m).  Paper: 93.33% — sitting down does not
+break orientation detection.
+"""
+
+from __future__ import annotations
+
+from ..core.config import DEFAULT_DEFINITION
+from ..datasets.catalog import BENCH, Scale, build_orientation_dataset, dataset5_specs
+from ..reporting import ExperimentResult
+from .common import default_dataset, evaluate_detector, fit_detector
+
+
+def run(scale: Scale = BENCH, seed: int = 0) -> ExperimentResult:
+    """Accuracy on seated captures with the standing-trained model."""
+    train = default_dataset(scale, seed)
+    detector = fit_detector(train, DEFAULT_DEFINITION)
+    seated = build_orientation_dataset(dataset5_specs(scale), seed)
+    report = evaluate_detector(detector, seated, DEFAULT_DEFINITION)
+    standing_report = evaluate_detector(
+        detector, train.session_split(0)[1], DEFAULT_DEFINITION
+    )
+    rows = [
+        {"posture": "standing (control)", "accuracy_pct": 100.0 * standing_report.accuracy},
+        {"posture": "sitting", "accuracy_pct": 100.0 * report.accuracy},
+    ]
+    return ExperimentResult(
+        experiment_id="E14",
+        title="Sitting vs standing (Section IV-B11)",
+        headers=["posture", "accuracy_pct"],
+        rows=rows,
+        paper="93.33% when trained standing, tested sitting",
+        summary={"sitting_accuracy": rows[1]["accuracy_pct"]},
+    )

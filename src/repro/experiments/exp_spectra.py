@@ -1,0 +1,68 @@
+"""E22 — Figure 3: spectral contrast of human vs replayed utterances.
+
+Renders "Computer" from a live simulated human, a Sony-class
+loudspeaker and a phone-class loudspeaker in the same scene, and
+quantifies the paper's observation: live speech keeps structured energy
+above 4 kHz with an exponential decay, replay rolls off harder and what
+remains above 4 kHz is a flatter noise shelf.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..acoustics.scene import LAB_PLACEMENTS, Scene, SpeakerPose
+from ..acoustics.room import lab_room
+from ..acoustics.propagation import render_capture
+from ..acoustics.sources import GALAXY_S21, HumanSpeaker, LoudspeakerSource, SONY_SRS_X5
+from ..arrays.devices import default_channel_subset, get_device
+from ..core.preprocessing import preprocess
+from ..datasets.catalog import BENCH, Scale
+from ..datasets.collection import stable_seed
+from ..dsp.spectral import spectral_contrast
+from ..reporting import ExperimentResult
+
+
+def run(scale: Scale = BENCH, seed: int = 0, n_repetitions: int = 4) -> ExperimentResult:
+    """High-band fraction and decay slope per source type."""
+    device = get_device("D2")
+    array = device.subset(default_channel_subset(device))
+    scene = Scene(
+        room=lab_room(),
+        device=array,
+        placement=LAB_PLACEMENTS["A"],
+        pose=SpeakerPose(distance_m=1.0),
+    )
+    rng = np.random.default_rng(stable_seed("spectra", seed))
+    speaker = HumanSpeaker.random(rng)
+    sources = {
+        "live human": speaker,
+        "sony srs-x5 replay": LoudspeakerSource(voice=speaker, model=SONY_SRS_X5),
+        "galaxy s21 replay": LoudspeakerSource(voice=speaker, model=GALAXY_S21),
+    }
+    rows = []
+    for name, source in sources.items():
+        fractions, slopes = [], []
+        for _ in range(n_repetitions):
+            capture = render_capture(scene, source.emit("computer", array.sample_rate, rng), rng=rng)
+            audio = preprocess(capture)
+            contrast = spectral_contrast(audio.reference, audio.sample_rate)
+            fractions.append(contrast.high_fraction)
+            slopes.append(contrast.decay_db_per_octave)
+        rows.append(
+            {
+                "source": name,
+                "above_4khz_fraction_pct": 100.0 * float(np.mean(fractions)),
+                "decay_db_per_octave": float(np.mean(slopes)),
+            }
+        )
+    human = rows[0]["above_4khz_fraction_pct"]
+    replay = float(np.mean([r["above_4khz_fraction_pct"] for r in rows[1:]]))
+    return ExperimentResult(
+        experiment_id="E22",
+        title="Figure 3: human vs replay spectra",
+        headers=["source", "above_4khz_fraction_pct", "decay_db_per_octave"],
+        rows=rows,
+        paper="live speech has structured >4 kHz responses; replay has fewer, flatter ones",
+        summary={"human_to_replay_hf_ratio": human / max(replay, 1e-9)},
+    )

@@ -1,0 +1,117 @@
+"""From-scratch machine-learning substrate (no sklearn offline)."""
+
+from .base import Classifier, NotFittedError, check_features, check_labels, encode_labels
+from .calibration import (
+    ReliabilityCurve,
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+from .decision_tree import DecisionTreeClassifier
+from .incremental import (
+    IncrementalModelPool,
+    SelfTrainingRound,
+    select_high_confidence,
+    self_training_update,
+)
+from .knn import KNeighborsClassifier
+from .logistic import LogisticRegression
+from .metrics import (
+    BinaryReport,
+    accuracy,
+    auc,
+    binary_report,
+    confusion_matrix,
+    equal_error_rate,
+    f1_score,
+    false_acceptance_rate,
+    false_rejection_rate,
+    precision_recall_f1,
+    roc_curve,
+    true_positive_rate,
+)
+from .model_selection import (
+    GridSearchResult,
+    StratifiedKFold,
+    cross_val_score,
+    grid_search,
+    group_k_fold,
+    train_test_split,
+)
+from .neural import (
+    Adam,
+    Conv1d,
+    Dense,
+    Dropout,
+    GlobalAvgPool1d,
+    Layer,
+    ReLU,
+    Sequential,
+    SpectroTemporalNet,
+    TrainingHistory,
+    cross_entropy_loss,
+    softmax,
+)
+from .random_forest import RandomForestClassifier
+from .resampling import adasyn, smote
+from .scaler import MinMaxScaler, StandardScaler
+from .svm import SVC, OneVsRestClassifier, linear_kernel, polynomial_kernel, rbf_kernel
+
+__all__ = [
+    "Adam",
+    "BinaryReport",
+    "Classifier",
+    "Conv1d",
+    "DecisionTreeClassifier",
+    "Dense",
+    "Dropout",
+    "GlobalAvgPool1d",
+    "GridSearchResult",
+    "IncrementalModelPool",
+    "KNeighborsClassifier",
+    "Layer",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "NotFittedError",
+    "OneVsRestClassifier",
+    "RandomForestClassifier",
+    "ReLU",
+    "ReliabilityCurve",
+    "brier_score",
+    "expected_calibration_error",
+    "reliability_curve",
+    "SVC",
+    "SelfTrainingRound",
+    "Sequential",
+    "SpectroTemporalNet",
+    "StandardScaler",
+    "StratifiedKFold",
+    "TrainingHistory",
+    "accuracy",
+    "adasyn",
+    "auc",
+    "binary_report",
+    "check_features",
+    "check_labels",
+    "confusion_matrix",
+    "cross_entropy_loss",
+    "cross_val_score",
+    "encode_labels",
+    "equal_error_rate",
+    "f1_score",
+    "false_acceptance_rate",
+    "false_rejection_rate",
+    "grid_search",
+    "group_k_fold",
+    "linear_kernel",
+    "polynomial_kernel",
+    "precision_recall_f1",
+    "rbf_kernel",
+    "roc_curve",
+    "select_high_confidence",
+    "self_training_update",
+    "smote",
+    "softmax",
+    "train_test_split",
+    "true_positive_rate",
+]

@@ -1,0 +1,77 @@
+"""Estimator interfaces for the from-scratch ML substrate.
+
+No sklearn is available offline, so the paper's classifiers (SVM, random
+forest, decision tree, kNN) and the liveness network are implemented on
+numpy.  Estimators follow the familiar fit/predict contract:
+
+- ``fit(X, y) -> self``
+- ``predict(X) -> labels``
+- ``predict_proba(X) -> (n_samples, n_classes)`` where supported
+- ``classes_`` is the sorted label vocabulary after fitting
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict is called before fit."""
+
+
+def check_features(X: np.ndarray, name: str = "X") -> np.ndarray:
+    """Validate and return a 2-D float feature matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n_samples, n_features), got {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError(f"{name} has no samples")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def check_labels(y: np.ndarray, n_samples: int) -> np.ndarray:
+    """Validate a label vector against the sample count."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if y.shape[0] != n_samples:
+        raise ValueError(f"y has {y.shape[0]} labels for {n_samples} samples")
+    return y
+
+
+def encode_labels(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map labels to 0..K-1 codes; returns ``(classes, codes)``."""
+    classes, codes = np.unique(y, return_inverse=True)
+    return classes, codes
+
+
+class Classifier(abc.ABC):
+    """Base class for all classifiers in the substrate."""
+
+    classes_: np.ndarray | None = None
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on features ``X`` and labels ``y``; returns self."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a label for each row of ``X``."""
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates; default raises if unsupported."""
+        raise NotImplementedError(f"{type(self).__name__} has no probability output")
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on the given test data."""
+        predictions = self.predict(X)
+        y = np.asarray(y)
+        return float(np.mean(predictions == y))
+
+    def _require_fitted(self) -> None:
+        if self.classes_ is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted yet")

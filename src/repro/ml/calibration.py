@@ -1,0 +1,84 @@
+"""Probability-calibration diagnostics.
+
+HeadTalk thresholds probabilities (liveness score, facing probability),
+so those probabilities should *mean* something: among utterances scored
+0.8, about 80% should truly be positive.  This module provides the
+standard diagnostics — reliability curves, expected calibration error
+(ECE) and the Brier score — used by tests to keep the SVM's Platt
+scaling and the liveness network's softmax honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned predicted-vs-observed frequencies."""
+
+    bin_centers: np.ndarray
+    predicted_mean: np.ndarray
+    observed_fraction: np.ndarray
+    counts: np.ndarray
+
+
+def _validated(y_true: np.ndarray, probabilities: np.ndarray):
+    y = np.asarray(y_true).astype(int)
+    p = np.asarray(probabilities, dtype=float)
+    if y.shape != p.shape or y.ndim != 1:
+        raise ValueError("y_true and probabilities must be equal-length 1-D arrays")
+    if y.size == 0:
+        raise ValueError("inputs are empty")
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    if not set(np.unique(y)) <= {0, 1}:
+        raise ValueError("y_true must be binary 0/1")
+    return y, p
+
+
+def reliability_curve(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> ReliabilityCurve:
+    """Reliability diagram data over equal-width probability bins."""
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    y, p = _validated(y_true, probabilities)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.clip(np.digitize(p, edges[1:-1]), 0, n_bins - 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    predicted = np.zeros(n_bins)
+    observed = np.zeros(n_bins)
+    counts = np.zeros(n_bins, dtype=int)
+    for b in range(n_bins):
+        mask = bins == b
+        counts[b] = int(mask.sum())
+        if counts[b]:
+            predicted[b] = float(p[mask].mean())
+            observed[b] = float(y[mask].mean())
+    return ReliabilityCurve(
+        bin_centers=centers,
+        predicted_mean=predicted,
+        observed_fraction=observed,
+        counts=counts,
+    )
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean |predicted - observed| over bins."""
+    curve = reliability_curve(y_true, probabilities, n_bins)
+    total = curve.counts.sum()
+    if total == 0:
+        return 0.0
+    gaps = np.abs(curve.predicted_mean - curve.observed_fraction)
+    return float(np.sum(curve.counts * gaps) / total)
+
+
+def brier_score(y_true: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean squared error of the probabilities (lower is better)."""
+    y, p = _validated(y_true, probabilities)
+    return float(np.mean((p - y) ** 2))

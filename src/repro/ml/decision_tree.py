@@ -1,0 +1,228 @@
+"""CART decision-tree classifier (Gini impurity).
+
+The paper's DT baseline caps the *maximum number of splits* at 5
+(MATLAB-style control), so this implementation grows the tree best-first
+— always expanding the node with the largest impurity decrease — which
+makes a split budget meaningful.  Depth and minimum-samples controls are
+also available for forest use.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import Classifier, check_features, check_labels, encode_labels
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry class counts, splits carry a test."""
+
+    counts: np.ndarray
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def probabilities(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0:
+            return np.full(self.counts.size, 1.0 / self.counts.size)
+        return self.counts / total
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p**2))
+
+
+def _best_split(
+    X: np.ndarray,
+    codes: np.ndarray,
+    n_classes: int,
+    feature_indices: np.ndarray,
+    min_leaf: int,
+) -> tuple[float, int, float] | None:
+    """Best (impurity-decrease, feature, threshold) over candidate features.
+
+    For each feature the samples are sorted once and Gini is evaluated at
+    every class-changing boundary with cumulative class counts.
+    """
+    n = codes.size
+    parent_counts = np.bincount(codes, minlength=n_classes).astype(float)
+    parent_gini = _gini(parent_counts)
+    best: tuple[float, int, float] | None = None
+    one_hot = np.zeros((n, n_classes))
+    one_hot[np.arange(n), codes] = 1.0
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="stable")
+        values = X[order, feature]
+        left_counts = np.cumsum(one_hot[order], axis=0)  # counts after i+1 samples
+        # Candidate cut positions: between distinct adjacent values.
+        distinct = np.nonzero(values[1:] > values[:-1] + 1e-15)[0]
+        if distinct.size == 0:
+            continue
+        for cut in distinct:
+            n_left = cut + 1
+            n_right = n - n_left
+            if n_left < min_leaf or n_right < min_leaf:
+                continue
+            lc = left_counts[cut]
+            rc = parent_counts - lc
+            weighted = (n_left * _gini(lc) + n_right * _gini(rc)) / n
+            decrease = parent_gini - weighted
+            if best is None or decrease > best[0]:
+                threshold = 0.5 * (values[cut] + values[cut + 1])
+                best = (float(decrease), int(feature), float(threshold))
+    if best is not None and best[0] <= 1e-12:
+        return None
+    return best
+
+
+class DecisionTreeClassifier(Classifier):
+    """Best-first CART classifier.
+
+    Parameters
+    ----------
+    max_splits:
+        Maximum number of internal nodes (the paper uses 5); None for
+        unlimited.
+    max_depth:
+        Depth cap; None for unlimited.
+    min_samples_leaf:
+        Minimum samples in each child of a split.
+    max_features:
+        Features examined per split: None (all), ``"sqrt"`` or an int —
+        used by the random forest.
+    """
+
+    def __init__(
+        self,
+        max_splits: int | None = 5,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | None = 0,
+    ) -> None:
+        if max_splits is not None and max_splits < 1:
+            raise ValueError("max_splits must be >= 1 or None")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_splits = max_splits
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.root_: _Node | None = None
+        self.n_splits_: int = 0
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return max(1, min(int(self.max_features), n_features))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree best-first under the split budget."""
+        X = check_features(X)
+        y = check_labels(y, X.shape[0])
+        self.classes_, codes = encode_labels(y)
+        n_classes = self.classes_.size
+        rng = np.random.default_rng(self.random_state)
+        n_candidates = self._n_candidate_features(X.shape[1])
+
+        counts = np.bincount(codes, minlength=n_classes).astype(float)
+        self.root_ = _Node(counts=counts)
+        self.n_splits_ = 0
+
+        # Best-first frontier: (-impurity_decrease, tiebreak, node, rows, depth, split).
+        frontier: list[tuple[float, int, _Node, np.ndarray, int, tuple[float, int, float]]] = []
+        tiebreak = itertools.count()
+
+        def consider(node: _Node, rows: np.ndarray, depth: int) -> None:
+            if rows.size < 2 * self.min_samples_leaf:
+                return
+            if self.max_depth is not None and depth >= self.max_depth:
+                return
+            node_codes = codes[rows]
+            if np.all(node_codes == node_codes[0]):
+                return
+            if n_candidates < X.shape[1]:
+                features = rng.choice(X.shape[1], size=n_candidates, replace=False)
+            else:
+                features = np.arange(X.shape[1])
+            split = _best_split(
+                X[rows], node_codes, n_classes, features, self.min_samples_leaf
+            )
+            if split is None:
+                return
+            weighted_gain = split[0] * rows.size
+            heapq.heappush(
+                frontier, (-weighted_gain, next(tiebreak), node, rows, depth, split)
+            )
+
+        consider(self.root_, np.arange(X.shape[0]), 0)
+        while frontier:
+            if self.max_splits is not None and self.n_splits_ >= self.max_splits:
+                break
+            _, _, node, rows, depth, (gain, feature, threshold) = heapq.heappop(frontier)
+            left_rows = rows[X[rows, feature] <= threshold]
+            right_rows = rows[X[rows, feature] > threshold]
+            if left_rows.size == 0 or right_rows.size == 0:
+                continue
+            node.feature = feature
+            node.threshold = threshold
+            node.left = _Node(
+                counts=np.bincount(codes[left_rows], minlength=n_classes).astype(float)
+            )
+            node.right = _Node(
+                counts=np.bincount(codes[right_rows], minlength=n_classes).astype(float)
+            )
+            self.n_splits_ += 1
+            consider(node.left, left_rows, depth + 1)
+            consider(node.right, right_rows, depth + 1)
+        return self
+
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority label of the reached leaf."""
+        self._require_fitted()
+        X = check_features(X)
+        indices = [int(np.argmax(self._leaf_for(x).counts)) for x in X]
+        return self.classes_[indices]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class frequencies."""
+        self._require_fitted()
+        X = check_features(X)
+        return np.stack([self._leaf_for(x).probabilities() for x in X])
+
+    @property
+    def depth_(self) -> int:
+        """Actual depth of the grown tree."""
+        self._require_fitted()
+
+        def depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self.root_)

@@ -1,0 +1,115 @@
+"""High-confidence self-training (incremental learning).
+
+Section IV-B9: after temporal drift degrades accuracy, HeadTalk "reuses
+high-confidence test samples (>= 80%) as training data and rebuilds the
+model periodically".  :func:`self_training_update` implements that loop
+for any probabilistic classifier factory, and
+:class:`IncrementalModelPool` tracks the growing training pool across
+rounds (also used to adapt the liveness network to new replay hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import Classifier, check_features, check_labels
+
+
+@dataclass
+class SelfTrainingRound:
+    """Outcome of one incremental round."""
+
+    n_added: int
+    n_offered: int
+    model: Classifier
+
+
+def select_high_confidence(
+    model: Classifier,
+    X_new: np.ndarray,
+    threshold: float = 0.8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rows of ``X_new`` the model labels with confidence >= threshold.
+
+    Returns ``(row_indices, pseudo_labels)``.
+    """
+    if not 0.5 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0.5, 1.0]")
+    X_new = check_features(X_new)
+    proba = model.predict_proba(X_new)
+    confidence = proba.max(axis=1)
+    rows = np.nonzero(confidence >= threshold)[0]
+    labels = model.classes_[np.argmax(proba[rows], axis=1)]
+    return rows, labels
+
+
+def self_training_update(
+    factory,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_new: np.ndarray,
+    n_to_add: int,
+    threshold: float = 0.8,
+) -> SelfTrainingRound:
+    """Retrain after absorbing up to ``n_to_add`` pseudo-labelled samples.
+
+    The most confident new samples are added first, mirroring the
+    paper's "adding N new training samples" sweep in Fig. 15.
+    """
+    if n_to_add < 0:
+        raise ValueError("n_to_add must be >= 0")
+    base: Classifier = factory()
+    base.fit(X_train, y_train)
+    rows, labels = select_high_confidence(base, X_new, threshold)
+    if rows.size > n_to_add:
+        proba = base.predict_proba(X_new[rows])
+        order = np.argsort(-proba.max(axis=1), kind="stable")[:n_to_add]
+        rows, labels = rows[order], labels[order]
+    if rows.size == 0:
+        return SelfTrainingRound(n_added=0, n_offered=0, model=base)
+    X_aug = np.vstack([X_train, X_new[rows]])
+    y_aug = np.concatenate([np.asarray(y_train), labels])
+    updated: Classifier = factory()
+    updated.fit(X_aug, y_aug)
+    return SelfTrainingRound(n_added=int(rows.size), n_offered=int(rows.size), model=updated)
+
+
+@dataclass
+class IncrementalModelPool:
+    """A training pool that grows across self-training rounds."""
+
+    factory: object
+    X_pool: np.ndarray
+    y_pool: np.ndarray
+    threshold: float = 0.8
+    model: Classifier | None = None
+    rounds: list[SelfTrainingRound] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.X_pool = check_features(np.asarray(self.X_pool, dtype=float))
+        self.y_pool = check_labels(np.asarray(self.y_pool), self.X_pool.shape[0])
+        self.model = self.factory()
+        self.model.fit(self.X_pool, self.y_pool)
+
+    def absorb(self, X_new: np.ndarray, n_to_add: int) -> SelfTrainingRound:
+        """Run one self-training round against fresh unlabeled samples."""
+        outcome = self_training_update(
+            self.factory, self.X_pool, self.y_pool, X_new, n_to_add, self.threshold
+        )
+        if outcome.n_added:
+            rows, labels = select_high_confidence(self.model, X_new, self.threshold)
+            if rows.size > n_to_add:
+                proba = self.model.predict_proba(X_new[rows])
+                order = np.argsort(-proba.max(axis=1), kind="stable")[:n_to_add]
+                rows, labels = rows[order], labels[order]
+            self.X_pool = np.vstack([self.X_pool, X_new[rows]])
+            self.y_pool = np.concatenate([self.y_pool, labels])
+        self.model = outcome.model
+        self.rounds.append(outcome)
+        return outcome
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of the current model."""
+        return self.model.score(X, y)

@@ -1,0 +1,72 @@
+"""k-nearest-neighbour classifier (paper baseline: k = 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_features, check_labels
+
+
+class KNeighborsClassifier(Classifier):
+    """Brute-force kNN with Euclidean distance and majority voting.
+
+    Ties are broken toward the nearer neighbours (distance-weighted vote
+    is available via ``weights="distance"``).
+    """
+
+    def __init__(self, n_neighbors: int = 3, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.classes_: np.ndarray | None = None
+        self._X: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Memorize the training set."""
+        X = check_features(X)
+        y = check_labels(y, X.shape[0])
+        if X.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} samples, got {X.shape[0]}"
+            )
+        self.classes_, codes = np.unique(y, return_inverse=True)
+        self._X = X
+        self._codes = codes
+        return self
+
+    def _vote(self, X: np.ndarray) -> np.ndarray:
+        a2 = np.sum(X**2, axis=1)[:, None]
+        b2 = np.sum(self._X**2, axis=1)[None, :]
+        distances = np.sqrt(np.maximum(a2 + b2 - 2.0 * X @ self._X.T, 0.0))
+        neighbor_idx = np.argpartition(distances, self.n_neighbors - 1, axis=1)[
+            :, : self.n_neighbors
+        ]
+        votes = np.zeros((X.shape[0], self.classes_.size))
+        for row in range(X.shape[0]):
+            idx = neighbor_idx[row]
+            if self.weights == "distance":
+                weight = 1.0 / (distances[row, idx] + 1e-9)
+            else:
+                weight = np.ones(idx.size)
+            np.add.at(votes[row], self._codes[idx], weight)
+        return votes
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority label among the k nearest training samples."""
+        self._require_fitted()
+        X = check_features(X)
+        votes = self._vote(X)
+        return self.classes_[np.argmax(votes, axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Vote fractions as probabilities."""
+        self._require_fitted()
+        X = check_features(X)
+        votes = self._vote(X)
+        totals = votes.sum(axis=1, keepdims=True)
+        totals[totals <= 0] = 1.0
+        return votes / totals

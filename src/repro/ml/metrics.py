@@ -1,0 +1,198 @@
+"""Evaluation metrics.
+
+Implements everything the paper reports: accuracy, precision, recall,
+F1-score, true-positive rate (TPR), false-acceptance rate (FAR),
+false-rejection rate (FRR), ROC curves and the equal error rate (EER)
+used for liveness detection.
+
+Convention for the orientation task: the *positive* class is "facing".
+FAR is the fraction of non-facing samples accepted as facing (a privacy
+failure); FRR is the fraction of facing samples rejected (a usability
+failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Confusion counts; returns ``(labels, matrix)`` with rows = true."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: k for k, label in enumerate(labels.tolist())}
+    matrix = np.zeros((labels.size, labels.size), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return labels, matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_label=1
+) -> tuple[float, float, float]:
+    """Binary precision, recall and F1 for the given positive label."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    true_positive = np.sum((y_pred == positive_label) & (y_true == positive_label))
+    false_positive = np.sum((y_pred == positive_label) & (y_true != positive_label))
+    false_negative = np.sum((y_pred != positive_label) & (y_true == positive_label))
+    precision = true_positive / max(true_positive + false_positive, 1)
+    recall = true_positive / max(true_positive + false_negative, 1)
+    if precision + recall <= 0:
+        return float(precision), float(recall), 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return float(precision), float(recall), float(f1)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive_label=1) -> float:
+    """Binary F1 for the given positive label."""
+    return precision_recall_f1(y_true, y_pred, positive_label)[2]
+
+
+def false_acceptance_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_label=1
+) -> float:
+    """Fraction of true negatives predicted positive (FAR)."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    negatives = y_true != positive_label
+    if not negatives.any():
+        return 0.0
+    return float(np.mean(y_pred[negatives] == positive_label))
+
+
+def false_rejection_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_label=1
+) -> float:
+    """Fraction of true positives predicted negative (FRR)."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    positives = y_true == positive_label
+    if not positives.any():
+        return 0.0
+    return float(np.mean(y_pred[positives] != positive_label))
+
+
+def true_positive_rate(y_true: np.ndarray, y_pred: np.ndarray, positive_label=1) -> float:
+    """Recall of the positive class (TPR = 1 - FRR)."""
+    return 1.0 - false_rejection_rate(y_true, y_pred, positive_label)
+
+
+@dataclass(frozen=True)
+class BinaryReport:
+    """All binary metrics the paper tabulates, in one place."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    tpr: float
+    far: float
+    frr: float
+    n_samples: int
+
+    def as_row(self) -> dict[str, float]:
+        """Metrics as a {name: percentage} mapping for table rendering."""
+        return {
+            "accuracy": 100.0 * self.accuracy,
+            "precision": 100.0 * self.precision,
+            "recall": 100.0 * self.recall,
+            "f1": 100.0 * self.f1,
+            "tpr": 100.0 * self.tpr,
+            "far": 100.0 * self.far,
+            "frr": 100.0 * self.frr,
+        }
+
+
+def binary_report(y_true: np.ndarray, y_pred: np.ndarray, positive_label=1) -> BinaryReport:
+    """Compute the full binary metric set."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, positive_label)
+    return BinaryReport(
+        accuracy=accuracy(y_true, y_pred),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        tpr=true_positive_rate(y_true, y_pred, positive_label),
+        far=false_acceptance_rate(y_true, y_pred, positive_label),
+        frr=false_rejection_rate(y_true, y_pred, positive_label),
+        n_samples=int(y_true.size),
+    )
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray, positive_label=1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points ``(far, tpr, thresholds)``.
+
+    ``scores`` are higher-means-more-positive decision values; thresholds
+    sweep from above the max score (accept nothing) to the min (accept
+    everything).
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    positives = y_true == positive_label
+    n_pos = int(positives.sum())
+    n_neg = int(y_true.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs both positive and negative samples")
+    order = np.argsort(-scores, kind="stable")
+    sorted_pos = positives[order]
+    tps = np.cumsum(sorted_pos)
+    fps = np.cumsum(~sorted_pos)
+    thresholds = scores[order]
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    far = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[thresholds[0] + 1.0], thresholds])
+    return far, tpr, thresholds
+
+
+def equal_error_rate(y_true: np.ndarray, scores: np.ndarray, positive_label=1) -> float:
+    """EER: the operating point where FAR equals FRR.
+
+    Linear interpolation between the bracketing ROC points.
+    """
+    far, tpr, _ = roc_curve(y_true, scores, positive_label)
+    frr = 1.0 - tpr
+    diff = far - frr
+    crossing = np.nonzero(np.diff(np.sign(diff)) != 0)[0]
+    if crossing.size == 0:
+        idx = int(np.argmin(np.abs(diff)))
+        return float((far[idx] + frr[idx]) / 2.0)
+    k = int(crossing[0])
+    d0, d1 = diff[k], diff[k + 1]
+    weight = 0.0 if d1 == d0 else -d0 / (d1 - d0)
+    eer_far = far[k] + weight * (far[k + 1] - far[k])
+    eer_frr = frr[k] + weight * (frr[k + 1] - frr[k])
+    return float((eer_far + eer_frr) / 2.0)
+
+
+def auc(far: np.ndarray, tpr: np.ndarray) -> float:
+    """Area under an ROC curve via the trapezoid rule."""
+    far = np.asarray(far, dtype=float)
+    tpr = np.asarray(tpr, dtype=float)
+    order = np.argsort(far, kind="stable")
+    return float(np.trapezoid(tpr[order], far[order]))
+
+
+def _aligned(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metric inputs are empty")
+    return y_true, y_pred

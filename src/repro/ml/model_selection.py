@@ -1,0 +1,161 @@
+"""Data splitting, cross-validation and grid search.
+
+The paper tunes the SVM's RBF complexity parameter by grid search with
+10-fold cross validation; the cross-user experiment uses leave-one-user-
+out (a grouped K-fold).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Classifier, check_features, check_labels
+from .metrics import accuracy as accuracy_metric
+from .metrics import f1_score
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    stratify: bool = True,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally stratified) split; returns X_tr, X_te, y_tr, y_te."""
+    X = check_features(X)
+    y = check_labels(np.asarray(y), X.shape[0])
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    test_rows: list[int] = []
+    if stratify:
+        for label in np.unique(y):
+            rows = np.nonzero(y == label)[0]
+            rng.shuffle(rows)
+            n_test = max(1, int(round(rows.size * test_fraction)))
+            n_test = min(n_test, rows.size - 1) if rows.size > 1 else n_test
+            test_rows.extend(rows[:n_test].tolist())
+    else:
+        rows = rng.permutation(X.shape[0])
+        test_rows = rows[: max(1, int(round(X.shape[0] * test_fraction)))].tolist()
+    test_mask = np.zeros(X.shape[0], dtype=bool)
+    test_mask[test_rows] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+@dataclass(frozen=True)
+class StratifiedKFold:
+    """K-fold splitter preserving class proportions per fold."""
+
+    n_splits: int = 10
+    shuffle: bool = True
+    random_state: int | None = 0
+
+    def split(self, X: np.ndarray, y: np.ndarray):
+        """Yield ``(train_rows, test_rows)`` index arrays."""
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        X = check_features(X)
+        y = check_labels(np.asarray(y), X.shape[0])
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.zeros(X.shape[0], dtype=int)
+        for label in np.unique(y):
+            rows = np.nonzero(y == label)[0]
+            if self.shuffle:
+                rng.shuffle(rows)
+            for position, row in enumerate(rows):
+                fold_of[row] = position % self.n_splits
+        for fold in range(self.n_splits):
+            test_mask = fold_of == fold
+            if not test_mask.any() or test_mask.all():
+                continue
+            yield np.nonzero(~test_mask)[0], np.nonzero(test_mask)[0]
+
+
+def group_k_fold(groups: np.ndarray):
+    """Leave-one-group-out splits (cross-user evaluation).
+
+    Yields ``(group_value, train_rows, test_rows)`` per distinct group.
+    """
+    groups = np.asarray(groups)
+    if groups.ndim != 1 or groups.size == 0:
+        raise ValueError("groups must be a non-empty 1-D array")
+    for value in np.unique(groups):
+        test_mask = groups == value
+        if test_mask.all():
+            raise ValueError("cannot hold out the only group")
+        yield value, np.nonzero(~test_mask)[0], np.nonzero(test_mask)[0]
+
+
+_SCORERS = {
+    "accuracy": accuracy_metric,
+    "f1": f1_score,
+}
+
+
+def cross_val_score(
+    factory,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    scoring: str = "accuracy",
+    random_state: int | None = 0,
+) -> np.ndarray:
+    """Per-fold scores of a classifier factory under stratified K-fold."""
+    if scoring not in _SCORERS:
+        raise ValueError(f"unknown scoring {scoring!r}; options {sorted(_SCORERS)}")
+    scorer = _SCORERS[scoring]
+    scores = []
+    splitter = StratifiedKFold(n_splits=n_splits, random_state=random_state)
+    for train_rows, test_rows in splitter.split(X, y):
+        model: Classifier = factory()
+        model.fit(X[train_rows], y[train_rows])
+        scores.append(scorer(y[test_rows], model.predict(X[test_rows])))
+    if not scores:
+        raise ValueError("no valid folds produced")
+    return np.asarray(scores)
+
+
+@dataclass
+class GridSearchResult:
+    """Winning parameters and the full score table of a grid search."""
+
+    best_params: dict
+    best_score: float
+    results: list[tuple[dict, float]]
+
+
+def grid_search(
+    factory,
+    grid: dict[str, list],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    scoring: str = "accuracy",
+    random_state: int | None = 0,
+) -> GridSearchResult:
+    """Exhaustive CV search over a parameter grid.
+
+    ``factory(**params)`` must build an unfitted classifier.  This is the
+    paper's LIBSVM-style selection of the best RBF complexity parameter.
+    """
+    if not grid:
+        raise ValueError("grid must not be empty")
+    names = sorted(grid)
+    results: list[tuple[dict, float]] = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, values))
+        scores = cross_val_score(
+            lambda params=params: factory(**params),
+            X,
+            y,
+            n_splits=n_splits,
+            scoring=scoring,
+            random_state=random_state,
+        )
+        results.append((params, float(scores.mean())))
+    best_params, best_score = max(results, key=lambda item: item[1])
+    return GridSearchResult(best_params=best_params, best_score=best_score, results=results)

@@ -1,0 +1,418 @@
+"""A small neural-network framework and the liveness network.
+
+The paper fine-tunes wav2vec2 (a torch model) for liveness detection.
+Offline, with numpy only, we substitute :class:`SpectroTemporalNet` — a
+1-D convolutional representation network over log-spectral frames with a
+classification head, trained with Adam — which exercises the same
+train / validate / incremental-retrain loop and produces the scores the
+EER evaluation needs (see DESIGN.md for the substitution rationale).
+
+The framework pieces (``Dense``, ``Conv1d``, ``ReLU``, ``GlobalAvgPool1d``,
+``Dropout``, softmax cross-entropy, :class:`Adam`) implement full
+forward/backward passes and are unit-tested against numerical gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import Classifier, check_labels
+
+
+class Layer:
+    """Base layer: forward caches what backward needs."""
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Compute the layer output (caching whatever backward needs)."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate: return dL/dx given dL/dy, filling gradients."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[np.ndarray]:
+        """Learnable arrays, updated in-place by the optimizer."""
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`parameters`."""
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator) -> None:
+        limit = np.sqrt(6.0 / (n_in + n_out))
+        self.W = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Affine map ``x @ W + b``."""
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Gradients w.r.t. W, b and the input."""
+        self.dW[...] = self._x.T @ grad
+        self.db[...] = grad.sum(axis=0)
+        return grad @ self.W.T
+
+    def parameters(self) -> list[np.ndarray]:
+        """Weight matrix and bias."""
+        return [self.W, self.b]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients for :meth:`parameters`."""
+        return [self.dW, self.db]
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Zero negative activations."""
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Pass gradient only where the input was positive."""
+        return grad * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if not 0 <= rate < 1:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Randomly zero activations during training (scaled to keep E[x])."""
+        if not training or self.rate == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Apply the same dropout mask to the gradient."""
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Conv1d(Layer):
+    """1-D convolution over ``(batch, channels, length)`` tensors."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if kernel_size < 1 or stride < 1:
+            raise ValueError("kernel_size and stride must be >= 1")
+        fan_in = in_channels * kernel_size
+        limit = np.sqrt(6.0 / (fan_in + out_channels))
+        self.W = rng.uniform(-limit, limit, size=(out_channels, in_channels, kernel_size))
+        self.b = np.zeros(out_channels)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self.stride = stride
+        self._windows: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _unfold(self, x: np.ndarray) -> np.ndarray:
+        n, c, length = x.shape
+        k = self.W.shape[2]
+        n_out = (length - k) // self.stride + 1
+        if n_out < 1:
+            raise ValueError(f"input length {length} too short for kernel {k}")
+        idx = np.arange(k)[None, :] + self.stride * np.arange(n_out)[:, None]
+        return x[:, :, idx]  # (n, c, n_out, k)
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Strided cross-correlation over the temporal axis."""
+        if x.ndim != 3:
+            raise ValueError(f"Conv1d expects (batch, channels, length), got {x.shape}")
+        self._x_shape = x.shape
+        windows = self._unfold(x)
+        self._windows = windows
+        return np.einsum("nclk,ock->nol", windows, self.W, optimize=True) + self.b[None, :, None]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Gradients w.r.t. kernels, bias and the input (col2im scatter)."""
+        self.dW[...] = np.einsum("nclk,nol->ock", self._windows, grad, optimize=True)
+        self.db[...] = grad.sum(axis=(0, 2))
+        n, c, length = self._x_shape
+        k = self.W.shape[2]
+        n_out = grad.shape[2]
+        dx = np.zeros(self._x_shape)
+        # Scatter each window's gradient back to the input positions.
+        grad_windows = np.einsum("nol,ock->nclk", grad, self.W, optimize=True)
+        idx = np.arange(k)[None, :] + self.stride * np.arange(n_out)[:, None]  # (n_out, k)
+        np.add.at(dx, (slice(None), slice(None), idx), grad_windows)
+        return dx
+
+    def parameters(self) -> list[np.ndarray]:
+        """Kernel tensor and bias."""
+        return [self.W, self.b]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients for :meth:`parameters`."""
+        return [self.dW, self.db]
+
+
+class GlobalAvgPool1d(Layer):
+    """Mean over the temporal axis: ``(n, c, l) -> (n, c)``."""
+
+    def __init__(self) -> None:
+        self._length: int | None = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Mean over time."""
+        self._length = x.shape[2]
+        return x.mean(axis=2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Spread the gradient evenly across the pooled frames."""
+        return np.repeat(grad[:, :, None], self._length, axis=2) / self._length
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_loss(logits: np.ndarray, codes: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean softmax cross entropy and its gradient w.r.t. the logits."""
+    probabilities = softmax(logits)
+    n = logits.shape[0]
+    picked = probabilities[np.arange(n), codes]
+    loss = float(-np.mean(np.log(picked + 1e-12)))
+    grad = probabilities.copy()
+    grad[np.arange(n), codes] -= 1.0
+    return loss, grad / n
+
+
+class Adam:
+    """Adam optimizer over a flat list of parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.m = [np.zeros_like(p) for p in parameters]
+        self.v = [np.zeros_like(p) for p in parameters]
+        self.t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one update from the given gradients (in-place)."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError("gradient/parameter count mismatch")
+        self.t += 1
+        correct1 = 1.0 - self.beta1**self.t
+        correct2 = 1.0 - self.beta2**self.t
+        for p, g, m, v in zip(self.parameters, gradients, self.m, self.v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            p -= self.learning_rate * (m / correct1) / (np.sqrt(v / correct2) + self.epsilon)
+
+
+class Sequential:
+    """A feedforward stack of layers with a training loop."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = layers
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the stack front to back."""
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate through the stack in reverse."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        """All learnable arrays in the stack, in layer order."""
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`parameters`."""
+        return [g for layer in self.layers for g in layer.gradients()]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss/accuracy curves recorded by ``fit``."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+
+
+class SpectroTemporalNet(Classifier):
+    """Convolutional liveness network over log-spectral frames.
+
+    Input per utterance: a ``(n_frames, n_bands)`` log filterbank matrix
+    (see ``dsp.stft.log_mel_like_features``), padded/cropped to a fixed
+    ``n_frames``.  Architecture: two strided temporal convolutions over
+    the band channels, global average pooling, and a dense head — the
+    same encode-then-pool shape as wav2vec2's feature encoder, scaled to
+    numpy-trainable size.
+    """
+
+    def __init__(
+        self,
+        n_bands: int = 40,
+        n_frames: int = 96,
+        n_classes: int = 2,
+        hidden_channels: int = 32,
+        learning_rate: float = 2e-3,
+        batch_size: int = 32,
+        epochs: int = 20,
+        dropout: float = 0.1,
+        random_state: int = 0,
+    ) -> None:
+        if n_bands < 1 or n_frames < 8:
+            raise ValueError("need n_bands >= 1 and n_frames >= 8")
+        self.n_bands = n_bands
+        self.n_frames = n_frames
+        self.n_classes = n_classes
+        self.hidden_channels = hidden_channels
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.dropout = dropout
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.history = TrainingHistory()
+        self._rng = np.random.default_rng(random_state)
+        self._input_mean: np.ndarray | None = None
+        self._input_std: np.ndarray | None = None
+        self.network = Sequential(
+            [
+                Conv1d(n_bands, hidden_channels, kernel_size=5, stride=2, rng=self._rng),
+                ReLU(),
+                Conv1d(hidden_channels, hidden_channels, kernel_size=3, stride=2, rng=self._rng),
+                ReLU(),
+                GlobalAvgPool1d(),
+                Dropout(dropout, self._rng),
+                Dense(hidden_channels, hidden_channels, self._rng),
+                ReLU(),
+                Dense(hidden_channels, n_classes, self._rng),
+            ]
+        )
+        self._optimizer = Adam(self.network.parameters(), learning_rate)
+
+    def pad_features(self, features: np.ndarray) -> np.ndarray:
+        """Pad or center-crop one utterance's frames to ``n_frames``."""
+        f = np.asarray(features, dtype=float)
+        if f.ndim != 2 or f.shape[1] != self.n_bands:
+            raise ValueError(
+                f"expected (n_frames, {self.n_bands}) features, got {f.shape}"
+            )
+        if f.shape[0] >= self.n_frames:
+            start = (f.shape[0] - self.n_frames) // 2
+            return f[start : start + self.n_frames]
+        out = np.full((self.n_frames, self.n_bands), f.min() if f.size else 0.0)
+        out[: f.shape[0]] = f
+        return out
+
+    def _to_batch(self, feature_list: list[np.ndarray]) -> np.ndarray:
+        batch = np.stack([self.pad_features(f) for f in feature_list])
+        return batch.transpose(0, 2, 1)  # (n, bands, frames)
+
+    def fit(
+        self,
+        features: list[np.ndarray],
+        y: np.ndarray,
+        epochs: int | None = None,
+        reset: bool = True,
+    ) -> "SpectroTemporalNet":
+        """Train on a list of per-utterance feature matrices.
+
+        ``reset=False`` continues training the existing weights — the
+        incremental-learning path of the liveness experiment.
+        """
+        y = check_labels(np.asarray(y), len(features))
+        classes = np.unique(y)
+        if reset or self.classes_ is None:
+            self.classes_ = classes
+        else:
+            unseen = np.setdiff1d(classes, self.classes_)
+            if unseen.size:
+                raise ValueError(f"incremental fit saw unseen classes {unseen!r}")
+        codes = np.searchsorted(self.classes_, y)
+        x = self._to_batch(features)
+        if reset or self._input_mean is None:
+            self._input_mean = x.mean()
+            self._input_std = x.std() + 1e-9
+        x = (x - self._input_mean) / self._input_std
+
+        n = x.shape[0]
+        epochs = epochs if epochs is not None else self.epochs
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                logits = self.network.forward(x[rows], training=True)
+                loss, grad = cross_entropy_loss(logits, codes[rows])
+                self.network.backward(grad)
+                self._optimizer.step(self.network.gradients())
+                epoch_loss += loss * rows.size
+                correct += int(np.sum(np.argmax(logits, axis=1) == codes[rows]))
+            self.history.loss.append(epoch_loss / n)
+            self.history.accuracy.append(correct / n)
+        return self
+
+    def predict_proba(self, features: list[np.ndarray]) -> np.ndarray:
+        """Class probabilities per utterance."""
+        self._require_fitted()
+        x = self._to_batch(features)
+        x = (x - self._input_mean) / self._input_std
+        return softmax(self.network.forward(x, training=False))
+
+    def predict(self, features: list[np.ndarray]) -> np.ndarray:
+        """Most probable class per utterance."""
+        proba = self.predict_proba(features)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def scores(self, features: list[np.ndarray], positive_label=1) -> np.ndarray:
+        """Probability of the positive class — the EER score axis."""
+        self._require_fitted()
+        column = int(np.searchsorted(self.classes_, positive_label))
+        return self.predict_proba(features)[:, column]

@@ -1,0 +1,84 @@
+"""Bagged random forest.
+
+The paper's RF baseline uses the Bagging algorithm with 200 trees
+(selected empirically from 10..500).  Each tree trains on a bootstrap
+resample with sqrt-feature subsampling and unlimited splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_features, check_labels
+from .decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated CART ensemble.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (paper: 200).
+    max_depth:
+        Per-tree depth cap (None = grow fully).
+    max_features:
+        Features per split; defaults to ``"sqrt"``.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 200,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        random_state: int | None = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.trees_: list[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples."""
+        X = check_features(X)
+        y = check_labels(y, X.shape[0])
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            rows = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_splits=None,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[rows], y[rows])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of per-tree leaf class frequencies."""
+        self._require_fitted()
+        X = check_features(X)
+        totals = np.zeros((X.shape[0], self.classes_.size))
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            # Trees may have seen a subset of classes in their bootstrap.
+            column_of = {label: k for k, label in enumerate(self.classes_.tolist())}
+            for t_col, label in enumerate(tree.classes_.tolist()):
+                totals[:, column_of[label]] += proba[:, t_col]
+        return totals / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-probability label across the ensemble."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,135 @@
+"""Minority-class oversampling: SMOTE and ADASYN.
+
+The cross-user experiment (Fig. 16) trains on the DoV-style dataset where
+facing angles (3) are outnumbered by non-facing angles (5); the paper
+compares SMOTE (Chawla et al. 2002) with ADASYN (He et al. 2008) and
+selects ADASYN.  Both synthesize minority samples by interpolating
+between a minority point and one of its minority k-nearest neighbours;
+ADASYN additionally allocates more synthetic points to minority samples
+surrounded by majority samples (the harder regions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_features, check_labels
+
+
+def _nearest_neighbors(X: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k nearest rows of ``X`` for each query row
+    (excluding exact self-matches when query is drawn from X)."""
+    a2 = np.sum(query**2, axis=1)[:, None]
+    b2 = np.sum(X**2, axis=1)[None, :]
+    distances = np.maximum(a2 + b2 - 2.0 * query @ X.T, 0.0)
+    order = np.argsort(distances, axis=1, kind="stable")
+    neighbors = np.zeros((query.shape[0], k), dtype=int)
+    for row in range(query.shape[0]):
+        candidates = order[row]
+        picked = [c for c in candidates if distances[row, c] > 1e-18][:k]
+        while len(picked) < k:  # degenerate duplicates: fall back to self
+            picked.append(int(candidates[0]))
+        neighbors[row] = picked
+    return neighbors
+
+
+def _interpolate(
+    X_minority: np.ndarray,
+    seeds: np.ndarray,
+    neighbors: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One synthetic point per seed, on the segment to a random neighbour."""
+    synthetic = np.zeros((seeds.size, X_minority.shape[1]))
+    for row, seed in enumerate(seeds):
+        neighbor = neighbors[seed, rng.integers(0, neighbors.shape[1])]
+        step = rng.random()
+        synthetic[row] = X_minority[seed] + step * (X_minority[neighbor] - X_minority[seed])
+    return synthetic
+
+
+def _validate(X: np.ndarray, y: np.ndarray, k_neighbors: int):
+    X = check_features(X)
+    y = check_labels(np.asarray(y), X.shape[0])
+    classes, counts = np.unique(y, return_counts=True)
+    if classes.size != 2:
+        raise ValueError("oversampling implemented for binary problems")
+    minority_label = classes[np.argmin(counts)]
+    majority_label = classes[np.argmax(counts)]
+    n_minority = counts.min()
+    if n_minority <= k_neighbors:
+        k_neighbors = max(1, int(n_minority) - 1)
+    if k_neighbors < 1:
+        raise ValueError("minority class too small to oversample")
+    return X, y, minority_label, majority_label, k_neighbors
+
+
+def smote(
+    X: np.ndarray,
+    y: np.ndarray,
+    k_neighbors: int = 5,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Balance a binary dataset with SMOTE.
+
+    Synthetic minority samples are interpolations between each minority
+    sample and a random one of its k minority-class neighbours, with
+    seeds drawn uniformly until the classes balance.
+    """
+    X, y, minority_label, majority_label, k_neighbors = _validate(X, y, k_neighbors)
+    rng = np.random.default_rng(random_state)
+    minority_rows = np.nonzero(y == minority_label)[0]
+    deficit = int(np.sum(y == majority_label) - minority_rows.size)
+    if deficit <= 0:
+        return X.copy(), y.copy()
+    X_minority = X[minority_rows]
+    neighbors = _nearest_neighbors(X_minority, X_minority, k_neighbors)
+    seeds = rng.integers(0, X_minority.shape[0], size=deficit)
+    synthetic = _interpolate(X_minority, seeds, neighbors, rng)
+    X_out = np.vstack([X, synthetic])
+    y_out = np.concatenate([y, np.full(deficit, minority_label, dtype=y.dtype)])
+    return X_out, y_out
+
+
+def adasyn(
+    X: np.ndarray,
+    y: np.ndarray,
+    k_neighbors: int = 5,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Balance a binary dataset with ADASYN.
+
+    Like SMOTE, but the number of synthetic points per minority sample is
+    proportional to the fraction of *majority* samples among its k
+    nearest neighbours in the full dataset, focusing generation near the
+    decision boundary.
+    """
+    X, y, minority_label, majority_label, k_neighbors = _validate(X, y, k_neighbors)
+    rng = np.random.default_rng(random_state)
+    minority_rows = np.nonzero(y == minority_label)[0]
+    deficit = int(np.sum(y == majority_label) - minority_rows.size)
+    if deficit <= 0:
+        return X.copy(), y.copy()
+    X_minority = X[minority_rows]
+
+    # Hardness ratio: majority fraction among neighbours in the full set.
+    k_full = min(k_neighbors, X.shape[0] - 1)
+    full_neighbors = _nearest_neighbors(X, X_minority, k_full)
+    hardness = np.array(
+        [np.mean(y[full_neighbors[i]] == majority_label) for i in range(minority_rows.size)]
+    )
+    if hardness.sum() <= 0:
+        hardness = np.ones_like(hardness)
+    weights = hardness / hardness.sum()
+    per_seed = np.floor(weights * deficit).astype(int)
+    remainder = deficit - per_seed.sum()
+    if remainder > 0:
+        extra = rng.choice(minority_rows.size, size=remainder, p=weights)
+        np.add.at(per_seed, extra, 1)
+
+    minority_neighbors = _nearest_neighbors(X_minority, X_minority, k_neighbors)
+    seeds = np.repeat(np.arange(minority_rows.size), per_seed)
+    synthetic = _interpolate(X_minority, seeds, minority_neighbors, rng)
+    X_out = np.vstack([X, synthetic])
+    y_out = np.concatenate([y, np.full(seeds.size, minority_label, dtype=y.dtype)])
+    return X_out, y_out

@@ -1,0 +1,73 @@
+"""Feature scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NotFittedError, check_features
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = check_features(X)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler has not been fitted yet")
+        X = check_features(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler has not been fitted yet")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to the [0, 1] range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature minimum and range."""
+        X = check_features(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span < 1e-12] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler has not been fitted yet")
+        X = check_features(X)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)

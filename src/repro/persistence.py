@@ -1,0 +1,54 @@
+"""Model persistence.
+
+Enrollment takes minutes of audio; deployments need to train once and
+reload at boot.  Models here are plain numpy/dataclass object graphs, so
+pickle round-trips them exactly; the helpers add a format header so a
+stale or foreign file fails loudly instead of deserializing garbage.
+
+Security note: pickle executes code on load — only load model files you
+created.  (The same caveat applies to torch checkpoints.)
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from . import __version__
+
+MAGIC = b"REPRO-HEADTALK-MODEL"
+FORMAT_VERSION = 1
+
+
+def save_model(model, path: str | Path) -> Path:
+    """Serialize any repro model (detector, pipeline, network) to disk."""
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "library_version": __version__,
+        "model": model,
+    }
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_model(path: str | Path):
+    """Load a model saved with :func:`save_model`.
+
+    Raises ``ValueError`` for files that were not written by
+    :func:`save_model` or use a newer format.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header = handle.read(len(MAGIC))
+        if header != MAGIC:
+            raise ValueError(f"{path} is not a repro model file")
+        payload = pickle.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses model format {version}; this build reads {FORMAT_VERSION}"
+        )
+    return payload["model"]

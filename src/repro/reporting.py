@@ -1,0 +1,77 @@
+"""Text rendering for experiment tables and figure series.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that output consistent across the twenty-odd experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_cell(value) -> str:
+    """Human-friendly cell text: floats get 2 decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """Monospace table with a header rule."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record every experiment module returns.
+
+    ``rows`` are dictionaries keyed by ``headers``; ``paper`` summarizes
+    what the paper reported for side-by-side reading in EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[dict]
+    paper: str = ""
+    notes: str = ""
+    summary: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            missing = [h for h in self.headers if h not in row]
+            if missing:
+                raise ValueError(f"row missing columns {missing}: {row}")
+
+    def to_text(self) -> str:
+        """Renderable report: title, paper reference, table, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper:
+            parts.append(f"paper: {self.paper}")
+        parts.append(
+            render_table(self.headers, [[row[h] for h in self.headers] for row in self.rows])
+        )
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if name not in self.headers:
+            raise ValueError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]

@@ -1,0 +1,57 @@
+"""User-study reproduction: SUS scoring, Table V survey, interaction sim."""
+
+from .simulation import (
+    BACKWARD_ANGLES,
+    FORWARD_ANGLES,
+    PROMPT_ACCEPT,
+    PROMPT_REJECT,
+    ParticipantOutcome,
+    run,
+    run_interaction_study,
+)
+from .survey import (
+    DURATION_MINUTES,
+    N_PARTICIPANTS,
+    PAPER_SUS_HEADTALK,
+    PAPER_SUS_MUTE_BUTTON,
+    PARTICIPANT_COMMENTS,
+    PAYMENT,
+    SurveyQuestion,
+    TABLE_V,
+    takeaways,
+)
+from .sus import (
+    ABOVE_AVERAGE_THRESHOLD,
+    SUS_ITEMS,
+    SusSummary,
+    responses_for_target,
+    summarize,
+    sus_score,
+    sus_scores,
+)
+
+__all__ = [
+    "ABOVE_AVERAGE_THRESHOLD",
+    "BACKWARD_ANGLES",
+    "DURATION_MINUTES",
+    "FORWARD_ANGLES",
+    "N_PARTICIPANTS",
+    "PAPER_SUS_HEADTALK",
+    "PAPER_SUS_MUTE_BUTTON",
+    "PARTICIPANT_COMMENTS",
+    "PAYMENT",
+    "PROMPT_ACCEPT",
+    "PROMPT_REJECT",
+    "ParticipantOutcome",
+    "SUS_ITEMS",
+    "SurveyQuestion",
+    "SusSummary",
+    "TABLE_V",
+    "responses_for_target",
+    "run",
+    "run_interaction_study",
+    "summarize",
+    "sus_score",
+    "sus_scores",
+    "takeaways",
+]

@@ -1,0 +1,141 @@
+"""Post-study survey schema and the paper's reported tallies (Table V).
+
+Twenty graduate students (14 male, 6 female) interacted with the
+prototype and answered the questions below; the module keeps the paper's
+response counts as ground truth for the Table V reproduction and offers
+helpers to compute the takeaway percentages quoted in Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+N_PARTICIPANTS = 20
+PAYMENT = "$10 Amazon gift card"
+DURATION_MINUTES = 30
+
+
+@dataclass(frozen=True)
+class SurveyQuestion:
+    """One survey question with its answer options and paper tallies."""
+
+    text: str
+    options: tuple[str, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) != len(self.counts):
+            raise ValueError("options and counts must align")
+        if any(c < 0 for c in self.counts):
+            raise ValueError("counts must be non-negative")
+
+    @property
+    def n_responses(self) -> int:
+        """Total responses recorded for this question."""
+        return sum(self.counts)
+
+    def fraction(self, *options: str) -> float:
+        """Fraction of responses falling in the named options."""
+        index = {option: k for k, option in enumerate(self.options)}
+        missing = [o for o in options if o not in index]
+        if missing:
+            raise ValueError(f"unknown options {missing}")
+        picked = sum(self.counts[index[o]] for o in options)
+        return picked / self.n_responses if self.n_responses else 0.0
+
+
+TABLE_V: tuple[SurveyQuestion, ...] = (
+    SurveyQuestion(
+        text="How many home voice assistants do you have at home?",
+        options=("0", "1", "2", "above 2"),
+        counts=(5, 12, 2, 1),
+    ),
+    SurveyQuestion(
+        text="How often do you face the VA when you are interacting with it?",
+        options=("N/A", "Very less", "Less", "Often", "Very often"),
+        counts=(5, 1, 4, 6, 4),
+    ),
+    SurveyQuestion(
+        text="How easy was it to use HeadTalk compared with existing privacy controls?",
+        options=(
+            "Extremely easy",
+            "Somewhat easy",
+            "Neither easy nor difficult",
+            "Somewhat difficult",
+            "Extremely difficult",
+        ),
+        counts=(10, 9, 0, 1, 0),
+    ),
+    SurveyQuestion(
+        text="Would you deploy HeadTalk on your voice assistant?",
+        options=(
+            "Definitely yes",
+            "Probably yes",
+            "Might or might not",
+            "Probably not",
+            "Definitely not",
+        ),
+        counts=(7, 7, 5, 0, 1),
+    ),
+    SurveyQuestion(
+        text="Compare HeadTalk with the existing privacy control.",
+        options=(
+            "Much Better",
+            "Somewhat better",
+            "About the same",
+            "Somewhat worse",
+            "Much worse",
+        ),
+        counts=(9, 5, 5, 0, 1),
+    ),
+)
+
+PARTICIPANT_COMMENTS: dict[str, str] = {
+    "P1": (
+        "It was a new concept to me but I like the idea. Hopefully it'll "
+        "be possible to implement in VA devices in the future, for more "
+        "privacy and convenience!"
+    ),
+    "P8": (
+        "It is a nice concept, but learning what angels trigger it whereas "
+        "what do might need some getting used to. For instance, a lot of "
+        "people use these smart systems in their kitchens and might want "
+        "to give a command just turning a bit towards it and not leave "
+        "their task at hand."
+    ),
+    "P9": (
+        "I like this orientation feature. I have had moments where my "
+        "existing speaker responds when not talking. It would be nice to "
+        "explore orientation of just the head. Sometime I may face the "
+        "speaker but look down."
+    ),
+    "P20": (
+        "It is an on demand solution for voice privacy: I can choose "
+        "whether to make the VA to react, instead of other solutions like "
+        "mute button that I have to toggle beforehand, or delete history "
+        "afterwards."
+    ),
+}
+"""Verbatim participant quotes the paper reports in Section V."""
+
+PAPER_SUS_HEADTALK = (77.38, 6.26)
+"""Mean and 95%-CI half width the paper reports for HeadTalk."""
+
+PAPER_SUS_MUTE_BUTTON = (74.75, 8.12)
+"""Mean and 95%-CI half width for the existing control (mute button)."""
+
+
+def takeaways() -> dict[str, float]:
+    """The Section V takeaway percentages, computed from Table V."""
+    owners_facing = TABLE_V[1]
+    ease = TABLE_V[2]
+    deploy = TABLE_V[3]
+    compare = TABLE_V[4]
+    owners = owners_facing.n_responses - owners_facing.counts[0]
+    face_often = owners_facing.counts[3] + owners_facing.counts[4]
+    return {
+        "owners_who_face_va_pct": 100.0 * face_often / owners,
+        "easy_to_use_pct": 100.0 * ease.fraction("Extremely easy", "Somewhat easy"),
+        "would_deploy_pct": 100.0 * deploy.fraction("Definitely yes", "Probably yes"),
+        "better_than_existing_pct": 100.0 * compare.fraction("Much Better", "Somewhat better"),
+    }

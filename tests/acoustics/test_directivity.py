@@ -1,0 +1,108 @@
+"""Tests for the frequency-dependent directivity model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics import (
+    DirectivityModel,
+    departure_angle,
+    facing_vector_from_angle,
+    human_head_directivity,
+    loudspeaker_directivity,
+)
+
+
+class TestModelValidation:
+    def test_frequency_ordering(self):
+        with pytest.raises(ValueError):
+            DirectivityModel(omni_below_hz=5000, directional_above_hz=1000)
+
+    def test_floor_range(self):
+        with pytest.raises(ValueError):
+            DirectivityModel(rear_floor=1.5)
+
+    def test_sharpness_positive(self):
+        with pytest.raises(ValueError):
+            DirectivityModel(max_sharpness=0.0)
+
+
+class TestGainShape:
+    def test_forward_gain_is_unity(self):
+        model = human_head_directivity()
+        assert model.gain(4000.0, 0.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_low_frequency_nearly_omni(self):
+        model = human_head_directivity()
+        rear = float(model.gain(150.0, np.pi))
+        assert rear > 0.9
+
+    def test_high_frequency_strongly_directional(self):
+        model = human_head_directivity()
+        rear = float(model.gain(8000.0, np.pi))
+        assert rear < 0.15
+
+    def test_monotone_in_angle_at_high_frequency(self):
+        model = human_head_directivity()
+        angles = np.linspace(0, np.pi, 19)
+        gains = model.gain(6000.0, angles)
+        assert np.all(np.diff(gains) <= 1e-12)
+
+    def test_directionality_monotone_in_frequency(self):
+        """Rear attenuation must deepen as frequency rises."""
+        model = human_head_directivity()
+        freqs = np.array([200.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0])
+        rear = model.gain(freqs, np.pi)
+        assert np.all(np.diff(rear) <= 1e-12)
+
+    def test_band_gain_uses_geometric_center(self):
+        model = human_head_directivity()
+        assert model.band_gain((1000.0, 4000.0), 0.5) == pytest.approx(
+            float(model.gain(2000.0, 0.5)), rel=1e-9
+        )
+
+    @given(
+        freq=st.floats(50, 20_000),
+        angle=st.floats(0, np.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gain_always_in_unit_interval(self, freq, angle):
+        for model in (human_head_directivity(), loudspeaker_directivity()):
+            g = float(model.gain(freq, angle))
+            assert 0.0 < g <= 1.0 + 1e-12
+
+    def test_loudspeaker_differs_from_head(self):
+        head = human_head_directivity()
+        box = loudspeaker_directivity()
+        assert head.gain(6000.0, np.pi) != box.gain(6000.0, np.pi)
+
+
+class TestGeometryHelpers:
+    def test_departure_angle_straight_ahead(self):
+        angle = departure_angle(
+            np.zeros(3), np.array([1.0, 0, 0]), np.array([5.0, 0, 0])
+        )
+        assert angle == pytest.approx(0.0)
+
+    def test_departure_angle_behind(self):
+        angle = departure_angle(
+            np.zeros(3), np.array([1.0, 0, 0]), np.array([-5.0, 0, 0])
+        )
+        assert angle == pytest.approx(np.pi)
+
+    def test_coincident_target(self):
+        assert departure_angle(np.zeros(3), np.array([1.0, 0, 0]), np.zeros(3)) == 0.0
+
+    def test_zero_facing_vector_rejected(self):
+        with pytest.raises(ValueError):
+            departure_angle(np.zeros(3), np.zeros(3), np.ones(3))
+
+    def test_facing_vector_unit_norm(self):
+        for angle in (0.0, 45.0, 180.0):
+            v = facing_vector_from_angle(angle)
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_facing_vector_at_zero_points_to_device(self):
+        v = facing_vector_from_angle(0.0)
+        assert np.allclose(v, [-1.0, 0.0, 0.0])

@@ -1,0 +1,186 @@
+"""Tests for the band-split image-source RIR generator."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    RirConfig,
+    compute_images,
+    human_head_directivity,
+    lab_room,
+    render_band_rirs,
+)
+from repro.arrays import SPEED_OF_SOUND
+
+SOURCE = np.array([2.0, 2.0, 1.5])
+BANDS = [(125.0, 250.0), (1000.0, 2000.0), (4000.0, 8000.0)]
+
+
+class TestImageEnumeration:
+    def test_order_zero_is_source_itself(self):
+        images = compute_images(lab_room(), SOURCE, max_order=0)
+        assert len(images) == 1
+        assert np.allclose(images[0].position, SOURCE)
+        assert images[0].order == 0
+        assert images[0].facing_flips == (1, 1, 1)
+
+    def test_order_one_count(self):
+        """Order 1 adds exactly one image per wall: 6 + direct."""
+        images = compute_images(lab_room(), SOURCE, max_order=1)
+        assert len(images) == 7
+        assert sorted(i.order for i in images) == [0, 1, 1, 1, 1, 1, 1]
+
+    def test_order_two_count(self):
+        """1 direct + 6 first-order + 18 second-order = 25."""
+        images = compute_images(lab_room(), SOURCE, max_order=2)
+        assert len(images) == 25
+
+    def test_floor_image_mirrors_z(self):
+        images = compute_images(lab_room(), SOURCE, max_order=1)
+        floor = [i for i in images if np.allclose(i.position[:2], SOURCE[:2]) and i.position[2] < 0]
+        assert len(floor) == 1
+        assert floor[0].position[2] == pytest.approx(-SOURCE[2])
+        assert floor[0].facing_flips[2] == -1
+
+    def test_mirrored_facing_flips_components(self):
+        images = compute_images(lab_room(), SOURCE, max_order=1)
+        facing = np.array([1.0, 0.0, 0.0])
+        x_wall = [i for i in images if i.facing_flips[0] == -1]
+        assert x_wall
+        mirrored = x_wall[0].mirrored_facing(facing)
+        assert mirrored[0] == -1.0
+
+    def test_source_outside_room_rejected(self):
+        with pytest.raises(ValueError, match="outside room"):
+            compute_images(lab_room(), np.array([-1.0, 1.0, 1.0]), 1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            compute_images(lab_room(), np.zeros(2), 1)
+
+
+class TestRirRendering:
+    def make_rirs(self, facing=(1.0, 0.0, 0.0), config=None, mics=None):
+        mics = mics if mics is not None else np.array([[4.0, 2.0, 1.0], [4.1, 2.0, 1.0]])
+        return render_band_rirs(
+            room=lab_room(),
+            source_position=SOURCE,
+            facing=np.asarray(facing),
+            directivity=human_head_directivity(),
+            mic_positions=mics,
+            sample_rate=48_000,
+            bands=BANDS,
+            config=config or RirConfig(max_order=1, include_tail=False),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_shape(self):
+        rirs = self.make_rirs()
+        assert rirs.shape[0] == len(BANDS)
+        assert rirs.shape[1] == 2
+
+    def test_direct_path_arrival_time(self):
+        rirs = self.make_rirs()
+        distance = np.linalg.norm(np.array([4.0, 2.0, 1.0]) - SOURCE)
+        expected = distance / SPEED_OF_SOUND * 48_000
+        first_tap = int(np.nonzero(np.abs(rirs[0, 0]) > 1e-9)[0][0])
+        assert first_tap == pytest.approx(expected, abs=2)
+
+    def test_inverse_distance_amplitude(self):
+        near = np.array([[3.0, 2.0, 1.5]])
+        far = np.array([[5.0, 2.0, 1.5]])
+        rir_near = self.make_rirs(mics=near)
+        rir_far = self.make_rirs(mics=far)
+        peak_near = np.abs(rir_near[1, 0]).max()
+        peak_far = np.abs(rir_far[1, 0]).max()
+        assert peak_near / peak_far == pytest.approx(3.0, rel=0.15)
+
+    def test_facing_away_weakens_high_band_direct_path(self):
+        toward = self.make_rirs(facing=(1.0, 0.0, 0.0))
+        away = self.make_rirs(facing=(-1.0, 0.0, 0.0))
+        hf = len(BANDS) - 1
+        assert np.abs(toward[hf, 0]).max() > 3 * np.abs(away[hf, 0]).max()
+
+    def test_facing_barely_affects_low_band(self):
+        toward = self.make_rirs(facing=(1.0, 0.0, 0.0))
+        away = self.make_rirs(facing=(-1.0, 0.0, 0.0))
+        ratio = np.abs(toward[0, 0]).max() / np.abs(away[0, 0]).max()
+        assert ratio < 1.6
+
+    def test_tail_extends_rir(self):
+        with_tail = self.make_rirs(config=RirConfig(max_order=1, include_tail=True, tail_max_seconds=0.2))
+        without = self.make_rirs(config=RirConfig(max_order=1, include_tail=False))
+        assert with_tail.shape[2] > without.shape[2]
+
+    def test_tail_seed_is_reproducible(self):
+        config = RirConfig(max_order=1, include_tail=True, tail_seed=99)
+        a = self.make_rirs(config=config)
+        b = self.make_rirs(config=config)
+        assert np.array_equal(a, b)
+
+    def test_occlusion_hook_scales_direct_only(self):
+        config = RirConfig(max_order=1, include_tail=False)
+        mics = np.array([[4.0, 2.0, 1.0]])
+        open_rirs = render_band_rirs(
+            lab_room(), SOURCE, np.array([1.0, 0, 0]), human_head_directivity(),
+            mics, 48_000, BANDS, config, np.random.default_rng(0),
+        )
+        blocked = render_band_rirs(
+            lab_room(), SOURCE, np.array([1.0, 0, 0]), human_head_directivity(),
+            mics, 48_000, BANDS, config, np.random.default_rng(0),
+            direct_band_gains=np.array([0.5, 0.5, 0.5]),
+        )
+        # The first arrival is the direct path: scaled by the full gain;
+        # first-order reflections are shadowed partially (sqrt of it).
+        nonzero = np.nonzero(np.abs(open_rirs[0, 0]) > 1e-9)[0]
+        direct_tap = int(nonzero[0])
+        last_tap = int(nonzero[-1])
+        assert blocked[0, 0, direct_tap] == pytest.approx(
+            0.5 * open_rirs[0, 0, direct_tap], rel=1e-6
+        )
+        assert blocked[0, 0, last_tap] == pytest.approx(
+            np.sqrt(0.5) * open_rirs[0, 0, last_tap], rel=1e-6
+        )
+
+    def test_occlusion_spares_higher_orders(self):
+        config = RirConfig(max_order=2, include_tail=False)
+        mics = np.array([[4.0, 2.0, 1.0]])
+        kwargs = dict(
+            room=lab_room(), source_position=SOURCE,
+            facing=np.array([1.0, 0, 0]), directivity=human_head_directivity(),
+            mic_positions=mics, sample_rate=48_000, bands=BANDS[:1],
+            config=config, rng=np.random.default_rng(0),
+        )
+        open_rirs = render_band_rirs(**kwargs)
+        blocked = render_band_rirs(**kwargs, direct_band_gains=np.array([0.25]))
+        # Total energy loss must be less than a uniform 0.25 scaling
+        # would cause, because second-order paths are untouched.
+        open_energy = float(np.sum(open_rirs**2))
+        blocked_energy = float(np.sum(blocked**2))
+        assert blocked_energy > 0.25**2 * open_energy
+        assert blocked_energy < open_energy
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="facing"):
+            self.make_rirs(facing=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError, match="mic_positions"):
+            render_band_rirs(
+                lab_room(), SOURCE, np.array([1.0, 0, 0]), human_head_directivity(),
+                np.zeros(3), 48_000, BANDS,
+            )
+        with pytest.raises(ValueError, match="direct_band_gains"):
+            render_band_rirs(
+                lab_room(), SOURCE, np.array([1.0, 0, 0]), human_head_directivity(),
+                np.zeros((2, 3)) + SOURCE, 48_000, BANDS,
+                direct_band_gains=np.array([1.0]),
+            )
+
+
+class TestRirConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RirConfig(max_order=-1)
+        with pytest.raises(ValueError):
+            RirConfig(tail_max_seconds=0.0)
+        with pytest.raises(ValueError):
+            RirConfig(tail_level=-0.1)

@@ -1,0 +1,113 @@
+"""Tests for point-source interference rendering and device rotation."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    LAB_PLACEMENTS,
+    RirConfig,
+    Scene,
+    SpeakerPose,
+    lab_room,
+    rms_to_spl,
+)
+from repro.acoustics.propagation import render_interference
+from repro.acoustics.scene import DevicePlacement
+from repro.arrays import get_device
+from repro.datasets import CollectionSpec, collect
+from repro.dsp import estimate_tdoa, srp_max_lag_for
+
+
+@pytest.fixture()
+def tv_scene(d2_subset):
+    return Scene(
+        room=lab_room(),
+        device=d2_subset,
+        placement=LAB_PLACEMENTS["A"],
+        pose=SpeakerPose(distance_m=2.2, radial_deg=-40.0, mouth_height=0.9),
+    )
+
+
+class TestRenderInterference:
+    def test_shape_and_level(self, tv_scene):
+        n = 48_000 // 2
+        channels = render_interference(
+            tv_scene, "white", 45.0, n, np.random.default_rng(0),
+            rir_config=RirConfig(max_order=1),
+        )
+        assert channels.shape == (tv_scene.device.n_mics, n)
+        measured = rms_to_spl(float(np.sqrt(np.mean(channels**2))))
+        assert measured == pytest.approx(45.0, abs=0.2)
+
+    def test_coherent_across_channels(self, tv_scene):
+        """A point source arrives with the geometric TDoA — unlike
+        diffuse ambient noise."""
+        n = 48_000
+        channels = render_interference(
+            tv_scene, "white", 50.0, n, np.random.default_rng(1),
+            rir_config=RirConfig(max_order=0, include_tail=False),
+        )
+        array = tv_scene.device
+        pair = (0, 2)
+        expected = array.tdoa(
+            tv_scene.source_position, pair, tv_scene.placement.position
+        )
+        estimated = estimate_tdoa(
+            channels[pair[0]], channels[pair[1]], srp_max_lag_for(array), 48_000
+        )
+        assert estimated == pytest.approx(expected, abs=1.5 / 48_000)
+
+    def test_all_kinds_render(self, tv_scene):
+        for kind in ("white", "pink", "tv", "household"):
+            channels = render_interference(
+                tv_scene, kind, 40.0, 4800, np.random.default_rng(2),
+                rir_config=RirConfig(max_order=0, include_tail=False),
+            )
+            assert np.all(np.isfinite(channels))
+
+    def test_validation(self, tv_scene):
+        with pytest.raises(ValueError, match="kind"):
+            render_interference(tv_scene, "jet", 40.0, 100, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="duration"):
+            render_interference(tv_scene, "white", 40.0, 0, np.random.default_rng(0))
+
+
+class TestCollectionInterference:
+    def test_noise_spec_changes_capture(self):
+        base = CollectionSpec(locations=((1.0, 0.0),), angles=(0.0,), repetitions=1)
+        noisy = CollectionSpec(
+            locations=((1.0, 0.0),), angles=(0.0,), repetitions=1,
+            noise=(("white", 70.0),),
+        )
+        _, clean_capture = next(iter(collect(base, 0)))
+        _, noisy_capture = next(iter(collect(noisy, 0)))
+        clean_power = float(np.mean(clean_capture.channels**2))
+        noisy_power = float(np.mean(noisy_capture.channels**2))
+        assert noisy_power > 1.3 * clean_power
+
+
+class TestDeviceRotation:
+    def test_rotation_moves_mics(self):
+        device = get_device("D3")
+        straight = DevicePlacement("p", (2.0, 2.0), 0.7, rotation_deg=0.0)
+        rotated = DevicePlacement("p", (2.0, 2.0), 0.7, rotation_deg=45.0)
+        pose = SpeakerPose(distance_m=1.0)
+        scene_a = Scene(room=lab_room(), device=device, placement=straight, pose=pose)
+        scene_b = Scene(room=lab_room(), device=device, placement=rotated, pose=pose)
+        assert not np.allclose(scene_a.mic_positions, scene_b.mic_positions)
+        # Rotation preserves the centroid and all pair distances.
+        assert np.allclose(
+            scene_a.mic_positions.mean(axis=0), scene_b.mic_positions.mean(axis=0)
+        )
+
+    def test_rotation_changes_tdoa(self):
+        device = get_device("D3")
+        pose = SpeakerPose(distance_m=2.0)
+        tdoas = []
+        for rotation in (0.0, 30.0):
+            placement = DevicePlacement("p", (2.0, 2.0), 0.7, rotation_deg=rotation)
+            scene = Scene(room=lab_room(), device=device, placement=placement, pose=pose)
+            mics = scene.mic_positions
+            d = np.linalg.norm(mics - scene.source_position, axis=1)
+            tdoas.append(d[0] - d[2])
+        assert abs(tdoas[0] - tdoas[1]) > 1e-5

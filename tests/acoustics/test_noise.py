@@ -1,0 +1,108 @@
+"""Tests for noise generation and SPL calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics import (
+    NoiseSource,
+    REFERENCE_DB_SPL,
+    household_noise,
+    pink_noise,
+    rms_to_spl,
+    scale_to_spl,
+    spl_to_rms,
+    tv_babble_noise,
+    white_noise,
+)
+
+FS = 48_000
+
+
+class TestSplCalibration:
+    def test_reference_point(self):
+        assert spl_to_rms(REFERENCE_DB_SPL) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        for spl in (20.0, 45.0, 70.0, 94.0):
+            assert rms_to_spl(spl_to_rms(spl)) == pytest.approx(spl)
+
+    def test_plus_20db_is_10x(self):
+        assert spl_to_rms(70.0) / spl_to_rms(50.0) == pytest.approx(10.0)
+
+    def test_zero_rms(self):
+        assert rms_to_spl(0.0) == float("-inf")
+
+    @given(st.floats(10.0, 110.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_to_spl_hits_target(self, spl):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(5000)
+        scaled = scale_to_spl(x, spl)
+        measured = np.sqrt(np.mean(scaled**2))
+        assert rms_to_spl(measured) == pytest.approx(spl, abs=1e-6)
+
+    def test_scale_silent_input_unchanged(self):
+        assert np.array_equal(scale_to_spl(np.zeros(10), 70.0), np.zeros(10))
+
+
+class TestGenerators:
+    def test_lengths(self):
+        rng = np.random.default_rng(0)
+        for gen in (white_noise, pink_noise, tv_babble_noise, household_noise):
+            assert gen(4800, FS, rng).size == 4800
+            assert gen(0, FS, rng).size == 0
+
+    def test_pink_noise_spectrum_tilts_down(self):
+        rng = np.random.default_rng(1)
+        x = pink_noise(1 << 16, FS, rng)
+        spectrum = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(x.size, 1 / FS)
+        low = spectrum[(freqs > 100) & (freqs < 300)].mean()
+        high = spectrum[(freqs > 8000) & (freqs < 12_000)].mean()
+        assert low > 10 * high
+
+    def test_white_noise_spectrum_flat(self):
+        rng = np.random.default_rng(2)
+        x = white_noise(1 << 16, FS, rng)
+        spectrum = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(x.size, 1 / FS)
+        low = spectrum[(freqs > 100) & (freqs < 2000)].mean()
+        high = spectrum[(freqs > 10_000) & (freqs < 20_000)].mean()
+        assert low / high == pytest.approx(1.0, rel=0.3)
+
+    def test_tv_babble_spectrum_is_speech_like(self):
+        """Most energy in the speech band, plus real sibilant energy in
+        the 4-10 kHz band (unlike pure low-passed babble)."""
+        rng = np.random.default_rng(3)
+        x = tv_babble_noise(FS, FS, rng)
+        spectrum = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(x.size, 1 / FS)
+        speech = spectrum[(freqs > 150) & (freqs < 3800)].sum()
+        sibilant = spectrum[(freqs > 4000) & (freqs < 10_000)].sum()
+        far_out = spectrum[freqs > 14_000].sum()
+        assert speech > sibilant  # speech band still dominates
+        assert sibilant > 10 * far_out  # but sibilance is present
+
+    def test_household_has_mains_hum(self):
+        rng = np.random.default_rng(4)
+        x = household_noise(FS, FS, rng)
+        spectrum = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(x.size, 1 / FS)
+        hum_bin = np.argmin(np.abs(freqs - 120.0))
+        neighborhood = spectrum[hum_bin - 50 : hum_bin + 50].mean()
+        assert spectrum[hum_bin] > 5 * neighborhood
+
+
+class TestNoiseSource:
+    def test_render_calibrated(self):
+        source = NoiseSource(kind="white", level_db_spl=45.0)
+        x = source.render(FS // 2, FS, np.random.default_rng(0))
+        assert rms_to_spl(np.sqrt(np.mean(x**2))) == pytest.approx(45.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseSource(kind="jet-engine", level_db_spl=45.0)
+        with pytest.raises(ValueError):
+            NoiseSource(kind="white", level_db_spl=300.0)

@@ -1,0 +1,115 @@
+"""Tests for end-to-end capture rendering."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    Capture,
+    NoiseSource,
+    RirConfig,
+    Scene,
+    SpeakerPose,
+    LAB_PLACEMENTS,
+    lab_room,
+    render_capture,
+    rms_to_spl,
+)
+from repro.arrays import get_device
+from repro.dsp import estimate_tdoa, srp_max_lag_for
+
+
+class TestCapture:
+    def test_properties(self):
+        capture = Capture(channels=np.zeros((4, 9600)), sample_rate=48_000)
+        assert capture.n_mics == 4
+        assert capture.n_samples == 9600
+        assert capture.duration == pytest.approx(0.2)
+
+    def test_channel_subset(self):
+        capture = Capture(channels=np.arange(12.0).reshape(3, 4), sample_rate=48_000)
+        sub = capture.channel_subset([0, 2])
+        assert sub.n_mics == 2
+        assert np.array_equal(sub.channels[1], capture.channels[2])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Capture(channels=np.zeros(100), sample_rate=48_000)
+
+
+class TestRenderCapture:
+    def test_channel_count_and_rate(self, lab_scene, speaker, forward_capture):
+        assert forward_capture.n_mics == lab_scene.device.n_mics
+        assert forward_capture.sample_rate == 48_000
+
+    def test_rate_mismatch_rejected(self, lab_scene, speaker):
+        rng = np.random.default_rng(0)
+        emission = speaker.emit("computer", 16_000, rng)
+        with pytest.raises(ValueError, match="Hz"):
+            render_capture(lab_scene, emission, rng=rng)
+
+    def test_tdoa_matches_geometry(self, lab_scene, speaker, forward_capture):
+        """Inter-mic delays in the rendered audio match the scene geometry."""
+        array = lab_scene.device
+        max_lag = srp_max_lag_for(array)
+        source = lab_scene.source_position
+        origin = lab_scene.placement.position
+        for pair in array.pairs()[:3]:
+            geometric = array.tdoa(source, pair, origin)
+            estimated = estimate_tdoa(
+                forward_capture.channels[pair[0]],
+                forward_capture.channels[pair[1]],
+                max_lag,
+                48_000,
+            )
+            assert estimated == pytest.approx(geometric, abs=1.5 / 48_000)
+
+    def test_forward_louder_than_backward(self, forward_capture, backward_capture):
+        rms_f = np.sqrt(np.mean(forward_capture.channels**2))
+        rms_b = np.sqrt(np.mean(backward_capture.channels**2))
+        assert rms_f > rms_b
+
+    def test_louder_speech_raises_level(self, lab_scene, speaker):
+        rng = np.random.default_rng(5)
+        emission = speaker.emit("computer", 48_000, rng)
+        config = RirConfig(max_order=1)
+        quiet = render_capture(lab_scene, emission, loudness_db_spl=60.0, rng=np.random.default_rng(1), rir_config=config)
+        loud = render_capture(lab_scene, emission, loudness_db_spl=80.0, rng=np.random.default_rng(1), rir_config=config)
+        ratio = np.sqrt(np.mean(loud.channels**2) / np.mean(quiet.channels**2))
+        assert ratio == pytest.approx(10.0, rel=0.25)
+
+    def test_noise_floor_when_quiet_source(self, lab_scene, speaker):
+        """With a 0-SPL-ish source, the capture is dominated by ambient."""
+        rng = np.random.default_rng(6)
+        emission = speaker.emit("computer", 48_000, rng)
+        capture = render_capture(
+            lab_scene,
+            emission,
+            loudness_db_spl=1.0,
+            rng=rng,
+            rir_config=RirConfig(max_order=0, include_tail=False),
+            ambient=NoiseSource(kind="white", level_db_spl=45.0),
+        )
+        measured = rms_to_spl(float(np.sqrt(np.mean(capture.channels**2))))
+        assert measured == pytest.approx(45.0, abs=2.0)
+
+    def test_extra_noise_raises_floor(self, lab_scene, speaker):
+        rng = np.random.default_rng(7)
+        emission = speaker.emit("computer", 48_000, rng)
+        config = RirConfig(max_order=1)
+        scene = lab_scene.with_pose(SpeakerPose(distance_m=3.0))
+        clean = render_capture(scene, emission, rng=np.random.default_rng(2), rir_config=config)
+        noisy = render_capture(
+            scene,
+            emission,
+            rng=np.random.default_rng(2),
+            rir_config=config,
+            extra_noise=(NoiseSource(kind="white", level_db_spl=60.0),),
+        )
+        assert np.mean(noisy.channels**2) > 1.3 * np.mean(clean.channels**2)
+
+    def test_deterministic_given_rng(self, lab_scene, speaker):
+        emission = speaker.emit("computer", 48_000, np.random.default_rng(8))
+        config = RirConfig(max_order=1, tail_seed=3)
+        a = render_capture(lab_scene, emission, rng=np.random.default_rng(9), rir_config=config)
+        b = render_capture(lab_scene, emission, rng=np.random.default_rng(9), rir_config=config)
+        assert np.array_equal(a.channels, b.channels)

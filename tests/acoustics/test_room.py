@@ -1,0 +1,104 @@
+"""Tests for the shoebox room model."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    FOOT,
+    Material,
+    Room,
+    get_room,
+    home_room,
+    lab_room,
+)
+
+
+class TestMaterial:
+    def test_interpolates_on_log_axis(self):
+        material = Material(
+            name="m", band_centers_hz=(125.0, 500.0), absorption=(0.1, 0.4)
+        )
+        mid = material.absorption_at(250.0)
+        assert 0.1 < mid < 0.4
+        # 250 Hz is the log midpoint of 125 and 500.
+        assert mid == pytest.approx(0.25, abs=0.01)
+
+    def test_clamps_outside_range(self):
+        material = Material(
+            name="m", band_centers_hz=(125.0, 500.0), absorption=(0.1, 0.4)
+        )
+        assert material.absorption_at(20.0) == pytest.approx(0.1)
+        assert material.absorption_at(20_000.0) == pytest.approx(0.4)
+
+    def test_reflection_relation(self):
+        material = Material(
+            name="m", band_centers_hz=(125.0, 500.0), absorption=(0.19, 0.19)
+        )
+        assert material.reflection_at(250.0) == pytest.approx(np.sqrt(0.81))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Material("m", (125.0,), (0.1, 0.2))
+        with pytest.raises(ValueError):
+            Material("m", (125.0, 500.0), (0.0, 0.2))
+
+
+class TestRoom:
+    def test_volume_and_surface(self):
+        room = Room("box", (2.0, 3.0, 4.0), lab_room().material)
+        assert room.volume == 24.0
+        assert room.surface_area == 2 * (6 + 8 + 12)
+
+    def test_contains(self):
+        room = lab_room()
+        assert room.contains(np.array([1.0, 1.0, 1.0]))
+        assert not room.contains(np.array([-0.1, 1.0, 1.0]))
+        assert not room.contains(np.array([1.0, 1.0, 1.0]), margin=2.0)
+
+    def test_contains_validates_shape(self):
+        with pytest.raises(ValueError):
+            lab_room().contains(np.zeros(2))
+
+    def test_eyring_below_sabine(self):
+        """Eyring's -ln(1-a) > a, so Eyring RT < Sabine RT."""
+        room = lab_room()
+        for freq in (125.0, 1000.0, 4000.0):
+            assert room.eyring_rt60(freq) < room.sabine_rt60(freq)
+
+    def test_rt60_decreases_with_frequency_in_lab(self):
+        """Lab absorption rises with frequency, so RT60 falls."""
+        room = lab_room()
+        assert room.eyring_rt60(4000.0) < room.eyring_rt60(125.0)
+
+    def test_plausible_rt60_range(self):
+        for room in (lab_room(), home_room()):
+            rt = room.eyring_rt60(1000.0)
+            assert 0.1 < rt < 1.5
+
+    def test_home_more_reverberant_than_lab(self):
+        assert home_room().eyring_rt60(1000.0) > lab_room().eyring_rt60(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Room("bad", (0.0, 1.0, 1.0), lab_room().material)
+        with pytest.raises(ValueError):
+            Room("bad", (1.0, 1.0, 1.0), lab_room().material, ambient_noise_db_spl=200)
+
+
+class TestPaperRooms:
+    def test_lab_dimensions_match_paper(self):
+        room = lab_room()
+        assert room.dimensions[0] == pytest.approx(20 * FOOT)
+        assert room.dimensions[1] == pytest.approx(14 * FOOT)
+        assert room.dimensions[2] == pytest.approx(10 * FOOT)
+        assert room.ambient_noise_db_spl == 33.0
+
+    def test_home_dimensions_match_paper(self):
+        room = home_room()
+        assert room.dimensions == (33 * FOOT, 10 * FOOT, 8 * FOOT)
+        assert room.ambient_noise_db_spl == 43.0
+
+    def test_get_room(self):
+        assert get_room("LAB").name == "lab"
+        with pytest.raises(ValueError):
+            get_room("garage")

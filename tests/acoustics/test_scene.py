@@ -1,0 +1,151 @@
+"""Tests for scene geometry and occlusion."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    ANGLE_GRID_DEG,
+    FULL_BLOCK,
+    HOME_PLACEMENT,
+    LAB_PLACEMENTS,
+    NO_OCCLUSION,
+    PARTIAL_BLOCK,
+    DevicePlacement,
+    Occlusion,
+    Scene,
+    SpeakerPose,
+    home_room,
+    lab_room,
+    raised_placement,
+    rotate_xy,
+)
+from repro.arrays import get_device
+
+
+@pytest.fixture()
+def base_scene():
+    return Scene(
+        room=lab_room(),
+        device=get_device("D3"),
+        placement=LAB_PLACEMENTS["A"],
+        pose=SpeakerPose(distance_m=3.0),
+    )
+
+
+class TestRotate:
+    def test_quarter_turn(self):
+        v = rotate_xy(np.array([1.0, 0.0, 0.5]), 90.0)
+        assert np.allclose(v, [0.0, 1.0, 0.5], atol=1e-12)
+
+    def test_z_preserved(self):
+        v = rotate_xy(np.array([1.0, 2.0, 3.0]), 37.0)
+        assert v[2] == 3.0
+
+
+class TestPose:
+    def test_grid_labels(self):
+        assert SpeakerPose(3.0, radial_deg=0.0).grid_label == "M3"
+        assert SpeakerPose(1.0, radial_deg=-15.0).grid_label == "L1"
+        assert SpeakerPose(5.0, radial_deg=15.0).grid_label == "R5"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeakerPose(distance_m=0.0)
+        with pytest.raises(ValueError):
+            SpeakerPose(distance_m=1.0, mouth_height=0.0)
+
+    def test_angle_grid_has_14_angles(self):
+        assert len(ANGLE_GRID_DEG) == 14
+        assert set(ANGLE_GRID_DEG) >= {0.0, 180.0, 90.0, -90.0}
+
+
+class TestSceneGeometry:
+    def test_source_distance(self, base_scene):
+        horizontal = np.linalg.norm(
+            base_scene.source_position[:2] - base_scene.placement.position[:2]
+        )
+        assert horizontal == pytest.approx(3.0)
+
+    def test_source_height_is_mouth(self, base_scene):
+        assert base_scene.source_position[2] == base_scene.pose.mouth_height
+
+    def test_facing_zero_points_at_device(self, base_scene):
+        to_device = base_scene.placement.position - base_scene.source_position
+        to_device[2] = 0
+        to_device /= np.linalg.norm(to_device)
+        assert np.allclose(base_scene.facing_vector, to_device, atol=1e-9)
+
+    def test_facing_180_points_away(self, base_scene):
+        flipped = base_scene.with_pose(SpeakerPose(distance_m=3.0, head_angle_deg=180.0))
+        assert np.allclose(flipped.facing_vector, -base_scene.facing_vector, atol=1e-9)
+
+    def test_facing_is_unit(self, base_scene):
+        for angle in (0.0, 45.0, 135.0):
+            scene = base_scene.with_pose(SpeakerPose(3.0, head_angle_deg=angle))
+            assert np.linalg.norm(scene.facing_vector) == pytest.approx(1.0)
+
+    def test_mic_positions_offset_by_placement(self, base_scene):
+        centroid = base_scene.mic_positions.mean(axis=0)
+        assert np.allclose(centroid, base_scene.placement.position, atol=1e-12)
+
+    def test_rejects_speaker_outside_room(self):
+        with pytest.raises(ValueError, match="outside"):
+            Scene(
+                room=lab_room(),
+                device=get_device("D3"),
+                placement=LAB_PLACEMENTS["A"],
+                pose=SpeakerPose(distance_m=50.0),
+            )
+
+    def test_home_placement_fits_grid(self):
+        scene = Scene(
+            room=home_room(),
+            device=get_device("D2"),
+            placement=HOME_PLACEMENT,
+            pose=SpeakerPose(distance_m=5.0, radial_deg=15.0),
+        )
+        assert scene.room.contains(scene.source_position)
+
+    def test_with_occlusion(self, base_scene):
+        blocked = base_scene.with_occlusion(FULL_BLOCK)
+        assert blocked.occlusion.name == "full"
+        assert base_scene.occlusion is NO_OCCLUSION
+
+
+class TestOcclusion:
+    def test_band_gains_monotone_decreasing(self):
+        bands = [(125.0, 250.0), (500.0, 1000.0), (4000.0, 8000.0)]
+        gains = PARTIAL_BLOCK.band_gains(bands)
+        assert np.all(np.diff(gains) <= 0)
+
+    def test_open_has_unit_gains(self):
+        bands = [(125.0, 250.0), (4000.0, 8000.0)]
+        assert np.allclose(NO_OCCLUSION.band_gains(bands), 1.0)
+
+    def test_full_blocks_more_than_partial(self):
+        bands = [(2000.0, 4000.0)]
+        assert FULL_BLOCK.band_gains(bands)[0] < PARTIAL_BLOCK.band_gains(bands)[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Occlusion("bad", lf_gain=0.2, hf_gain=0.5)
+        with pytest.raises(ValueError):
+            Occlusion("bad", lf_gain=0.5, hf_gain=0.2, lf_hz=5000, hf_hz=100)
+
+
+class TestPlacement:
+    def test_paper_heights(self):
+        assert LAB_PLACEMENTS["A"].height == 0.74
+        assert LAB_PLACEMENTS["B"].height == 0.45
+        assert LAB_PLACEMENTS["C"].height == 0.75
+        assert HOME_PLACEMENT.height == 0.83
+
+    def test_raised_placement(self):
+        raised = raised_placement(LAB_PLACEMENTS["A"])
+        assert raised.height == pytest.approx(0.74 + 0.148)
+        with pytest.raises(ValueError):
+            raised_placement(LAB_PLACEMENTS["A"], extra_height=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DevicePlacement("x", (0.0, 0.0), height=0.0)

@@ -1,0 +1,98 @@
+"""Tests for human and loudspeaker sources."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    GALAXY_S21,
+    HumanSpeaker,
+    LoudspeakerModel,
+    LoudspeakerSource,
+    SONY_SRS_X5,
+    replay_channel,
+    synthesize_wake_word,
+)
+from repro.dsp import mean_power_spectrum, spectral_contrast
+
+FS = 48_000
+
+
+class TestHumanSpeaker:
+    def test_emission_metadata(self):
+        speaker = HumanSpeaker.random(np.random.default_rng(0), name="alice")
+        rendering = speaker.emit("computer", FS, np.random.default_rng(1))
+        assert rendering.is_live_human
+        assert rendering.label == "alice"
+        assert rendering.sample_rate == FS
+
+    def test_profile_is_stable(self):
+        speaker = HumanSpeaker.random(np.random.default_rng(5))
+        a = speaker.emit("computer", FS, np.random.default_rng(1)).waveform
+        b = speaker.emit("computer", FS, np.random.default_rng(1)).waveform
+        assert np.array_equal(a, b)
+
+
+class TestLoudspeakerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoudspeakerModel("x", 0.0, 4000.0, -10.0, -40.0, 0.0)
+        with pytest.raises(ValueError):
+            LoudspeakerModel("x", 100.0, 4000.0, +3.0, -40.0, 0.0)
+        with pytest.raises(ValueError):
+            LoudspeakerModel("x", 100.0, 4000.0, -10.0, -40.0, 1.5)
+
+    def test_paper_devices_defined(self):
+        assert SONY_SRS_X5.name == "sony-srs-x5"
+        assert GALAXY_S21.low_cutoff_hz > SONY_SRS_X5.low_cutoff_hz
+
+
+class TestReplayChannel:
+    def test_removes_high_frequency_structure(self):
+        """Figure 3: replay has fewer structured >4 kHz responses."""
+        speaker = HumanSpeaker.random(np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        original = synthesize_wake_word("computer", speaker.profile, FS, rng)
+        replayed = replay_channel(original, FS, SONY_SRS_X5, rng)
+        c_orig = spectral_contrast(original, FS)
+        c_replay = spectral_contrast(replayed, FS)
+        assert c_replay.high_fraction < c_orig.high_fraction
+        assert c_replay.decay_db_per_octave < c_orig.decay_db_per_octave
+
+    def test_band_limits_low_end(self):
+        rng = np.random.default_rng(2)
+        t = np.arange(FS) / FS
+        rumble = np.sin(2 * np.pi * 50.0 * t)
+        out = replay_channel(rumble, FS, GALAXY_S21, rng)
+        assert np.sqrt(np.mean(out**2)) < 0.5  # 50 Hz well below 220 Hz cutoff... attenuated
+
+    def test_normalized_output(self):
+        rng = np.random.default_rng(3)
+        x = np.sin(2 * np.pi * 500 * np.arange(FS // 2) / FS)
+        out = replay_channel(x, FS, SONY_SRS_X5, rng)
+        assert np.abs(out).max() == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert replay_channel(np.array([]), FS, SONY_SRS_X5, np.random.default_rng(0)).size == 0
+
+    def test_adds_noise_floor(self):
+        """Gaps in the source stay non-silent after the replay channel."""
+        rng = np.random.default_rng(4)
+        x = np.concatenate([np.zeros(FS // 10), np.sin(2 * np.pi * 500 * np.arange(FS // 4) / FS)])
+        out = replay_channel(x, FS, GALAXY_S21, rng)
+        leading = out[: FS // 20]
+        assert np.sqrt(np.mean(leading**2)) > 0
+
+
+class TestLoudspeakerSource:
+    def test_emission_is_mechanical(self):
+        speaker = HumanSpeaker.random(np.random.default_rng(0))
+        source = LoudspeakerSource(voice=speaker, model=SONY_SRS_X5)
+        rendering = source.emit("computer", FS, np.random.default_rng(1))
+        assert not rendering.is_live_human
+        assert "sony" in rendering.label
+
+    def test_directivity_differs_from_human(self):
+        speaker = HumanSpeaker.random(np.random.default_rng(0))
+        human = speaker.emit("computer", FS, np.random.default_rng(1))
+        replay = LoudspeakerSource(voice=speaker).emit("computer", FS, np.random.default_rng(1))
+        assert human.directivity != replay.directivity

@@ -1,0 +1,125 @@
+"""Tests for the wake-word synthesizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics import (
+    Phone,
+    VocalProfile,
+    WAKE_WORDS,
+    canonical_wake_word,
+    random_profile,
+    synthesize_wake_word,
+    utterance_duration,
+)
+from repro.dsp import mean_power_spectrum
+
+FS = 48_000
+
+
+class TestPhone:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            Phone("whistle", 0.1, ())
+        with pytest.raises(ValueError, match="duration"):
+            Phone("voiced", 0.0, (500.0,))
+
+
+class TestVocalProfile:
+    def test_plausibility_bounds(self):
+        with pytest.raises(ValueError):
+            VocalProfile(f0=20.0)
+        with pytest.raises(ValueError):
+            VocalProfile(tract_scale=2.0)
+        with pytest.raises(ValueError):
+            VocalProfile(tempo=0.0)
+
+    def test_random_profiles_differ(self):
+        rng = np.random.default_rng(0)
+        a, b = random_profile(rng), random_profile(rng)
+        assert a != b
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_profiles_always_valid(self, seed):
+        profile = random_profile(np.random.default_rng(seed))
+        assert 50.0 <= profile.f0 <= 400.0
+
+
+class TestWakeWords:
+    def test_canonicalization(self):
+        assert canonical_wake_word("Computer") == "computer"
+        assert canonical_wake_word("Hey Assistant!") == "hey assistant"
+
+    def test_unknown_word(self):
+        with pytest.raises(ValueError, match="unknown wake word"):
+            canonical_wake_word("jarvis")
+
+    def test_all_words_defined(self):
+        assert set(WAKE_WORDS) == {"computer", "amazon", "hey assistant"}
+
+
+class TestSynthesis:
+    def test_normalized_peak(self):
+        audio = synthesize_wake_word("computer", VocalProfile(), FS, np.random.default_rng(0))
+        assert np.abs(audio).max() == pytest.approx(1.0)
+
+    def test_duration_matches_inventory(self):
+        profile = VocalProfile(tempo=1.0)
+        audio = synthesize_wake_word("computer", profile, FS, np.random.default_rng(0))
+        expected = utterance_duration("computer", profile)
+        assert audio.size / FS == pytest.approx(expected, rel=0.3)
+
+    def test_repetitions_differ(self):
+        rng = np.random.default_rng(0)
+        a = synthesize_wake_word("amazon", VocalProfile(), FS, rng)
+        b = synthesize_wake_word("amazon", VocalProfile(), FS, rng)
+        assert a.size != b.size or not np.allclose(a[: b.size], b[: a.size])
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_wake_word("computer", VocalProfile(), FS, np.random.default_rng(7))
+        b = synthesize_wake_word("computer", VocalProfile(), FS, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_pitch_shows_up_in_spectrum(self):
+        """A 120 Hz talker must put harmonic energy near multiples of f0."""
+        profile = VocalProfile(f0=120.0, jitter=0.001)
+        audio = synthesize_wake_word("computer", profile, FS, np.random.default_rng(1))
+        freqs, power = mean_power_spectrum(audio, FS, frame_length=4096)
+        voiced_region = power[(freqs > 80) & (freqs < 500)]
+        assert voiced_region.max() > 100 * np.median(power[freqs > 10_000])
+
+    def test_has_high_frequency_energy(self):
+        """Live speech keeps structured energy above 4 kHz (Fig. 3a)."""
+        audio = synthesize_wake_word("computer", VocalProfile(), FS, np.random.default_rng(2))
+        freqs, power = mean_power_spectrum(audio, FS)
+        above = power[(freqs > 4000) & (freqs < 12_000)].sum()
+        assert above > 0
+        total = power.sum()
+        assert above / total > 1e-4
+
+    def test_female_profile_higher_f0_energy(self):
+        low = VocalProfile(f0=100.0)
+        high = VocalProfile(f0=240.0)
+        rng = np.random.default_rng(3)
+        a_low = synthesize_wake_word("amazon", low, FS, rng)
+        a_high = synthesize_wake_word("amazon", high, FS, rng)
+        def centroid(x):
+            freqs, power = mean_power_spectrum(x, FS)
+            mask = freqs < 1000
+            return float(np.sum(freqs[mask] * power[mask]) / np.sum(power[mask]))
+        assert centroid(a_high) > centroid(a_low)
+
+    def test_all_words_render(self):
+        rng = np.random.default_rng(4)
+        for word in WAKE_WORDS:
+            audio = synthesize_wake_word(word, VocalProfile(), FS, rng)
+            assert audio.size > FS // 10
+            assert np.all(np.isfinite(audio))
+
+    def test_tempo_shortens_utterance(self):
+        slow = VocalProfile(tempo=0.8)
+        fast = VocalProfile(tempo=1.3)
+        assert utterance_duration("computer", fast) < utterance_duration("computer", slow)

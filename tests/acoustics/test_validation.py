@@ -1,0 +1,98 @@
+"""Closing the loop: rendered RIRs must match the room's predictions."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    RirConfig,
+    home_room,
+    human_head_directivity,
+    lab_room,
+    render_band_rirs,
+)
+from repro.acoustics.validation import (
+    critical_distance,
+    direct_to_reverberant_ratio_db,
+    measure_rt60,
+    schroeder_decay,
+)
+
+FS = 48_000
+
+
+def rendered_rir(room, facing=(1.0, 0.0, 0.0), tail_seconds=0.5, band=(500.0, 1000.0)):
+    source = np.array([2.0, 1.5, 1.5])
+    mics = np.array([[3.5, 1.5, 0.8]])
+    rirs = render_band_rirs(
+        room=room,
+        source_position=source,
+        facing=np.asarray(facing),
+        directivity=human_head_directivity(),
+        mic_positions=mics,
+        sample_rate=FS,
+        bands=[band],
+        config=RirConfig(max_order=2, tail_max_seconds=tail_seconds, tail_seed=5),
+        rng=np.random.default_rng(0),
+    )
+    return rirs[0, 0]
+
+
+def synthetic_exponential_rir(rt60: float, seconds: float = 1.0, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(int(FS * seconds)) / FS
+    return rng.standard_normal(t.size) * 10.0 ** (-3.0 * t / rt60)
+
+
+class TestSchroeder:
+    def test_decay_starts_at_zero_and_falls(self):
+        decay = schroeder_decay(synthetic_exponential_rir(0.4))
+        assert decay[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(np.diff(decay) <= 1e-9)
+
+    def test_known_rt60_recovered(self):
+        for rt60 in (0.2, 0.5):
+            measured = measure_rt60(synthetic_exponential_rir(rt60, seconds=2 * rt60), FS)
+            assert measured == pytest.approx(rt60, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schroeder_decay(np.array([]))
+        with pytest.raises(ValueError):
+            schroeder_decay(np.zeros(100))
+        with pytest.raises(ValueError):
+            measure_rt60(synthetic_exponential_rir(0.3), FS, fit_range_db=(-25.0, -5.0))
+
+
+class TestRenderedRoomAcoustics:
+    def test_rendered_rt60_matches_eyring(self):
+        """The simulator's tail must decay at the room's predicted rate."""
+        room = lab_room()
+        predicted = room.eyring_rt60(float(np.sqrt(500.0 * 1000.0)))
+        measured = measure_rt60(rendered_rir(room, tail_seconds=min(1.0, 3 * predicted)), FS)
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_home_more_reverberant_when_rendered(self):
+        lab_rt = measure_rt60(rendered_rir(lab_room(), tail_seconds=0.8), FS)
+        home_rt = measure_rt60(rendered_rir(home_room(), tail_seconds=1.2), FS)
+        assert home_rt > lab_rt
+
+    def test_drr_drops_when_facing_away(self):
+        """Insight 1, measured on the impulse response itself."""
+        toward = direct_to_reverberant_ratio_db(
+            rendered_rir(lab_room(), facing=(1.0, 0.0, 0.0), band=(2000.0, 4000.0)), FS
+        )
+        away = direct_to_reverberant_ratio_db(
+            rendered_rir(lab_room(), facing=(-1.0, 0.0, 0.0), band=(2000.0, 4000.0)), FS
+        )
+        assert toward > away + 3.0
+
+    def test_critical_distance_plausible(self):
+        for room in (lab_room(), home_room()):
+            d = critical_distance(room)
+            assert 0.2 < d < 3.0
+        # The deader lab supports a larger critical distance.
+        assert critical_distance(lab_room()) > critical_distance(home_room())
+
+    def test_drr_validation(self):
+        with pytest.raises(ValueError):
+            direct_to_reverberant_ratio_db(np.zeros(100), FS)

@@ -1,0 +1,73 @@
+"""Tests for the prototype device geometries (Table I / Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    SAMPLE_RATE,
+    all_devices,
+    default_channel_subset,
+    get_device,
+    make_d1,
+    make_d2,
+    make_d3,
+)
+from repro.dsp import srp_max_lag_for
+
+
+class TestDeviceGeometry:
+    def test_channel_counts_match_table_i(self):
+        assert make_d1().n_mics == 7
+        assert make_d2().n_mics == 6
+        assert make_d3().n_mics == 4
+
+    def test_sample_rate_48khz(self):
+        for device in all_devices():
+            assert device.sample_rate == SAMPLE_RATE == 48_000
+
+    def test_orthogonal_spacings_match_paper(self):
+        assert make_d1().aperture == pytest.approx(0.085, abs=1e-6)
+        assert make_d2().aperture == pytest.approx(0.09, abs=1e-6)
+        assert make_d3().aperture == pytest.approx(0.065, abs=1e-6)
+
+    def test_srp_windows_match_paper(self):
+        """The paper's 25 / 27 / 21-sample SRP windows for D1/D2/D3."""
+        windows = {
+            "D1": 2 * srp_max_lag_for(make_d1()) + 1,
+            "D2": 2 * srp_max_lag_for(make_d2()) + 1,
+            "D3": 2 * srp_max_lag_for(make_d3()) + 1,
+        }
+        assert windows == {"D1": 25, "D2": 27, "D3": 21}
+
+    def test_d1_has_center_mic(self):
+        d1 = make_d1()
+        radii = np.linalg.norm(d1.positions[:, :2], axis=1)
+        assert np.isclose(radii.min(), 0.0, atol=1e-9)
+
+
+class TestLookup:
+    def test_get_device_case_insensitive(self):
+        assert get_device("d2").name == "D2"
+
+    def test_get_device_unknown(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("D9")
+
+    def test_all_devices_order(self):
+        assert [d.name for d in all_devices()] == ["D1", "D2", "D3"]
+
+
+class TestDefaultSubset:
+    def test_d3_uses_all_channels(self):
+        assert default_channel_subset(make_d3()) == [0, 1, 2, 3]
+
+    def test_larger_devices_reduced_to_four(self):
+        assert len(default_channel_subset(make_d1())) == 4
+        assert len(default_channel_subset(make_d2())) == 4
+
+    def test_subset_preserves_near_full_aperture(self):
+        """The 4-channel slice must keep the device's full aperture
+        (the paper picks channels for greatest inter-mic distance)."""
+        for device in (make_d1(), make_d2()):
+            sub = device.subset(default_channel_subset(device))
+            assert sub.aperture == pytest.approx(device.aperture, rel=1e-9)

@@ -1,0 +1,161 @@
+"""Tests for microphone-array geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import MicArray, SPEED_OF_SOUND, circular_positions
+
+
+def square_array(side: float = 0.1, fs: int = 48_000) -> MicArray:
+    half = side / 2
+    return MicArray(
+        name="square",
+        positions=np.array(
+            [[half, 0, 0], [0, half, 0], [-half, 0, 0], [0, -half, 0]]
+        ),
+        sample_rate=fs,
+    )
+
+
+class TestConstruction:
+    def test_centers_positions_on_centroid(self):
+        array = MicArray("a", np.array([[1.0, 0, 0], [3.0, 0, 0]]))
+        assert np.allclose(array.positions.mean(axis=0), 0.0)
+
+    def test_rejects_1d_positions(self):
+        with pytest.raises(ValueError, match="shape"):
+            MicArray("a", np.array([1.0, 2.0, 3.0]))
+
+    def test_rejects_single_mic(self):
+        with pytest.raises(ValueError, match="two microphones"):
+            MicArray("a", np.zeros((1, 3)))
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            MicArray("a", np.zeros((2, 3)), sample_rate=0)
+
+    def test_positions_are_read_only(self):
+        array = square_array()
+        with pytest.raises(ValueError):
+            array.positions[0, 0] = 1.0
+
+
+class TestPairGeometry:
+    def test_pair_count(self):
+        assert len(square_array().pairs()) == 6
+
+    def test_pairs_are_ordered(self):
+        for i, j in square_array().pairs():
+            assert i < j
+
+    def test_aperture_is_diagonal(self):
+        array = square_array(side=0.1)
+        assert array.aperture == pytest.approx(0.1)
+
+    def test_pair_distance_symmetric_layout(self):
+        array = square_array(side=0.1)
+        assert array.pair_distance(0, 2) == pytest.approx(0.1)
+        assert array.pair_distance(0, 1) == pytest.approx(0.1 / np.sqrt(2))
+
+    def test_max_delay_samples_ceil(self):
+        array = square_array(side=0.1, fs=48_000)
+        expected = int(np.ceil(0.1 / SPEED_OF_SOUND * 48_000))
+        assert array.max_delay_samples() == expected
+
+
+class TestSubset:
+    def test_subset_reduces_channels(self):
+        sub = square_array().subset([0, 2])
+        assert sub.n_mics == 2
+
+    def test_subset_keeps_relative_geometry(self):
+        array = square_array(side=0.1)
+        sub = array.subset([0, 2])
+        assert sub.aperture == pytest.approx(array.pair_distance(0, 2))
+
+    def test_subset_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            square_array().subset([0, 0])
+
+    def test_subset_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            square_array().subset([0, 9])
+
+    def test_subset_rejects_single_channel(self):
+        with pytest.raises(ValueError, match="two channels"):
+            square_array().subset([1])
+
+    def test_max_aperture_subset_picks_farthest_pair(self):
+        array = square_array()
+        picked = array.max_aperture_subset(2)
+        assert array.pair_distance(*picked) == pytest.approx(array.aperture)
+
+    def test_max_aperture_subset_full(self):
+        assert square_array().max_aperture_subset(4) == [0, 1, 2, 3]
+
+    def test_max_aperture_subset_validates(self):
+        with pytest.raises(ValueError):
+            square_array().max_aperture_subset(1)
+        with pytest.raises(ValueError):
+            square_array().max_aperture_subset(9)
+
+
+class TestSteering:
+    def test_equidistant_source_has_equal_delays(self):
+        array = square_array()
+        delays = array.steering_delays(np.array([0.0, 0.0, 2.0]))
+        assert np.allclose(delays, delays[0])
+
+    def test_delay_magnitude(self):
+        array = square_array()
+        delays = array.steering_delays(np.array([5.0, 0.0, 0.0]))
+        assert delays.min() >= (5.0 - 0.1) / SPEED_OF_SOUND
+        assert delays.max() <= (5.0 + 0.1) / SPEED_OF_SOUND
+
+    def test_array_position_offset(self):
+        array = square_array()
+        base = array.steering_delays(np.array([5.0, 0.0, 0.0]))
+        shifted = array.steering_delays(
+            np.array([6.0, 0.0, 0.0]), array_position=np.array([1.0, 0.0, 0.0])
+        )
+        assert np.allclose(base, shifted)
+
+    def test_rejects_bad_source_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            square_array().steering_delays(np.zeros(2))
+
+    @given(
+        x=st.floats(-10, 10),
+        y=st.floats(-10, 10),
+        z=st.floats(0.2, 3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tdoa_bounded_by_aperture(self, x, y, z):
+        """|TDoA| can never exceed aperture / c for any source position."""
+        array = square_array(side=0.1)
+        source = np.array([x, y, z])
+        if np.linalg.norm(source) < 0.3:
+            return
+        for pair in array.pairs():
+            tdoa = array.tdoa(source, pair)
+            assert abs(tdoa) <= array.aperture / SPEED_OF_SOUND + 1e-12
+
+
+class TestCircularPositions:
+    def test_count_and_radius(self):
+        pos = circular_positions(6, radius=0.05)
+        assert pos.shape == (6, 3)
+        assert np.allclose(np.linalg.norm(pos[:, :2], axis=1), 0.05)
+
+    def test_even_spacing(self):
+        pos = circular_positions(4, radius=1.0)
+        chord = np.linalg.norm(pos[0] - pos[1])
+        assert chord == pytest.approx(np.sqrt(2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            circular_positions(0, 1.0)
+        with pytest.raises(ValueError):
+            circular_positions(3, -1.0)

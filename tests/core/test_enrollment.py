@@ -1,0 +1,98 @@
+"""Tests for enrollment and model refresh."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_DEFINITION,
+    DEFINITION_1,
+    Enrollment,
+    FACING,
+    NON_FACING,
+    build_enrollment_set,
+    ground_truth_labels,
+    preprocess,
+)
+
+
+@pytest.fixture(scope="module")
+def enrollment_audios(request):
+    forward = request.getfixturevalue("forward_capture")
+    backward = request.getfixturevalue("backward_capture")
+    audios = [preprocess(forward), preprocess(backward)] * 4
+    angles = [0.0, 180.0] * 4
+    return audios, angles
+
+
+class TestBuildEnrollmentSet:
+    def test_labels_follow_definition(self, extractor, enrollment_audios):
+        audios, angles = enrollment_audios
+        built = build_enrollment_set(audios, angles, extractor, DEFAULT_DEFINITION)
+        assert built.n_samples == len(audios)
+        assert set(built.labels.tolist()) == {FACING, NON_FACING}
+        assert built.n_excluded == 0
+
+    def test_excluded_angles_dropped(self, extractor, enrollment_audios):
+        audios, _ = enrollment_audios
+        angles = [0.0, 60.0] * 4  # 60 deg excluded under Definition-4
+        built = build_enrollment_set(audios, angles, extractor, DEFAULT_DEFINITION)
+        assert built.n_excluded == 4
+        assert built.n_samples == 4
+
+    def test_definition_1_keeps_45(self, extractor, enrollment_audios):
+        audios, _ = enrollment_audios
+        angles = [45.0, 90.0] * 4
+        built = build_enrollment_set(audios, angles, extractor, DEFINITION_1)
+        assert built.n_excluded == 0
+
+    def test_all_excluded_rejected(self, extractor, enrollment_audios):
+        audios, _ = enrollment_audios
+        with pytest.raises(ValueError, match="excluded"):
+            build_enrollment_set(audios, [60.0] * len(audios), extractor, DEFAULT_DEFINITION)
+
+    def test_misaligned_inputs(self, extractor, enrollment_audios):
+        audios, _ = enrollment_audios
+        with pytest.raises(ValueError, match="align"):
+            build_enrollment_set(audios, [0.0], extractor, DEFAULT_DEFINITION)
+
+    def test_empty_rejected(self, extractor):
+        with pytest.raises(ValueError):
+            build_enrollment_set([], [], extractor, DEFAULT_DEFINITION)
+
+
+class TestGroundTruthLabels:
+    def test_vectorized(self):
+        labels = ground_truth_labels(np.array([0.0, 45.0, 180.0]))
+        assert labels.tolist() == [FACING, NON_FACING, NON_FACING]
+
+
+class TestEnrollment:
+    def test_enroll_trains_detector(self, d2_subset, enrollment_audios):
+        audios, angles = enrollment_audios
+        enrollment = Enrollment(array=d2_subset)
+        detector = enrollment.enroll(audios, angles)
+        assert enrollment.n_training_samples == len(audios)
+        predictions = detector.predict(enrollment.extractor.extract_batch(audios))
+        assert set(predictions.tolist()) <= {FACING, NON_FACING}
+
+    def test_refresh_requires_enrollment(self, d2_subset, enrollment_audios):
+        audios, _ = enrollment_audios
+        enrollment = Enrollment(array=d2_subset)
+        with pytest.raises(RuntimeError, match="enroll"):
+            enrollment.refresh(audios, n_to_add=2)
+
+    def test_refresh_grows_pool(self, d2_subset, enrollment_audios):
+        audios, angles = enrollment_audios
+        enrollment = Enrollment(array=d2_subset)
+        enrollment.enroll(audios, angles)
+        before = enrollment.n_training_samples
+        added = enrollment.refresh(audios, n_to_add=3)
+        assert 0 <= added <= 3
+        assert enrollment.n_training_samples == before + added
+
+    def test_refresh_validation(self, d2_subset, enrollment_audios):
+        audios, angles = enrollment_audios
+        enrollment = Enrollment(array=d2_subset)
+        enrollment.enroll(audios, angles)
+        with pytest.raises(ValueError):
+            enrollment.refresh(audios, n_to_add=-1)

@@ -1,0 +1,76 @@
+"""Tests for the liveness detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import LIVE_HUMAN, MECHANICAL, LivenessDetector, preprocess
+
+FS = 48_000
+
+
+@pytest.fixture(scope="module")
+def trained_liveness(request):
+    """A liveness detector trained on a tiny human/replay pool."""
+    forward = request.getfixturevalue("forward_capture")
+    replay = request.getfixturevalue("replay_capture")
+    human_wave = preprocess(forward).reference
+    replay_wave = preprocess(replay).reference
+    rng = np.random.default_rng(0)
+    waveforms, labels = [], []
+    for _ in range(6):
+        noise_h = human_wave + 0.02 * rng.standard_normal(human_wave.size)
+        noise_r = replay_wave + 0.02 * rng.standard_normal(replay_wave.size)
+        waveforms.extend([noise_h, noise_r])
+        labels.extend([LIVE_HUMAN, MECHANICAL])
+    detector = LivenessDetector(epochs=12, random_state=0)
+    detector.fit(waveforms, np.asarray(labels), FS)
+    return detector, human_wave, replay_wave
+
+
+class TestFeaturization:
+    def test_feature_shape(self):
+        detector = LivenessDetector(n_bands=40)
+        rng = np.random.default_rng(0)
+        feats = detector.featurize(rng.standard_normal(FS // 2), FS)
+        assert feats.shape[1] == 40
+
+    def test_batch(self):
+        detector = LivenessDetector()
+        rng = np.random.default_rng(0)
+        waves = [rng.standard_normal(FS // 4) for _ in range(3)]
+        feats = detector.featurize_batch(waves, FS)
+        assert len(feats) == 3
+
+
+class TestClassification:
+    def test_separates_training_pool(self, trained_liveness):
+        detector, human_wave, replay_wave = trained_liveness
+        scores = detector.scores([human_wave, replay_wave], FS)
+        assert scores[0] > scores[1]
+
+    def test_is_live(self, trained_liveness):
+        detector, human_wave, replay_wave = trained_liveness
+        assert detector.is_live(human_wave, FS) or not detector.is_live(replay_wave, FS)
+
+    def test_predict_labels(self, trained_liveness):
+        detector, human_wave, replay_wave = trained_liveness
+        labels = detector.predict([human_wave, replay_wave], FS)
+        assert set(labels.tolist()) <= {LIVE_HUMAN, MECHANICAL}
+
+    def test_evaluate_eer_returns_pair(self, trained_liveness):
+        detector, human_wave, replay_wave = trained_liveness
+        accuracy, eer = detector.evaluate_eer(
+            [human_wave, replay_wave, human_wave, replay_wave],
+            np.array([1, 0, 1, 0]),
+            FS,
+        )
+        assert 0.0 <= accuracy <= 1.0
+        assert 0.0 <= eer <= 1.0
+
+    def test_incremental_fit_runs(self, trained_liveness):
+        detector, human_wave, replay_wave = trained_liveness
+        before = len(detector.network.history.loss)
+        detector.incremental_fit(
+            [human_wave, replay_wave], np.array([1, 0]), FS, epochs=1
+        )
+        assert len(detector.network.history.loss) == before + 1

@@ -1,0 +1,90 @@
+"""Tests for the orientation detector wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import FACING, NON_FACING, OrientationDetector, make_backend
+from repro.ml import (
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    RandomForestClassifier,
+    SVC,
+)
+
+
+def feature_blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, 8)), rng.normal(2.5, 1, (n, 8))])
+    y = np.array([FACING] * n + [NON_FACING] * n)
+    return X, y
+
+
+class TestBackends:
+    def test_factory_types(self):
+        assert isinstance(make_backend("svm"), SVC)
+        assert isinstance(make_backend("rf"), RandomForestClassifier)
+        assert isinstance(make_backend("dt"), DecisionTreeClassifier)
+        assert isinstance(make_backend("knn"), KNeighborsClassifier)
+
+    def test_paper_hyperparameters(self):
+        assert make_backend("rf").n_estimators == 200
+        assert make_backend("dt").max_splits == 5
+        assert make_backend("knn").n_neighbors == 3
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("xgboost")
+
+
+class TestDetector:
+    def test_fit_predict(self):
+        X, y = feature_blobs()
+        detector = OrientationDetector(backend="svm").fit(X, y)
+        assert detector.score(X, y) > 0.95
+
+    def test_facing_probability_range(self):
+        X, y = feature_blobs()
+        detector = OrientationDetector().fit(X, y)
+        proba = detector.facing_probability(X)
+        assert np.all((0 <= proba) & (proba <= 1))
+        assert proba[y == FACING].mean() > proba[y == NON_FACING].mean()
+
+    def test_is_facing_threshold(self):
+        X, y = feature_blobs()
+        detector = OrientationDetector().fit(X, y)
+        facing_row = X[0]
+        assert detector.is_facing(facing_row) in (True, False)
+        # An impossible threshold always rejects.
+        assert not detector.is_facing(facing_row, threshold=1.01)
+
+    def test_scaling_is_internal(self):
+        """Feature scales should not break the detector."""
+        X, y = feature_blobs()
+        X_scaled = X * np.array([1e6, 1e-6] + [1.0] * 6)
+        detector = OrientationDetector().fit(X_scaled, y)
+        assert detector.score(X_scaled, y) > 0.9
+
+    def test_rejects_bad_labels(self):
+        X, _ = feature_blobs()
+        with pytest.raises(ValueError, match="labels"):
+            OrientationDetector().fit(X, np.array(["yes"] * X.shape[0]))
+
+    def test_rejects_single_class(self):
+        X, _ = feature_blobs()
+        with pytest.raises(ValueError, match="both classes"):
+            OrientationDetector().fit(X, np.array([FACING] * X.shape[0]))
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            OrientationDetector().predict(np.zeros((1, 4)))
+
+    @pytest.mark.parametrize("backend", ["svm", "dt", "knn", "lr"])
+    def test_all_backends_train(self, backend):
+        X, y = feature_blobs(30)
+        detector = OrientationDetector(backend=backend).fit(X, y)
+        assert detector.score(X, y) > 0.8
+
+    def test_lr_extension_backend(self):
+        from repro.ml import LogisticRegression
+
+        assert isinstance(make_backend("lr"), LogisticRegression)

@@ -1,0 +1,105 @@
+"""Tests for the HeadTalk decision pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Capture
+from repro.core import (
+    ACCEPT,
+    HeadTalkConfig,
+    HeadTalkPipeline,
+    LIVE_HUMAN,
+    LivenessDetector,
+    MECHANICAL,
+    REJECT_MECHANICAL,
+    REJECT_NO_SPEECH,
+    REJECT_NON_FACING,
+    preprocess,
+)
+
+FS = 48_000
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    """A fully trained pipeline over fixture-style captures."""
+    from repro.acoustics import LoudspeakerSource, render_capture
+    from tests.conftest import COLLECT_RIR
+
+    d2_subset = request.getfixturevalue("d2_subset")
+    trained_detector = request.getfixturevalue("trained_detector")
+    lab_scene = request.getfixturevalue("lab_scene")
+    speaker = request.getfixturevalue("speaker")
+
+    from repro.acoustics import SpeakerPose
+
+    rng = np.random.default_rng(0)
+    replay_source = LoudspeakerSource(voice=speaker)
+    waveforms, labels = [], []
+    for angle in (0.0, 90.0, 180.0):
+        scene = lab_scene.with_pose(SpeakerPose(distance_m=1.0, head_angle_deg=angle))
+        for _ in range(6):
+            for source, label in ((speaker, LIVE_HUMAN), (replay_source, MECHANICAL)):
+                emission = source.emit("computer", FS, rng)
+                capture = render_capture(scene, emission, rng=rng, rir_config=COLLECT_RIR)
+                waveforms.append(preprocess(capture).reference)
+                labels.append(label)
+    liveness = LivenessDetector(epochs=300, random_state=0)
+    liveness.network.batch_size = 8
+    liveness.fit(waveforms, np.asarray(labels), FS)
+    return HeadTalkPipeline(
+        array=d2_subset,
+        liveness=liveness,
+        orientation=trained_detector,
+        config=HeadTalkConfig(),
+    )
+
+
+class TestDecisions:
+    def test_forward_human_accepted(self, pipeline, forward_capture):
+        decision = pipeline.evaluate(forward_capture)
+        assert decision.accepted
+        assert decision.reason == ACCEPT
+        assert decision.facing_probability >= 0.5
+
+    def test_backward_human_soft_rejected(self, pipeline, backward_capture):
+        """Orientation path: liveness skipped so the non-facing rejection
+        is exercised directly (a tiny liveness net can also reject
+        backward speech as mechanical, which is a different test)."""
+        decision = pipeline.evaluate(backward_capture, check_liveness=False)
+        assert not decision.accepted
+        assert decision.reason == REJECT_NON_FACING
+
+    def test_backward_human_rejected_with_liveness_on(self, pipeline, backward_capture):
+        decision = pipeline.evaluate(backward_capture)
+        assert not decision.accepted
+        assert decision.reason in (REJECT_NON_FACING, REJECT_MECHANICAL)
+
+    def test_replay_rejected_as_mechanical(self, pipeline, replay_capture):
+        decision = pipeline.evaluate(replay_capture)
+        assert not decision.accepted
+        assert decision.reason in (REJECT_MECHANICAL, REJECT_NON_FACING)
+
+    def test_silence_rejected_without_model_calls(self, pipeline):
+        silent = Capture(channels=np.zeros((4, FS // 4)), sample_rate=FS)
+        decision = pipeline.evaluate(silent)
+        assert not decision.accepted
+        assert decision.reason == REJECT_NO_SPEECH
+        assert decision.liveness_ms == 0.0
+
+    def test_liveness_can_be_skipped(self, pipeline, forward_capture):
+        decision = pipeline.evaluate(forward_capture, check_liveness=False)
+        assert decision.liveness_score == 1.0
+        assert decision.liveness_ms == 0.0
+
+    def test_latency_recorded(self, pipeline, forward_capture):
+        decision = pipeline.evaluate(forward_capture)
+        assert decision.orientation_ms > 0
+        assert decision.total_ms == pytest.approx(
+            decision.liveness_ms + decision.orientation_ms
+        )
+
+    def test_channel_mismatch_rejected(self, pipeline):
+        bad = Capture(channels=np.zeros((2, FS // 4)), sample_rate=FS)
+        with pytest.raises(ValueError, match="channels"):
+            pipeline.evaluate(bad)

@@ -1,0 +1,64 @@
+"""Tests for the preprocessing front-end."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Capture
+from repro.core import preprocess
+
+FS = 48_000
+
+
+def capture_with_silence(seed=0):
+    rng = np.random.default_rng(seed)
+    lead = 0.0005 * rng.standard_normal((2, FS // 4))
+    burst = rng.standard_normal((2, FS // 4))
+    tail = 0.0005 * rng.standard_normal((2, FS // 4))
+    return Capture(channels=np.concatenate([lead, burst, tail], axis=1), sample_rate=FS)
+
+
+class TestPreprocess:
+    def test_trims_to_speech(self, forward_capture):
+        audio = preprocess(forward_capture)
+        assert audio.had_speech
+        assert audio.channels.shape[1] < forward_capture.n_samples
+
+    def test_normalized_peak(self, forward_capture):
+        audio = preprocess(forward_capture)
+        assert np.abs(audio.channels).max() == pytest.approx(1.0)
+
+    def test_channel_count_preserved(self, forward_capture):
+        audio = preprocess(forward_capture)
+        assert audio.channels.shape[0] == forward_capture.n_mics
+
+    def test_silence_flagged(self):
+        silent = Capture(channels=np.zeros((2, FS // 4)), sample_rate=FS)
+        audio = preprocess(silent)
+        assert not audio.had_speech
+
+    def test_removes_out_of_band_noise(self):
+        t = np.arange(FS // 2) / FS
+        hum = np.sin(2 * np.pi * 30.0 * t)  # below the 100 Hz edge
+        speech_band = np.sin(2 * np.pi * 500.0 * t)
+        capture = Capture(channels=np.stack([hum + speech_band] * 2), sample_rate=FS)
+        audio = preprocess(capture, normalize=False)
+        spectrum = np.abs(np.fft.rfft(audio.channels[0]))
+        freqs = np.fft.rfftfreq(audio.channels.shape[1], 1 / FS)
+        hum_power = spectrum[np.argmin(np.abs(freqs - 30.0))]
+        speech_power = spectrum[np.argmin(np.abs(freqs - 500.0))]
+        assert speech_power > 20 * hum_power
+
+    def test_trim_applies_same_cut_to_all_channels(self):
+        capture = capture_with_silence()
+        audio = preprocess(capture, normalize=False)
+        # Burst region is the middle quarter second.
+        assert audio.channels.shape[1] == pytest.approx(FS // 4, rel=0.25)
+
+    def test_reference_is_first_channel(self, forward_capture):
+        audio = preprocess(forward_capture)
+        assert np.array_equal(audio.reference, audio.channels[0])
+
+    def test_normalize_off(self):
+        capture = capture_with_silence()
+        audio = preprocess(capture, normalize=False)
+        assert np.abs(audio.channels).max() != pytest.approx(1.0)

@@ -1,0 +1,83 @@
+"""Tests for operating-point selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.threshold import (
+    OperatingPoint,
+    threshold_at_eer,
+    threshold_for_far,
+    threshold_for_frr,
+)
+
+
+def scored_data(n=500, gap=1.5, seed=0):
+    rng = np.random.default_rng(seed)
+    scores = np.concatenate([rng.normal(0, 1, n), rng.normal(gap, 1, n)])
+    y = np.array([0] * n + [1] * n)
+    return y, scores
+
+
+class TestFarBudget:
+    def test_budget_respected(self):
+        y, s = scored_data()
+        point = threshold_for_far(y, s, max_far=0.05)
+        assert point.far <= 0.05
+
+    def test_tighter_budget_raises_threshold(self):
+        y, s = scored_data()
+        loose = threshold_for_far(y, s, max_far=0.2)
+        tight = threshold_for_far(y, s, max_far=0.01)
+        assert tight.threshold > loose.threshold
+        assert tight.frr >= loose.frr
+
+    def test_zero_budget_achievable(self):
+        y, s = scored_data(gap=8.0)
+        point = threshold_for_far(y, s, max_far=0.0)
+        assert point.far == 0.0
+        assert point.frr < 0.05  # well-separated data keeps usability
+
+    def test_validation(self):
+        y, s = scored_data()
+        with pytest.raises(ValueError):
+            threshold_for_far(y, s, max_far=1.5)
+        with pytest.raises(ValueError):
+            threshold_for_far(np.ones(4), np.zeros(4), 0.1)
+
+
+class TestFrrBudget:
+    def test_budget_respected(self):
+        y, s = scored_data()
+        point = threshold_for_frr(y, s, max_frr=0.05)
+        assert point.frr <= 0.05
+
+    def test_maximizes_privacy_within_budget(self):
+        y, s = scored_data()
+        point = threshold_for_frr(y, s, max_frr=0.1)
+        stricter = point.threshold + 0.25
+        accepted = s >= stricter
+        frr_above = float(np.mean(~accepted[y == 1]))
+        assert frr_above > 0.1  # any stricter threshold busts the budget
+
+
+class TestEerPoint:
+    def test_far_frr_balanced(self):
+        y, s = scored_data(n=2000)
+        point = threshold_at_eer(y, s)
+        assert abs(point.far - point.frr) < 0.02
+        assert point.policy == "EER"
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_rates_always_valid(self, seed):
+        y, s = scored_data(n=80, seed=seed)
+        for point in (
+            threshold_for_far(y, s, 0.1),
+            threshold_for_frr(y, s, 0.1),
+            threshold_at_eer(y, s),
+        ):
+            assert isinstance(point, OperatingPoint)
+            assert 0.0 <= point.far <= 1.0
+            assert 0.0 <= point.frr <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for the DTW wake-word spotter."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import HumanSpeaker, synthesize_wake_word
+from repro.core.wakeword import Detection, WakeWordSpotter, dtw_distance
+from repro.datasets import speaker_profile
+
+FS = 48_000
+
+
+def tokens(word: str, n: int, seed: int = 0) -> list[np.ndarray]:
+    profile = speaker_profile(0)
+    rng = np.random.default_rng(seed)
+    return [synthesize_wake_word(word, profile, FS, rng) for _ in range(n)]
+
+
+class TestDtw:
+    def test_identical_sequences_zero(self):
+        a = np.random.default_rng(0).standard_normal((20, 4))
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((15, 4)), rng.standard_normal((22, 4))
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a), rel=1e-9)
+
+    def test_time_warp_invariance(self):
+        """A time-stretched copy stays much closer than a different signal."""
+        t = np.linspace(0, 1, 40)
+        a = np.stack([np.sin(2 * np.pi * 2 * t), np.cos(2 * np.pi * 2 * t)], axis=1)
+        stretched_t = np.linspace(0, 1, 60)
+        b = np.stack(
+            [np.sin(2 * np.pi * 2 * stretched_t), np.cos(2 * np.pi * 2 * stretched_t)],
+            axis=1,
+        )
+        other = np.random.default_rng(2).standard_normal((40, 2))
+        assert dtw_distance(a, b) < 0.3 * dtw_distance(a, other)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((0, 2)), np.zeros((3, 2)))
+
+
+class TestSpotter:
+    @pytest.fixture(scope="class")
+    def spotter(self):
+        spotter = WakeWordSpotter()
+        spotter.enroll("computer", tokens("computer", 4, seed=0), FS)
+        spotter.enroll("amazon", tokens("amazon", 4, seed=1), FS)
+        return spotter
+
+    def test_enrollment_requires_examples(self):
+        with pytest.raises(ValueError, match="two example"):
+            WakeWordSpotter().enroll("computer", tokens("computer", 1), FS)
+
+    def test_detects_enrolled_word(self, spotter):
+        fresh = tokens("computer", 1, seed=9)[0]
+        detection = spotter.detect(fresh, FS)
+        assert detection.detected
+        assert detection.word == "computer"
+
+    def test_distinguishes_words(self, spotter):
+        fresh = tokens("amazon", 1, seed=9)[0]
+        detection = spotter.detect(fresh, FS)
+        assert detection.word in (None, "amazon")
+        d_amazon = spotter.distance_to("amazon", fresh, FS)
+        d_computer = spotter.distance_to("computer", fresh, FS)
+        assert d_amazon < d_computer
+
+    def test_rejects_noise(self, spotter):
+        noise = 0.3 * np.random.default_rng(3).standard_normal(FS // 2)
+        detection = spotter.detect(noise, FS)
+        assert not detection.detected
+        assert detection.word is None
+
+    def test_unenrolled_word_lookup(self, spotter):
+        with pytest.raises(KeyError):
+            spotter.distance_to("jarvis", tokens("computer", 1)[0], FS)
+
+    def test_detect_without_enrollment(self):
+        with pytest.raises(RuntimeError, match="enrolled"):
+            WakeWordSpotter().detect(np.zeros(1000), FS)
+
+    def test_detection_record_fields(self, spotter):
+        fresh = tokens("computer", 1, seed=10)[0]
+        detection = spotter.detect(fresh, FS)
+        assert isinstance(detection, Detection)
+        assert detection.distance >= 0
+        assert detection.threshold > 0

@@ -1,0 +1,45 @@
+"""Tests for the synthetic ASVspoof-like liveness corpus."""
+
+import numpy as np
+import pytest
+
+from repro.core.liveness import LIVE_HUMAN, MECHANICAL
+from repro.datasets import make_asvspoof_like
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_asvspoof_like(n_utterances=12, seed=0)
+
+
+class TestCorpus:
+    def test_size_and_balance(self, corpus):
+        assert len(corpus) == 12
+        assert np.sum(corpus.labels == LIVE_HUMAN) == 6
+        assert np.sum(corpus.labels == MECHANICAL) == 6
+
+    def test_features_shape(self, corpus):
+        assert all(f.ndim == 2 and f.shape[1] == 40 for f in corpus.features)
+
+    def test_metadata_source_matches_label(self, corpus):
+        for label, meta in zip(corpus.labels, corpus.meta):
+            assert (label == LIVE_HUMAN) == (meta.source == "human")
+
+    def test_speakers_are_distinct(self, corpus):
+        speakers = {m.speaker for m in corpus.meta}
+        assert len(speakers) == len(corpus)
+
+    def test_deterministic(self):
+        a = make_asvspoof_like(n_utterances=4, seed=3)
+        b = make_asvspoof_like(n_utterances=4, seed=3)
+        for fa, fb in zip(a.features, b.features):
+            assert np.array_equal(fa, fb)
+
+    def test_seed_changes_corpus(self):
+        a = make_asvspoof_like(n_utterances=4, seed=1)
+        b = make_asvspoof_like(n_utterances=4, seed=2)
+        assert not np.array_equal(a.features[0], b.features[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_asvspoof_like(n_utterances=1)

@@ -1,0 +1,146 @@
+"""Tests for the Table II dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.liveness import LIVE_HUMAN, MECHANICAL
+from repro.datasets import (
+    BENCH,
+    PAPER,
+    Scale,
+    TINY,
+    border_angle_specs,
+    build_liveness_dataset,
+    build_orientation_dataset,
+    clear_cache,
+    dataset1_specs,
+    dataset2_specs,
+    dataset3_specs,
+    dataset4_specs,
+    dataset5_specs,
+    dataset6_specs,
+    dataset7_specs,
+    placement_specs,
+)
+from repro.datasets.collection import CollectionSpec
+
+
+def spec_total(specs) -> int:
+    return sum(spec.n_utterances for spec in specs)
+
+
+class TestPaperScaleCounts:
+    """The PAPER scale must reproduce the sample counts of Table II."""
+
+    def test_dataset1_is_9072(self):
+        assert spec_total(dataset1_specs(PAPER)) == 9072
+
+    def test_dataset2_is_1008(self):
+        assert spec_total(dataset2_specs(PAPER)) == 1008
+
+    def test_dataset3_is_336(self):
+        assert spec_total(dataset3_specs(PAPER)) == 336
+
+    def test_dataset4_is_168(self):
+        assert spec_total(dataset4_specs(PAPER)) == 168
+
+    def test_dataset5_is_84(self):
+        assert spec_total(dataset5_specs(PAPER)) == 84
+
+    def test_dataset6_is_168(self):
+        assert spec_total(dataset6_specs(PAPER)) == 168
+
+    def test_dataset7_is_252(self):
+        assert spec_total(dataset7_specs(PAPER)) == 252
+
+
+class TestSpecStructure:
+    def test_dataset1_covers_grid(self):
+        specs = dataset1_specs(BENCH)
+        rooms = {s.room for s in specs}
+        devices = {s.device for s in specs}
+        words = {s.wake_word for s in specs}
+        assert rooms == {"lab", "home"}
+        assert devices == {"D1", "D2", "D3"}
+        assert words == {"hey assistant", "computer", "amazon"}
+
+    def test_dataset2_is_sony_replay(self):
+        for spec in dataset2_specs(BENCH):
+            assert spec.source == "replay"
+            assert spec.replay_model == "sony"
+
+    def test_dataset3_timeframes(self):
+        assert {s.timeframe for s in dataset3_specs(BENCH)} == {"week", "month"}
+
+    def test_dataset4_noise_kinds(self):
+        kinds = {s.noise[0][0] for s in dataset4_specs(BENCH)}
+        assert kinds == {"white", "tv"}
+        assert all(s.noise[0][1] == 45.0 for s in dataset4_specs(BENCH))
+
+    def test_dataset5_sitting(self):
+        assert all(s.posture == "sitting" for s in dataset5_specs(BENCH))
+
+    def test_dataset6_loudness(self):
+        assert {s.loudness_db for s in dataset6_specs(BENCH)} == {60.0, 80.0}
+
+    def test_dataset7_occlusions(self):
+        assert {s.occlusion for s in dataset7_specs(BENCH)} == {
+            "partial", "full", "raised",
+        }
+
+    def test_placement_specs(self):
+        assert {s.placement for s in placement_specs(("B", "C"), BENCH)} == {"B", "C"}
+
+    def test_border_angles(self):
+        for spec in border_angle_specs(BENCH):
+            assert set(spec.angles) == {75.0, -75.0}
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            Scale(name="bad", locations=((1.0, 0.0),), repetitions=0, sessions=1)
+
+
+class TestBuilders:
+    def tiny_specs(self):
+        return tuple(
+            CollectionSpec(
+                locations=((1.0, 0.0),), angles=(0.0, 180.0), repetitions=1, session=s
+            )
+            for s in (0, 1)
+        )
+
+    def test_orientation_build_and_cache(self):
+        clear_cache()
+        specs = self.tiny_specs()
+        a = build_orientation_dataset(specs, seed=0)
+        b = build_orientation_dataset(specs, seed=0)
+        assert a is b  # cached object
+        assert len(a) == 4
+        assert a.X.shape[1] == 242  # D2 4-channel feature dimension
+
+    def test_orientation_gcc_only(self):
+        specs = self.tiny_specs()
+        baseline = build_orientation_dataset(specs, seed=0, gcc_only=True)
+        assert baseline.X.shape[1] == 168
+        assert baseline.extractor_name == "gcc-only"
+
+    def test_liveness_build_labels(self):
+        human = self.tiny_specs()[:1]
+        replay = (CollectionSpec(
+            locations=((1.0, 0.0),), angles=(0.0,), repetitions=1, source="replay"
+        ),)
+        ds = build_liveness_dataset(human + replay, seed=0)
+        assert set(ds.labels.tolist()) == {LIVE_HUMAN, MECHANICAL}
+        assert all(f.shape[1] == 40 for f in ds.features)
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            build_orientation_dataset((), seed=0)
+
+    def test_clear_cache(self):
+        specs = self.tiny_specs()
+        a = build_orientation_dataset(specs, seed=0)
+        clear_cache()
+        b = build_orientation_dataset(specs, seed=0)
+        assert a is not b
+        assert np.array_equal(a.X, b.X)

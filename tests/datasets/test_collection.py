@@ -1,0 +1,134 @@
+"""Tests for the simulated collection protocol."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALL_LOCATIONS,
+    CollectionSpec,
+    DEFAULT_LOCATIONS,
+    build_session_context,
+    collect,
+    speaker_profile,
+    stable_seed,
+)
+
+
+TINY_SPEC = CollectionSpec(
+    locations=((1.0, 0.0),), angles=(0.0, 180.0), repetitions=1
+)
+
+
+class TestSpec:
+    def test_utterance_count(self):
+        spec = CollectionSpec(locations=ALL_LOCATIONS, repetitions=2)
+        assert spec.n_utterances == 9 * 14 * 2
+
+    def test_default_locations_are_m_column(self):
+        assert DEFAULT_LOCATIONS == ((1.0, 0.0), (3.0, 0.0), (5.0, 0.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollectionSpec(repetitions=0)
+        with pytest.raises(ValueError):
+            CollectionSpec(source="alien")
+        with pytest.raises(ValueError):
+            CollectionSpec(posture="lying")
+        with pytest.raises(ValueError):
+            CollectionSpec(timeframe="year")
+        with pytest.raises(ValueError):
+            CollectionSpec(occlusion="wall")
+        with pytest.raises(ValueError):
+            CollectionSpec(replay_model="boombox")
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_sensitive_to_parts(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert stable_seed("a") != stable_seed("b")
+
+
+class TestSpeakerProfile:
+    def test_stable_per_seed(self):
+        assert speaker_profile(3) == speaker_profile(3)
+        assert speaker_profile(3) != speaker_profile(4)
+
+
+class TestSessionContext:
+    def test_deterministic(self):
+        spec = CollectionSpec(session=1)
+        a = build_session_context(spec, 0)
+        b = build_session_context(spec, 0)
+        assert a.room.material.absorption == b.room.material.absorption
+        assert a.placement.position_xy == b.placement.position_xy
+
+    def test_sessions_differ(self):
+        a = build_session_context(CollectionSpec(session=0), 0)
+        b = build_session_context(CollectionSpec(session=1), 0)
+        assert a.room.material.absorption != b.room.material.absorption
+
+    def test_timeframe_drifts_more(self):
+        day = build_session_context(CollectionSpec(timeframe="day"), 0)
+        month = build_session_context(CollectionSpec(timeframe="month"), 0)
+        nominal = 0.74  # placement A height
+        assert abs(month.placement.height - nominal) != abs(day.placement.height - nominal)
+
+    def test_home_uses_shelf_placement(self):
+        context = build_session_context(CollectionSpec(room="home"), 0)
+        assert abs(context.placement.height - 0.83) < 0.1
+
+    def test_raised_occlusion_raises_device(self):
+        normal = build_session_context(CollectionSpec(), 0)
+        raised = build_session_context(CollectionSpec(occlusion="raised"), 0)
+        assert raised.placement.height > normal.placement.height + 0.1
+
+
+class TestCollect:
+    def test_yield_count_and_metadata(self):
+        items = list(collect(TINY_SPEC, 0))
+        assert len(items) == 2
+        metas = [m for m, _ in items]
+        assert [m.angle_deg for m in metas] == [0.0, 180.0]
+        assert all(m.room == "lab" and m.device == "D2" for m in metas)
+
+    def test_capture_shape(self):
+        _, capture = next(iter(collect(TINY_SPEC, 0)))
+        assert capture.n_mics == 4  # default D2 subset
+        assert capture.sample_rate == 48_000
+
+    def test_deterministic(self):
+        a = [c.channels for _, c in collect(TINY_SPEC, 0)]
+        b = [c.channels for _, c in collect(TINY_SPEC, 0)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_seed_changes_audio(self):
+        a = next(iter(collect(TINY_SPEC, 0)))[1].channels
+        b = next(iter(collect(TINY_SPEC, 1)))[1].channels
+        assert not np.array_equal(a, b)
+
+    def test_sessions_change_audio(self):
+        spec0 = CollectionSpec(**{**TINY_SPEC.__dict__, "session": 0})
+        spec1 = CollectionSpec(**{**TINY_SPEC.__dict__, "session": 1})
+        a = next(iter(collect(spec0, 0)))[1].channels
+        b = next(iter(collect(spec1, 0)))[1].channels
+        assert not np.array_equal(a, b)
+
+    def test_replay_source_flagged(self):
+        spec = CollectionSpec(**{**TINY_SPEC.__dict__, "source": "replay"})
+        meta, _ = next(iter(collect(spec, 0)))
+        assert meta.source == "replay"
+        assert not meta.is_live_human
+
+    def test_channel_override(self):
+        spec = CollectionSpec(**{**TINY_SPEC.__dict__, "channels": (0, 1, 2, 3, 4, 5)})
+        _, capture = next(iter(collect(spec, 0)))
+        assert capture.n_mics == 6
+
+    def test_forward_louder_than_backward(self):
+        items = list(collect(TINY_SPEC, 0))
+        rms = [float(np.sqrt(np.mean(c.channels**2))) for _, c in items]
+        assert rms[0] > rms[1]  # 0 deg vs 180 deg

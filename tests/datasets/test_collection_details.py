@@ -1,0 +1,84 @@
+"""Finer-grained behavior of the collection layer."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import HumanSpeaker
+from repro.datasets import (
+    CollectionSpec,
+    build_session_context,
+    collect,
+    speaker_profile,
+    stable_seed,
+)
+
+TINY = dict(locations=((1.0, 0.0),), angles=(0.0,), repetitions=1)
+
+
+class TestPersonTraits:
+    def test_sitting_uses_the_persons_sitting_height(self):
+        person = HumanSpeaker.random(
+            np.random.default_rng(stable_seed("speaker", 0)), name="user0"
+        )
+        standing = CollectionSpec(**TINY, posture="standing")
+        sitting = CollectionSpec(**TINY, posture="sitting")
+        # Heights differ per person; sitting must be lower than standing.
+        assert person.sitting_mouth_height < person.standing_mouth_height
+
+        _, cap_standing = next(iter(collect(standing, 0)))
+        _, cap_sitting = next(iter(collect(sitting, 0)))
+        assert not np.array_equal(cap_standing.channels, cap_sitting.channels)
+
+    def test_users_have_distinct_physical_traits(self):
+        people = [
+            HumanSpeaker.random(
+                np.random.default_rng(stable_seed("speaker", k)), name=f"user{k}"
+            )
+            for k in range(5)
+        ]
+        heights = {round(p.standing_mouth_height, 4) for p in people}
+        rears = {round(p.directivity.rear_floor, 5) for p in people}
+        assert len(heights) >= 4
+        assert len(rears) >= 4
+
+    def test_profile_matches_speaker_profile_helper(self):
+        """HumanSpeaker.random on the speaker seed stream must agree
+        with the standalone speaker_profile helper."""
+        person = HumanSpeaker.random(
+            np.random.default_rng(stable_seed("speaker", 7)), name="user7"
+        )
+        assert person.profile == speaker_profile(7)
+
+
+class TestSessionDrift:
+    def test_home_drifts_more_than_lab(self):
+        lab_day = build_session_context(CollectionSpec(room="lab"), 0)
+        home_day = build_session_context(CollectionSpec(room="home"), 0)
+        assert home_day.drift > lab_day.drift
+
+    def test_timeframe_scales_drift(self):
+        day = build_session_context(CollectionSpec(timeframe="day"), 0)
+        week = build_session_context(CollectionSpec(timeframe="week"), 0)
+        month = build_session_context(CollectionSpec(timeframe="month"), 0)
+        assert day.drift < week.drift < month.drift
+
+    def test_device_rotation_drifts(self):
+        month = build_session_context(CollectionSpec(timeframe="month"), 0)
+        assert month.placement.rotation_deg != 0.0
+
+    def test_aim_error_scale_adds_bias(self):
+        careful = build_session_context(CollectionSpec(aim_error_scale=1.0), 0)
+        loose = build_session_context(CollectionSpec(aim_error_scale=2.5), 0)
+        assert careful.angle_bias_deg == pytest.approx(0.0)
+        assert loose.angle_bias_deg != 0.0
+        assert loose.angle_error_deg > careful.angle_error_deg
+
+
+class TestOcclusionSpecs:
+    def test_full_block_changes_capture(self):
+        open_spec = CollectionSpec(**TINY)
+        blocked = CollectionSpec(**TINY, occlusion="full")
+        _, cap_open = next(iter(collect(open_spec, 0)))
+        _, cap_blocked = next(iter(collect(blocked, 0)))
+        # The blocked capture loses direct-path energy.
+        assert np.mean(cap_blocked.channels**2) < np.mean(cap_open.channels**2)

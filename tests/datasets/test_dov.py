@@ -1,0 +1,43 @@
+"""Tests for the DoV-like multi-user corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DOV_ANGLES, Scale, TINY, dov_session_specs, dov_specs, make_dov_like
+
+
+class TestSpecs:
+    def test_angle_grid(self):
+        assert len(DOV_ANGLES) == 8
+        assert 15.0 not in DOV_ANGLES and -30.0 not in DOV_ANGLES
+
+    def test_one_spec_per_user(self):
+        specs = dov_specs(TINY, n_users=5)
+        assert len(specs) == 5
+        assert len({s.speaker_seed for s in specs}) == 5
+
+    def test_users_distinct_from_dataset1_user(self):
+        assert all(s.speaker_seed >= 100 for s in dov_specs(TINY, 3))
+
+    def test_session_override(self):
+        specs = dov_session_specs(1, TINY, 3)
+        assert all(s.session == 1 for s in specs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dov_specs(TINY, n_users=1)
+
+
+class TestBuild:
+    def test_small_build(self):
+        ds = make_dov_like(scale=TINY, n_users=2, seed=0)
+        # 2 users x 1 location x 8 angles x 1 rep
+        assert len(ds) == 16
+        assert set(ds.field("speaker")) == {"user100", "user101"}
+
+    def test_imbalance_matches_protocol(self):
+        """3 facing angles (0, +-45) vs 5 non-facing per user."""
+        ds = make_dov_like(scale=TINY, n_users=2, seed=0)
+        facing = np.isin(ds.angles, [0.0, 45.0, -45.0])
+        assert facing.sum() == 6
+        assert (~facing).sum() == 10

@@ -1,0 +1,97 @@
+"""Tests for dataset .npz persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LivenessDataset, OrientationDataset, UtteranceMeta
+from repro.datasets.export import (
+    load_liveness_dataset,
+    load_orientation_dataset,
+    save_liveness_dataset,
+    save_orientation_dataset,
+)
+
+
+def meta(k: int) -> UtteranceMeta:
+    return UtteranceMeta(
+        room="lab",
+        device="D2",
+        wake_word="computer",
+        angle_deg=float(15 * k),
+        distance_m=1.0 + k,
+        radial_deg=0.0,
+        session=k % 2,
+        repetition=k,
+        speaker=f"user{k}",
+    )
+
+
+class TestOrientationRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        dataset = OrientationDataset(
+            X=np.random.default_rng(0).standard_normal((4, 7)),
+            meta=[meta(k) for k in range(4)],
+            extractor_name="headtalk",
+        )
+        path = tmp_path / "ds.npz"
+        save_orientation_dataset(dataset, path)
+        loaded = load_orientation_dataset(path)
+        assert np.array_equal(loaded.X, dataset.X)
+        assert loaded.extractor_name == "headtalk"
+        assert loaded.meta == dataset.meta
+
+    def test_loaded_dataset_filters(self, tmp_path):
+        dataset = OrientationDataset(
+            X=np.zeros((4, 3)), meta=[meta(k) for k in range(4)]
+        )
+        path = tmp_path / "ds.npz"
+        save_orientation_dataset(dataset, path)
+        loaded = load_orientation_dataset(path)
+        assert len(loaded.subset(session=0)) == 2
+        train, test = loaded.session_split(0)
+        assert len(train) + len(test) == 4
+
+    def test_real_tiny_dataset_round_trips(self, tmp_path, tiny_dataset):
+        path = tmp_path / "tiny.npz"
+        save_orientation_dataset(tiny_dataset, path)
+        loaded = load_orientation_dataset(path)
+        assert np.allclose(loaded.X, tiny_dataset.X)
+        assert loaded.meta == tiny_dataset.meta
+
+
+class TestLivenessRoundTrip:
+    def make(self):
+        rng = np.random.default_rng(1)
+        features = [rng.standard_normal((rng.integers(5, 20), 8)) for _ in range(5)]
+        labels = np.array([0, 1, 0, 1, 1])
+        return LivenessDataset(features=features, labels=labels, meta=[meta(k) for k in range(5)])
+
+    def test_round_trip(self, tmp_path):
+        dataset = self.make()
+        path = tmp_path / "live.npz"
+        save_liveness_dataset(dataset, path)
+        loaded = load_liveness_dataset(path)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        for a, b in zip(loaded.features, dataset.features):
+            assert np.array_equal(a, b)
+        assert loaded.meta == dataset.meta
+
+    def test_empty_rejected(self, tmp_path):
+        empty = LivenessDataset(features=[], labels=np.zeros(0, dtype=int))
+        with pytest.raises(ValueError, match="empty"):
+            save_liveness_dataset(empty, tmp_path / "x.npz")
+
+
+class TestGuards:
+    def test_wrong_kind(self, tmp_path):
+        dataset = OrientationDataset(X=np.zeros((1, 2)), meta=[meta(0)])
+        path = tmp_path / "ds.npz"
+        save_orientation_dataset(dataset, path)
+        with pytest.raises(ValueError, match="orientation dataset"):
+            load_liveness_dataset(path)
+
+    def test_foreign_file(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro dataset"):
+            load_orientation_dataset(path)

@@ -1,0 +1,137 @@
+"""Tests for dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LivenessDataset, OrientationDataset, UtteranceMeta
+
+
+def meta(angle=0.0, session=0, room="lab", **kwargs) -> UtteranceMeta:
+    return UtteranceMeta(
+        room=room,
+        device="D2",
+        wake_word="computer",
+        angle_deg=angle,
+        distance_m=3.0,
+        radial_deg=0.0,
+        session=session,
+        repetition=0,
+        **kwargs,
+    )
+
+
+def small_dataset() -> OrientationDataset:
+    metas = [
+        meta(angle=0.0, session=0),
+        meta(angle=90.0, session=0),
+        meta(angle=0.0, session=1, room="home"),
+        meta(angle=180.0, session=1),
+    ]
+    X = np.arange(16.0).reshape(4, 4)
+    return OrientationDataset(X=X, meta=metas)
+
+
+class TestUtteranceMeta:
+    def test_grid_label(self):
+        assert meta().grid_label == "M3"
+        assert UtteranceMeta(
+            room="lab", device="D2", wake_word="computer", angle_deg=0,
+            distance_m=1.0, radial_deg=-15.0, session=0, repetition=0,
+        ).grid_label == "L1"
+
+    def test_is_live_human(self):
+        assert meta().is_live_human
+        assert not meta(source="replay").is_live_human
+
+
+class TestOrientationDataset:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError, match="metadata"):
+            OrientationDataset(X=np.zeros((3, 2)), meta=[meta()])
+
+    def test_field_and_angles(self):
+        ds = small_dataset()
+        assert ds.angles.tolist() == [0.0, 90.0, 0.0, 180.0]
+        assert ds.field("room").tolist() == ["lab", "lab", "home", "lab"]
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown"):
+            small_dataset().field("color")
+
+    def test_mask_scalar_and_collection(self):
+        ds = small_dataset()
+        assert ds.mask(room="lab").sum() == 3
+        assert ds.mask(session=[0, 1], room="home").sum() == 1
+
+    def test_subset(self):
+        ds = small_dataset()
+        sub = ds.subset(session=0)
+        assert len(sub) == 2
+        assert np.array_equal(sub.X, ds.X[:2])
+
+    def test_split_by(self):
+        parts = small_dataset().split_by("room")
+        assert set(parts) == {"lab", "home"}
+        assert len(parts["home"]) == 1
+
+    def test_concat(self):
+        ds = small_dataset()
+        combined = ds.concat(ds)
+        assert len(combined) == 8
+
+    def test_concat_dim_mismatch(self):
+        ds = small_dataset()
+        other = OrientationDataset(X=np.zeros((1, 7)), meta=[meta()])
+        with pytest.raises(ValueError):
+            ds.concat(other)
+
+    def test_session_split(self):
+        train, test = small_dataset().session_split(0)
+        assert set(train.field("session")) == {0}
+        assert set(test.field("session")) == {1}
+
+    def test_session_split_missing_session(self):
+        with pytest.raises(ValueError, match="not present"):
+            small_dataset().session_split(9)
+
+    def test_session_split_single_session(self):
+        ds = small_dataset().subset(session=0)
+        with pytest.raises(ValueError, match="single session"):
+            ds.session_split(0)
+
+    def test_grid_label_filterable(self):
+        ds = small_dataset()
+        assert ds.mask(grid_label="M3").sum() == 4
+
+
+class TestLivenessDataset:
+    def make(self, n=10):
+        features = [np.zeros((5, 4)) + k for k in range(n)]
+        labels = np.array([k % 2 for k in range(n)])
+        return LivenessDataset(features=features, labels=labels)
+
+    def test_alignment(self):
+        with pytest.raises(ValueError):
+            LivenessDataset(features=[np.zeros((2, 2))], labels=np.array([0, 1]))
+
+    def test_take(self):
+        ds = self.make()
+        sub = ds.take([0, 3])
+        assert len(sub) == 2
+        assert sub.labels.tolist() == [0, 1]
+
+    def test_split_fractions(self):
+        ds = self.make(20)
+        parts = ds.split((0.2, 0.2, 0.6), np.random.default_rng(0))
+        assert [len(p) for p in parts] == [4, 4, 12]
+        assert sum(len(p) for p in parts) == 20
+
+    def test_split_stratified(self):
+        ds = self.make(20)
+        parts = ds.split((0.5, 0.5), np.random.default_rng(0))
+        for part in parts:
+            assert np.sum(part.labels == 0) == np.sum(part.labels == 1)
+
+    def test_split_bad_fractions(self):
+        with pytest.raises(ValueError):
+            self.make().split((0.5, 0.2), np.random.default_rng(0))

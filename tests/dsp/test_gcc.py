@@ -1,0 +1,100 @@
+"""Tests for GCC-PHAT and TDoA estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import estimate_tdoa, gcc_phat, lag_axis, pairwise_gcc
+
+
+def delayed_pair(delay: int, n: int = 4096, seed: int = 0):
+    """White signal and a copy delayed by `delay` samples (b lags a)."""
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(n + abs(delay))
+    a = base[abs(delay) :][:n] if delay >= 0 else base[: n]
+    b = base[: n] if delay >= 0 else base[abs(delay) :][:n]
+    return a, b
+
+
+class TestGccPhat:
+    def test_zero_delay_peak_at_center(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(2048)
+        corr = gcc_phat(x, x, max_lag=10)
+        assert int(np.argmax(corr)) == 10
+
+    def test_output_length(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(512)
+        assert gcc_phat(x, x, max_lag=7).size == 15
+
+    def test_known_integer_delay(self):
+        a, b = delayed_pair(5)
+        corr = gcc_phat(a, b, max_lag=10)
+        assert int(np.argmax(corr)) - 10 == -5
+
+    def test_amplitude_invariance(self):
+        """PHAT whitening makes the peak location scale-invariant."""
+        a, b = delayed_pair(3)
+        corr1 = gcc_phat(a, b, max_lag=8)
+        corr2 = gcc_phat(100.0 * a, 0.01 * b, max_lag=8)
+        assert int(np.argmax(corr1)) == int(np.argmax(corr2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gcc_phat(np.array([]), np.array([1.0]), 4)
+        with pytest.raises(ValueError):
+            gcc_phat(np.ones(8), np.ones(8), -1)
+
+    @given(delay=st.integers(-8, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_recovers_any_integer_delay(self, delay):
+        a, b = delayed_pair(delay, seed=42)
+        corr = gcc_phat(a, b, max_lag=12)
+        assert int(np.argmax(corr)) - 12 == -delay
+
+
+class TestLagAxis:
+    def test_symmetric_in_seconds(self):
+        lags = lag_axis(5, 1000)
+        assert lags[0] == pytest.approx(-0.005)
+        assert lags[-1] == pytest.approx(0.005)
+        assert lags[5] == 0.0
+
+
+class TestEstimateTdoa:
+    def test_sign_convention(self):
+        """Positive TDoA when the second signal leads."""
+        a, b = delayed_pair(4)
+        tdoa = estimate_tdoa(a, b, max_lag=10, sample_rate=48_000)
+        assert tdoa == pytest.approx(-4 / 48_000)
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(3)
+        a, b = delayed_pair(6, n=8192)
+        a = a + 0.5 * rng.standard_normal(a.size)
+        b = b + 0.5 * rng.standard_normal(b.size)
+        tdoa = estimate_tdoa(a, b, max_lag=10, sample_rate=48_000)
+        assert tdoa == pytest.approx(-6 / 48_000, abs=1.1 / 48_000)
+
+
+class TestPairwiseGcc:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        channels = rng.standard_normal((4, 1024))
+        out = pairwise_gcc(channels, [(0, 1), (1, 2), (2, 3)], max_lag=9)
+        assert out.shape == (3, 19)
+
+    def test_matches_single_pair(self):
+        rng = np.random.default_rng(0)
+        channels = rng.standard_normal((2, 1024))
+        stacked = pairwise_gcc(channels, [(0, 1)], max_lag=6)
+        single = gcc_phat(channels[0], channels[1], max_lag=6)
+        assert np.allclose(stacked[0], single, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_mics"):
+            pairwise_gcc(np.zeros(10), [(0, 1)], 4)
+        with pytest.raises(ValueError, match="non-empty"):
+            pairwise_gcc(np.zeros((2, 10)), [], 4)

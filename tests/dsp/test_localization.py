@@ -1,0 +1,81 @@
+"""Tests for SRP-PHAT azimuth estimation."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import RirConfig, Scene, SpeakerPose, LAB_PLACEMENTS, lab_room, render_capture
+from repro.arrays import get_device
+from repro.dsp import angular_error_deg, estimate_azimuth
+
+
+class TestAngularError:
+    def test_simple(self):
+        assert angular_error_deg(10.0, 30.0) == 20.0
+
+    def test_wraparound(self):
+        assert angular_error_deg(-175.0, 175.0) == 10.0
+        assert angular_error_deg(180.0, -180.0) == 0.0
+
+
+class TestEstimateAzimuth:
+    @pytest.mark.parametrize("radial", [-15.0, 0.0, 15.0])
+    def test_finds_speaker_direction(self, radial, speaker):
+        device = get_device("D2")
+        scene = Scene(
+            room=lab_room(),
+            device=device,
+            placement=LAB_PLACEMENTS["A"],
+            pose=SpeakerPose(distance_m=2.0, radial_deg=radial),
+        )
+        rng = np.random.default_rng(int(radial) + 50)
+        capture = render_capture(
+            scene,
+            speaker.emit("computer", 48_000, rng),
+            rng=rng,
+            rir_config=RirConfig(max_order=1),
+        )
+        # Ground truth azimuth of the speaker as seen from the array.
+        direction = scene.source_position - scene.placement.position
+        truth = np.degrees(np.arctan2(direction[1], direction[0]))
+        estimate = estimate_azimuth(capture.channels, device)
+        assert angular_error_deg(estimate.azimuth_deg, truth) <= 15.0
+
+    def test_confidence_above_one_for_real_source(self, speaker):
+        device = get_device("D2")
+        scene = Scene(
+            room=lab_room(),
+            device=device,
+            placement=LAB_PLACEMENTS["A"],
+            pose=SpeakerPose(distance_m=2.0),
+        )
+        rng = np.random.default_rng(7)
+        capture = render_capture(
+            scene, speaker.emit("computer", 48_000, rng), rng=rng,
+            rir_config=RirConfig(max_order=1),
+        )
+        estimate = estimate_azimuth(capture.channels, device)
+        assert estimate.confidence() > 1.1
+
+    def test_profile_shape(self, speaker):
+        device = get_device("D3")
+        scene = Scene(
+            room=lab_room(),
+            device=device,
+            placement=LAB_PLACEMENTS["A"],
+            pose=SpeakerPose(distance_m=1.5),
+        )
+        rng = np.random.default_rng(8)
+        capture = render_capture(
+            scene, speaker.emit("computer", 48_000, rng), rng=rng,
+            rir_config=RirConfig(max_order=1),
+        )
+        estimate = estimate_azimuth(capture.channels, device, resolution_deg=10.0)
+        assert estimate.grid_deg.size == 36
+        assert estimate.profile.size == 36
+
+    def test_validation(self):
+        device = get_device("D3")
+        with pytest.raises(ValueError):
+            estimate_azimuth(np.zeros((4, 4800)), device, resolution_deg=0.0)
+        with pytest.raises(ValueError):
+            estimate_azimuth(np.zeros((4, 4800)), device, assumed_range_m=-1.0)

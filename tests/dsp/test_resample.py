@@ -1,0 +1,56 @@
+"""Tests for resampling and the liveness input normalization."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import resample, to_liveness_input
+
+
+def tone(freq, fs, seconds=0.25):
+    t = np.arange(int(fs * seconds)) / fs
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestResample:
+    def test_length_scales(self):
+        x = tone(440, 48_000)
+        y = resample(x, 48_000, 16_000)
+        assert y.size == pytest.approx(x.size / 3, abs=2)
+
+    def test_tone_frequency_preserved(self):
+        x = tone(1000, 48_000, seconds=0.5)
+        y = resample(x, 48_000, 16_000)
+        spectrum = np.abs(np.fft.rfft(y))
+        freqs = np.fft.rfftfreq(y.size, 1 / 16_000)
+        assert freqs[int(np.argmax(spectrum))] == pytest.approx(1000, abs=10)
+
+    def test_identity_when_rates_equal(self):
+        x = tone(440, 16_000)
+        assert np.array_equal(resample(x, 16_000, 16_000), x)
+
+    def test_aliasing_removed(self):
+        """Content above the target Nyquist must not fold down."""
+        x = tone(10_000, 48_000, seconds=0.5)
+        y = resample(x, 48_000, 16_000)
+        assert np.sqrt(np.mean(y**2)) < 0.05
+
+    def test_multichannel(self):
+        x = np.stack([tone(440, 48_000), tone(880, 48_000)])
+        y = resample(x, 48_000, 16_000)
+        assert y.shape[0] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resample(np.ones(10), 0, 16_000)
+
+
+class TestLivenessInput:
+    def test_normalized(self):
+        x = 3.0 + 5.0 * tone(500, 48_000)
+        y = to_liveness_input(x, 48_000)
+        assert abs(y.mean()) < 1e-9
+        assert y.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_silent_input_stays_finite(self):
+        y = to_liveness_input(np.zeros(4800), 48_000)
+        assert np.all(np.isfinite(y))

@@ -1,0 +1,94 @@
+"""Tests for always-on stream segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import HumanSpeaker
+from repro.datasets import speaker_profile
+from repro.dsp.segmenter import Segment, SegmenterConfig, extract_segments, segment_stream
+
+FS = 48_000
+
+
+def stream_with_utterances(gaps_s=(0.8, 1.0), seed=0):
+    """Noise floor with wake-word utterances at known offsets."""
+    rng = np.random.default_rng(seed)
+    speaker = HumanSpeaker(profile=speaker_profile(0))
+    pieces = [0.004 * rng.standard_normal(int(0.5 * FS))]
+    truth = []
+    cursor = pieces[0].size
+    for gap in gaps_s:
+        word = 0.5 * speaker.emit("computer", FS, rng).waveform
+        truth.append((cursor, cursor + word.size))
+        pieces.append(word + 0.004 * rng.standard_normal(word.size))
+        silence = 0.004 * rng.standard_normal(int(gap * FS))
+        pieces.append(silence)
+        cursor += word.size + silence.size
+    return np.concatenate(pieces), truth
+
+
+class TestSegment:
+    def test_properties(self):
+        segment = Segment(start=480, end=960)
+        assert segment.n_samples == 480
+        assert segment.duration(FS) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(start=10, end=10)
+        with pytest.raises(ValueError):
+            Segment(start=-1, end=10)
+
+
+class TestSegmenterConfig:
+    def test_hysteresis_enforced(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            SegmenterConfig(open_ratio=2.0, close_ratio=3.0)
+
+
+class TestSegmentStream:
+    def test_finds_both_utterances(self):
+        stream, truth = stream_with_utterances()
+        segments = segment_stream(stream, FS)
+        assert len(segments) == len(truth)
+        for segment, (true_start, true_end) in zip(segments, truth):
+            # Each detected segment overlaps its true utterance heavily.
+            overlap = min(segment.end, true_end) - max(segment.start, true_start)
+            assert overlap > 0.7 * (true_end - true_start)
+
+    def test_silence_yields_nothing(self):
+        rng = np.random.default_rng(1)
+        assert segment_stream(0.002 * rng.standard_normal(FS), FS) == []
+
+    def test_empty_stream(self):
+        assert segment_stream(np.array([]), FS) == []
+
+    def test_zero_stream(self):
+        assert segment_stream(np.zeros(FS // 2), FS) == []
+
+    def test_long_speech_is_split(self):
+        """The adaptive floor needs quiet context; 12 s of continuous
+        speech between quiet stretches must come out in bounded pieces."""
+        rng = np.random.default_rng(2)
+        quiet = 0.003 * rng.standard_normal(3 * FS)
+        loud = rng.standard_normal(12 * FS)
+        stream = np.concatenate([quiet, loud, quiet])
+        config = SegmenterConfig(max_segment_s=3.0)
+        segments = segment_stream(stream, FS, config)
+        assert len(segments) >= 2
+        assert all(s.duration(FS) <= 4.0 for s in segments)
+
+    def test_short_blips_dropped(self):
+        rng = np.random.default_rng(3)
+        stream = 0.003 * rng.standard_normal(2 * FS)
+        stream[FS : FS + 480] += 1.0  # 10 ms click
+        segments = segment_stream(stream, FS)
+        assert segments == []
+
+    def test_extract_segments_multichannel(self):
+        stream, _ = stream_with_utterances()
+        channels = np.stack([stream, 0.5 * stream])
+        segments = segment_stream(stream, FS)
+        chunks = extract_segments(channels, segments)
+        assert len(chunks) == len(segments)
+        assert all(chunk.shape[0] == 2 for chunk in chunks)

@@ -1,0 +1,109 @@
+"""Tests for band statistics and the speech-directivity features."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    HIGH_BAND,
+    LOW_BAND,
+    band_mask,
+    band_mean_magnitude,
+    high_low_band_ratio,
+    low_band_chunk_stats,
+    mean_power_spectrum,
+    signal_to_noise_ratio_db,
+    spectral_contrast,
+)
+
+
+def tone_mix(freqs_amps, fs=48_000, seconds=0.4):
+    t = np.arange(int(fs * seconds)) / fs
+    return sum(a * np.sin(2 * np.pi * f * t) for f, a in freqs_amps)
+
+
+class TestBandMask:
+    def test_inclusive_exclusive(self):
+        freqs = np.array([99.0, 100.0, 399.0, 400.0])
+        mask = band_mask(freqs, (100.0, 400.0))
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            band_mask(np.array([1.0]), (400.0, 100.0))
+
+
+class TestHlbr:
+    def test_bands_match_paper(self):
+        assert LOW_BAND == (100.0, 400.0)
+        assert HIGH_BAND == (500.0, 4000.0)
+
+    def test_ratio_orders_bright_vs_dark(self):
+        bright = tone_mix([(2000, 1.0), (200, 0.1)])
+        dark = tone_mix([(2000, 0.1), (200, 1.0)])
+        ratios = []
+        for x in (bright, dark):
+            freqs, power = mean_power_spectrum(x, 48_000)
+            ratios.append(high_low_band_ratio(freqs, power))
+        assert ratios[0] > 5 * ratios[1]
+
+    def test_low_dominant_signal_below_one(self):
+        x = tone_mix([(2000, 0.1), (200, 1.0)])
+        freqs, power = mean_power_spectrum(x, 48_000)
+        assert high_low_band_ratio(freqs, power) < 1.0
+
+    def test_empty_band_returns_zero_mean(self):
+        freqs = np.linspace(0, 50, 10)
+        assert band_mean_magnitude(freqs, np.ones(10), (100.0, 200.0)) == 0.0
+
+
+class TestLowBandChunks:
+    def test_dimension(self):
+        x = tone_mix([(250, 1.0)])
+        freqs, power = mean_power_spectrum(x, 48_000)
+        stats = low_band_chunk_stats(freqs, power, n_chunks=20)
+        assert stats.shape == (60,)
+
+    def test_energy_lands_near_right_chunk(self):
+        x = tone_mix([(115, 1.0)])
+        freqs, power = mean_power_spectrum(x, 48_000)
+        stats = low_band_chunk_stats(freqs, power, n_chunks=20)
+        means = stats[0::3]
+        chunk_width = (400.0 - 100.0) / 20
+        center = 100.0 + (int(np.argmax(means)) + 0.5) * chunk_width
+        # FFT bin resolution (~47 Hz) limits how precisely the tone maps.
+        assert abs(center - 115.0) < 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            low_band_chunk_stats(np.array([1.0]), np.array([1.0]), n_chunks=0)
+
+
+class TestSpectralContrast:
+    def test_bright_vs_dark_signal(self):
+        rng = np.random.default_rng(0)
+        bright = rng.standard_normal(48_000)
+        dark = tone_mix([(300, 1.0), (600, 0.5)], seconds=1.0)
+        c_bright = spectral_contrast(bright, 48_000)
+        c_dark = spectral_contrast(dark, 48_000)
+        assert c_bright.high_fraction > c_dark.high_fraction
+
+    def test_decay_slope_sign(self):
+        """A 1/f-ish spectrum must yield a negative dB/octave slope."""
+        rng = np.random.default_rng(1)
+        n = 48_000
+        spectrum = np.fft.rfft(rng.standard_normal(n))
+        freqs = np.fft.rfftfreq(n, 1 / 48_000)
+        shaped = np.fft.irfft(spectrum / np.maximum(freqs, 1.0), n)
+        contrast = spectral_contrast(shaped, 48_000)
+        assert contrast.decay_db_per_octave < -3.0
+
+
+class TestSnr:
+    def test_known_ratio(self):
+        signal = np.ones(1000)
+        noise = np.full(1000, 0.1)
+        assert signal_to_noise_ratio_db(signal, noise) == pytest.approx(20.0)
+
+    def test_degenerate_cases(self):
+        assert signal_to_noise_ratio_db(np.ones(10), np.zeros(10)) == float("inf")
+        assert signal_to_noise_ratio_db(np.zeros(10), np.ones(10)) == float("-inf")

@@ -1,0 +1,100 @@
+"""Tests for statistical summaries and peak picking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.dsp import (
+    find_peaks,
+    kurtosis,
+    mean_absolute_deviation,
+    skewness,
+    summary_vector,
+    top_k_peaks,
+)
+
+finite_arrays = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=3, max_size=64
+).map(np.asarray)
+
+
+class TestMoments:
+    def test_gaussian_kurtosis_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(200_000)
+        assert abs(kurtosis(x)) < 0.05
+
+    def test_symmetric_skewness_zero(self):
+        x = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        assert skewness(x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_right_skewed_positive(self):
+        x = np.array([0.0, 0.0, 0.0, 0.0, 10.0])
+        assert skewness(x) > 0
+
+    def test_degenerate_inputs(self):
+        assert kurtosis(np.array([5.0])) == 0.0
+        assert skewness(np.ones(10)) == 0.0
+        assert mean_absolute_deviation(np.array([])) == 0.0
+
+    @given(finite_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scipy(self, x):
+        if np.std(x) < 1e-6:
+            return
+        assert kurtosis(x) == pytest.approx(sps.kurtosis(x), rel=1e-6, abs=1e-6)
+        assert skewness(x) == pytest.approx(sps.skew(x), rel=1e-6, abs=1e-6)
+
+    def test_mad_known_value(self):
+        assert mean_absolute_deviation(np.array([1.0, 3.0])) == pytest.approx(1.0)
+
+
+class TestSummaryVector:
+    def test_order_and_length(self):
+        x = np.array([1.0, 5.0, 2.0, 4.0])
+        vec = summary_vector(x)
+        assert vec.shape == (5,)
+        assert vec[2] == 5.0  # max in slot 2
+        assert vec[4] == pytest.approx(np.std(x))
+
+    @given(finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_always_finite(self, x):
+        assert np.all(np.isfinite(summary_vector(x)))
+
+
+class TestPeaks:
+    def test_finds_interior_maxima(self):
+        x = np.array([0.0, 3.0, 1.0, 5.0, 2.0])
+        assert find_peaks(x).tolist() == [1, 3]
+
+    def test_no_peaks_in_monotone(self):
+        assert find_peaks(np.arange(10.0)).size == 0
+
+    def test_short_input(self):
+        assert find_peaks(np.array([1.0, 2.0])).size == 0
+
+    def test_top_k_descending_and_padded(self):
+        x = np.array([0.0, 3.0, 1.0, 5.0, 2.0, 4.0, 0.0])
+        peaks = top_k_peaks(x, k=4)
+        assert peaks.tolist() == [5.0, 4.0, 3.0, 0.0]
+
+    def test_top_k_no_local_maxima_falls_back_to_global(self):
+        x = np.arange(6.0)
+        peaks = top_k_peaks(x, k=3)
+        assert peaks[0] == 5.0
+        assert np.all(peaks[1:] == 0.0)
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_peaks(np.ones(4), k=0)
+
+    @given(finite_arrays, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_sorted_and_fixed_length(self, x, k):
+        peaks = top_k_peaks(x, k)
+        assert peaks.shape == (k,)
+        nonzero = peaks[np.abs(peaks) > 0]
+        assert np.all(np.diff(nonzero) <= 1e-12)

@@ -1,0 +1,73 @@
+"""Tests for energy VAD and activity trimming."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import VadResult, detect_activity, short_time_energy, trim_to_activity
+
+FS = 48_000
+
+
+def burst_signal(lead=0.2, burst=0.3, tail=0.2, fs=FS, seed=0):
+    rng = np.random.default_rng(seed)
+    parts = [
+        0.001 * rng.standard_normal(int(lead * fs)),
+        1.0 * rng.standard_normal(int(burst * fs)),
+        0.001 * rng.standard_normal(int(tail * fs)),
+    ]
+    return np.concatenate(parts)
+
+
+class TestShortTimeEnergy:
+    def test_tracks_amplitude(self):
+        x = np.concatenate([np.zeros(480), np.ones(480)])
+        energy = short_time_energy(x, 480, 480)
+        assert energy[0] < energy[1]
+
+    def test_empty(self):
+        assert short_time_energy(np.array([]), 480, 240).size == 0
+
+
+class TestDetectActivity:
+    def test_finds_burst(self):
+        x = burst_signal()
+        result = detect_activity(x, FS)
+        assert result.is_speech
+        burst_start = int(0.2 * FS)
+        burst_end = int(0.5 * FS)
+        assert result.start == pytest.approx(burst_start, abs=0.05 * FS)
+        assert result.end == pytest.approx(burst_end, abs=0.06 * FS)
+
+    def test_silence_is_not_speech(self):
+        result = detect_activity(np.zeros(FS // 2), FS)
+        assert not result.is_speech
+
+    def test_empty_signal(self):
+        result = detect_activity(np.array([]), FS)
+        assert not result.is_speech
+
+    def test_uniform_noise_is_all_active(self):
+        rng = np.random.default_rng(0)
+        result = detect_activity(rng.standard_normal(FS // 4), FS)
+        assert result.is_speech
+        assert result.start == 0
+
+
+class TestTrim:
+    def test_multichannel_consistent_cut(self):
+        x = burst_signal()
+        stacked = np.stack([x, 0.5 * x])
+        trimmed = trim_to_activity(stacked, FS)
+        assert trimmed.shape[0] == 2
+        assert trimmed.shape[1] < stacked.shape[1]
+        # Inter-channel ratio preserved exactly (same cut applied).
+        assert np.allclose(trimmed[1], 0.5 * trimmed[0])
+
+    def test_single_channel_shape(self):
+        trimmed = trim_to_activity(burst_signal(), FS)
+        assert trimmed.ndim == 1
+
+    def test_silence_returned_unchanged(self):
+        x = np.zeros((2, FS // 4))
+        trimmed = trim_to_activity(x, FS)
+        assert trimmed.shape == x.shape

@@ -1,0 +1,49 @@
+"""Tests for the shared experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_DEFINITION, DEFINITION_1, FACING, NON_FACING
+from repro.experiments.common import (
+    cross_session_evaluation,
+    evaluate_detector,
+    fit_detector,
+    labeled_arrays,
+)
+
+
+class TestLabeledArrays:
+    def test_excludes_boundary_angles(self, tiny_dataset):
+        X, y = labeled_arrays(tiny_dataset, DEFAULT_DEFINITION)
+        # TINY grid has 14 angles/session; Definition-4 keeps 10.
+        assert X.shape[0] == 20
+        assert set(y.tolist()) == {FACING, NON_FACING}
+
+    def test_definition_1_keeps_more(self, tiny_dataset):
+        X4, _ = labeled_arrays(tiny_dataset, DEFAULT_DEFINITION)
+        X1, _ = labeled_arrays(tiny_dataset, DEFINITION_1)
+        assert X1.shape[0] > X4.shape[0]
+
+
+class TestFitEvaluate:
+    def test_detector_reports(self, tiny_dataset):
+        train, test = tiny_dataset.session_split(0)
+        detector = fit_detector(train, DEFAULT_DEFINITION)
+        report = evaluate_detector(detector, test, DEFAULT_DEFINITION)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.n_samples == 10
+
+    def test_cross_session_averages_both_directions(self, tiny_dataset):
+        outcome = cross_session_evaluation(tiny_dataset, DEFAULT_DEFINITION)
+        assert len(outcome.reports) == 2
+        expected = np.mean([r.accuracy for r in outcome.reports])
+        assert outcome.mean_accuracy == pytest.approx(expected)
+
+    def test_cross_session_needs_two_sessions(self, tiny_dataset):
+        single = tiny_dataset.subset(session=0)
+        with pytest.raises(ValueError, match="sessions"):
+            cross_session_evaluation(single, DEFAULT_DEFINITION)
+
+    def test_learns_tiny_dataset(self, tiny_dataset):
+        outcome = cross_session_evaluation(tiny_dataset, DEFAULT_DEFINITION)
+        assert outcome.mean_accuracy > 0.7

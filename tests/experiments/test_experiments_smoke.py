@@ -1,0 +1,88 @@
+"""Smoke tests: cheap experiments run end to end at TINY scale and
+produce structurally valid, directionally sane results."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TINY
+from repro.experiments import ALL_EXPERIMENTS, run_all
+from repro.experiments import (
+    exp_angles,
+    exp_definitions,
+    exp_loudness,
+    exp_model_selection,
+    exp_objects,
+    exp_propagation_insights,
+    exp_runtime,
+    exp_sitting,
+    exp_spectra,
+)
+from repro.reporting import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_27_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 27
+        assert set(ALL_EXPERIMENTS) == {f"E{k:02d}" for k in range(1, 28)}
+
+    def test_run_all_validates_ids(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_all(("E99",))
+
+
+class TestCheapExperiments:
+    def test_spectra(self):
+        result = exp_spectra.run(TINY, n_repetitions=2)
+        assert isinstance(result, ExperimentResult)
+        assert result.summary["human_to_replay_hf_ratio"] > 1.5
+
+    def test_propagation_insights(self):
+        result = exp_propagation_insights.run(TINY, n_repetitions=2)
+        assert result.summary["rms_forward_over_backward"] > 1.0
+        assert result.summary["hlbr_forward_over_backward"] > 1.0
+
+    def test_definitions(self):
+        result = exp_definitions.run(TINY)
+        assert [row["definition"] for row in result.rows] == [
+            "Definition-1", "Definition-2", "Definition-3", "Definition-4",
+        ]
+        assert all(0 <= row["accuracy_pct"] <= 100 for row in result.rows)
+
+    def test_angles(self):
+        result = exp_angles.run(TINY)
+        zones = {row["zone"] for row in result.rows}
+        assert zones == {"facing", "borderline", "non-facing"}
+        assert len(result.rows) == 16  # 14 grid + 2 border angles
+
+    def test_sitting(self):
+        result = exp_sitting.run(TINY)
+        assert result.rows[1]["posture"] == "sitting"
+        assert 0 <= result.summary["sitting_accuracy"] <= 100
+
+    def test_loudness_rows_sorted(self):
+        result = exp_loudness.run(TINY)
+        loudness = [row["loudness_db"] for row in result.rows]
+        assert loudness == sorted(loudness) == [60.0, 70.0, 80.0]
+
+    def test_objects_has_all_settings(self):
+        result = exp_objects.run(TINY)
+        settings = [row["setting"] for row in result.rows]
+        assert settings[0] == "open (control)"
+        assert set(settings[1:]) == {"partial", "full", "raised"}
+
+    def test_model_selection_covers_backends(self):
+        result = exp_model_selection.run(TINY)
+        assert [row["backend"] for row in result.rows] == ["svm", "rf", "dt", "knn"]
+        assert result.summary["best_backend"] in ("svm", "rf", "dt", "knn")
+
+    def test_runtime(self):
+        result = exp_runtime.run(TINY, n_trials=2)
+        stages = [row["stage"] for row in result.rows]
+        assert stages == ["preprocess", "liveness", "orientation"]
+        assert all(row["mean_ms"] >= 0 for row in result.rows)
+        assert result.summary["total_ms"] > 0
+
+    def test_results_render_as_text(self):
+        result = exp_definitions.run(TINY)
+        text = result.to_text()
+        assert "E02" in text and "Definition-4" in text

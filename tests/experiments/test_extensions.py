@@ -1,0 +1,53 @@
+"""TINY-scale checks of the extension experiments (E24-E26)."""
+
+import pytest
+
+from repro.datasets import TINY
+from repro.experiments import exp_moving_speaker, exp_multi_va, exp_operating_point
+
+
+class TestMovingSpeaker:
+    def test_scenarios_and_ordering(self):
+        result = exp_moving_speaker.run(TINY, n_repetitions=2)
+        assert len(result.rows) == 6
+        assert result.summary["steady_facing"] > result.summary["steady_backward"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exp_moving_speaker.run(TINY, n_repetitions=0)
+
+
+class TestMultiVa:
+    def test_cross_device_probabilities(self):
+        result = exp_multi_va.run(TINY, n_repetitions=2)
+        assert len(result.rows) == 2
+        east = result.rows[0]
+        west = result.rows[1]
+        # Directional preference for the faced device.
+        assert east["p_facing_va_east"] > east["p_facing_va_west"] - 0.05
+        assert west["p_facing_va_west"] > west["p_facing_va_east"] - 0.05
+
+
+class TestProminentPeaks:
+    def test_counts_only_tall_peaks(self):
+        import numpy as np
+
+        from repro.experiments.exp_propagation_insights import prominent_peak_count
+
+        curve = np.array([0.0, 1.0, 0.0, 0.05, 0.0, 0.6, 0.0])
+        assert prominent_peak_count(curve, threshold=0.3) == 2
+
+    def test_empty_curve(self):
+        import numpy as np
+
+        from repro.experiments.exp_propagation_insights import prominent_peak_count
+
+        assert prominent_peak_count(np.zeros(2)) == 0
+
+
+class TestOperatingPoint:
+    def test_monotone_tradeoff(self):
+        result = exp_operating_point.run(TINY)
+        assert result.summary["far_monotone_decreasing"]
+        assert result.summary["frr_monotone_increasing"]
+        assert 0.0 <= result.summary["eer_pct"] <= 100.0

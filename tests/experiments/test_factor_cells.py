@@ -1,0 +1,33 @@
+"""Tests for the Figure 12-14 cell machinery."""
+
+import pytest
+
+from repro.datasets import TINY
+from repro.experiments.common import factor_f1_cells
+
+
+class TestFactorCells:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return factor_f1_cells(
+            TINY,
+            seed=0,
+            rooms=("lab",),
+            devices=("D2", "D3"),
+            wake_words=("computer",),
+        )
+
+    def test_one_cell_per_direction(self, cells):
+        # 1 room x 2 devices x 1 word x 2 cross-session directions.
+        assert len(cells) == 4
+
+    def test_cell_fields(self, cells):
+        for cell in cells:
+            assert cell["room"] == "lab"
+            assert cell["device"] in ("D2", "D3")
+            assert 0.0 <= cell["f1"] <= 1.0
+            assert 0.0 <= cell["accuracy"] <= 1.0
+            assert cell["direction"] in (0, 1)
+
+    def test_devices_covered(self, cells):
+        assert {cell["device"] for cell in cells} == {"D2", "D3"}

@@ -1,0 +1,49 @@
+"""TINY-scale runs of the Figure 12-14 grid experiments and liveness.
+
+The first grid experiment renders the full rooms x devices x words TINY
+grid; the rest reuse the process-level dataset cache, so the three
+together cost barely more than one.
+"""
+
+import pytest
+
+from repro.datasets import TINY
+from repro.experiments import exp_devices, exp_environment, exp_liveness, exp_wakewords
+
+
+class TestGridExperiments:
+    def test_wakewords_rows(self):
+        result = exp_wakewords.run(TINY)
+        words = [row["wake_word"] for row in result.rows]
+        assert words == ["hey assistant", "computer", "amazon"]
+        assert all(row["n_cells"] == 12 for row in result.rows)
+
+    def test_devices_rows(self):
+        result = exp_devices.run(TINY)
+        devices = [row["device"] for row in result.rows]
+        assert devices == ["D1", "D2", "D3"]
+        snrs = [row["snr_db"] for row in result.rows]
+        assert all(s == s for s in snrs)  # no NaNs
+
+    def test_environment_rows(self):
+        result = exp_environment.run(TINY)
+        rooms = [row["room"] for row in result.rows]
+        assert rooms == ["lab", "home"]
+        rt60 = {row["room"]: row["rt60_1khz_s"] for row in result.rows}
+        assert rt60["home"] > rt60["lab"]
+
+
+class TestLivenessPlumbing:
+    def test_tiny_run_structure(self):
+        """Plumbing only: stage names and metric ranges (the learning
+        behavior is exercised at bench scale)."""
+        result = exp_liveness.run(
+            TINY, n_pretrain=12, pretrain_epochs=2, adapt_epochs=1
+        )
+        stages = [row["stage"] for row in result.rows]
+        assert len(stages) == 4
+        assert stages[0].startswith("pretrain")
+        assert stages[-1].startswith("incremental")
+        for row in result.rows:
+            assert 0.0 <= row["accuracy_pct"] <= 100.0
+            assert 0.0 <= row["eer_pct"] <= 100.0

@@ -1,0 +1,85 @@
+"""TINY-scale runs of the heavier experiments — structure and direction
+checks without bench-scale cost."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Scale, TINY
+from repro.experiments import (
+    exp_cross_environment,
+    exp_cross_user,
+    exp_distance,
+    exp_dov_comparison,
+    exp_noise,
+    exp_placement,
+    exp_temporal,
+    exp_training_size,
+)
+
+SMALL = Scale(name="small", locations=((1.0, 0.0), (3.0, 0.0)), repetitions=1, sessions=2)
+
+
+class TestTemporal:
+    def test_rows_cover_grid(self):
+        result = exp_temporal.run(TINY, additions=(0, 5))
+        timeframes = {row["timeframe"] for row in result.rows}
+        assert timeframes == {"week", "month"}
+        n_added = {row["n_added"] for row in result.rows}
+        assert n_added == {0, 5}
+
+    def test_summary_structure(self):
+        result = exp_temporal.run(TINY, additions=(0, 5))
+        assert set(result.summary["stale"]) == {"week", "month"}
+
+
+class TestNoise:
+    def test_noise_conditions_present(self):
+        result = exp_noise.run(TINY)
+        names = [row["noise"] for row in result.rows]
+        assert names[0].startswith("none")
+        assert any("white" in n for n in names)
+        assert any("tv" in n for n in names)
+
+
+class TestPlacement:
+    def test_placements_b_and_c(self):
+        result = exp_placement.run(TINY)
+        assert [row["placement"] for row in result.rows] == ["B", "C"]
+
+
+class TestCrossEnvironment:
+    def test_mixed_recovers(self):
+        result = exp_cross_environment.run(TINY)
+        row = result.rows[0]
+        assert row["mixed_training_acc_pct"] >= row["cross_room_acc_pct"] - 5.0
+
+
+class TestDistance:
+    def test_three_distances(self):
+        result = exp_distance.run(SMALL)
+        distances = [row["distance_m"] for row in result.rows]
+        assert distances == [1.0, 3.0]  # SMALL scale renders 1 m and 3 m
+
+
+class TestTrainingSize:
+    def test_sizes_monotone_rows(self):
+        result = exp_training_size.run(SMALL, sizes=(3, 6), repeats=2)
+        sizes = [row["train_per_class"] for row in result.rows]
+        assert sizes == sorted(sizes)
+        assert all(0 <= row["f1_mean_pct"] <= 100 for row in result.rows)
+
+
+class TestCrossUser:
+    def test_three_upsamplers(self):
+        result = exp_cross_user.run(TINY, n_users=3)
+        assert [row["upsampling"] for row in result.rows] == ["none", "smote", "adasyn"]
+        assert len(result.summary["per_user_adasyn"]) == 3
+
+
+class TestDovComparison:
+    def test_two_feature_sets(self):
+        result = exp_dov_comparison.run(TINY, n_users=2)
+        names = [row["features"] for row in result.rows]
+        assert any("headtalk" in n for n in names)
+        assert any("baseline" in n for n in names)
+        assert all(0 <= row["accuracy_pct"] <= 100 for row in result.rows)

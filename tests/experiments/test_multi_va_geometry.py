@@ -1,0 +1,54 @@
+"""Geometry checks for the multi-VA experiment's device-relative math."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import DevicePlacement, Scene, SpeakerPose, lab_room
+from repro.arrays import get_device
+
+
+def reconstruct_scene(placement, speaker_xy, facing_xy, mouth=1.65):
+    """The same conversion exp_multi_va uses: absolute world geometry to
+    device-relative (distance, radial, head-angle)."""
+    to_device = placement.position[:2] - speaker_xy
+    distance = float(np.linalg.norm(to_device))
+    device_bearing = np.degrees(np.arctan2(to_device[1], to_device[0]))
+    facing_bearing = np.degrees(np.arctan2(facing_xy[1], facing_xy[0]))
+    head_angle = ((facing_bearing - device_bearing + 180.0) % 360.0) - 180.0
+    radial = ((np.degrees(np.arctan2(-to_device[1], -to_device[0]))
+               - placement.facing_deg + 180.0) % 360.0) - 180.0
+    return Scene(
+        room=lab_room(),
+        device=get_device("D3"),
+        placement=placement,
+        pose=SpeakerPose(
+            distance_m=distance,
+            radial_deg=float(radial),
+            head_angle_deg=float(head_angle),
+            mouth_height=mouth,
+        ),
+    )
+
+
+class TestAbsoluteToRelative:
+    @pytest.mark.parametrize("facing_deg", [0.0, 90.0, 180.0, -135.0])
+    def test_source_lands_at_speaker_position(self, facing_deg):
+        placement = DevicePlacement("va", (2.0, 2.0), 0.74, facing_deg=facing_deg)
+        speaker_xy = np.array([4.0, 1.2])
+        scene = reconstruct_scene(placement, speaker_xy, np.array([1.0, 0.0]))
+        assert np.allclose(scene.source_position[:2], speaker_xy, atol=1e-9)
+
+    def test_facing_vector_matches_world_facing(self):
+        placement = DevicePlacement("va", (2.0, 2.0), 0.74, facing_deg=30.0)
+        speaker_xy = np.array([4.0, 2.5])
+        facing_xy = np.array([-1.0, 0.5])
+        scene = reconstruct_scene(placement, speaker_xy, facing_xy)
+        expected = facing_xy / np.linalg.norm(facing_xy)
+        assert np.allclose(scene.facing_vector[:2], expected, atol=1e-9)
+
+    def test_facing_the_device_gives_zero_head_angle(self):
+        placement = DevicePlacement("va", (1.0, 3.0), 0.74, facing_deg=0.0)
+        speaker_xy = np.array([4.0, 1.0])
+        facing_xy = placement.position[:2] - speaker_xy
+        scene = reconstruct_scene(placement, speaker_xy, facing_xy)
+        assert abs(scene.pose.head_angle_deg) < 1e-9

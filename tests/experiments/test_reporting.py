@@ -1,0 +1,69 @@
+"""Tests for table rendering and the experiment result record."""
+
+import pytest
+
+from repro.reporting import ExperimentResult, format_cell, render_table
+
+
+class TestFormatCell:
+    def test_floats_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_strings_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["long-name", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a"], [["x", "y"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="E99",
+            title="demo",
+            headers=["k", "v"],
+            rows=[{"k": "a", "v": 1.0}, {"k": "b", "v": 2.0}],
+            paper="paper said 42",
+            notes="a note",
+        )
+
+    def test_to_text_contains_everything(self):
+        text = self.make().to_text()
+        assert "E99" in text
+        assert "paper said 42" in text
+        assert "a note" in text
+        assert "1.00" in text
+
+    def test_column(self):
+        assert self.make().column("v") == [1.0, 2.0]
+
+    def test_column_unknown(self):
+        with pytest.raises(ValueError):
+            self.make().column("zz")
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            ExperimentResult(
+                experiment_id="E1",
+                title="t",
+                headers=["a", "b"],
+                rows=[{"a": 1}],
+            )

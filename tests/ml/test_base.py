@@ -1,0 +1,81 @@
+"""Tests for estimator plumbing (validation helpers, base behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import check_features, check_labels, encode_labels
+from repro.ml.base import Classifier, NotFittedError
+
+
+class TestCheckFeatures:
+    def test_accepts_lists(self):
+        X = check_features([[1, 2], [3, 4]])
+        assert X.dtype == float
+        assert X.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_features(np.zeros(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no samples"):
+            check_features(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        X = np.ones((2, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            check_features(X)
+
+    def test_rejects_inf(self):
+        X = np.ones((2, 2))
+        X[1, 1] = np.inf
+        with pytest.raises(ValueError):
+            check_features(X)
+
+
+class TestCheckLabels:
+    def test_passes_matching(self):
+        y = check_labels(np.array([0, 1, 0]), 3)
+        assert y.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_labels(np.zeros((3, 1)), 3)
+
+    def test_rejects_count_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            check_labels(np.zeros(3), 4)
+
+
+class TestEncodeLabels:
+    def test_codes_and_classes(self):
+        classes, codes = encode_labels(np.array(["b", "a", "b"]))
+        assert classes.tolist() == ["a", "b"]
+        assert codes.tolist() == [1, 0, 1]
+
+
+class TestClassifierBase:
+    class Constant(Classifier):
+        """Predicts a constant; enough to exercise the base methods."""
+
+        def fit(self, X, y):
+            self.classes_ = np.unique(y)
+            return self
+
+        def predict(self, X):
+            self._require_fitted()
+            return np.full(np.asarray(X).shape[0], self.classes_[0])
+
+    def test_score(self):
+        model = self.Constant().fit(np.zeros((4, 1)), np.array([1, 1, 1, 2]))
+        assert model.score(np.zeros((4, 1)), np.array([1, 1, 1, 2])) == 0.75
+
+    def test_require_fitted(self):
+        with pytest.raises(NotFittedError):
+            self.Constant().predict(np.zeros((1, 1)))
+
+    def test_predict_proba_default_raises(self):
+        model = self.Constant().fit(np.zeros((2, 1)), np.array([0, 1]))
+        with pytest.raises(NotImplementedError):
+            model.predict_proba(np.zeros((1, 1)))

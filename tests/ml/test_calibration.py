@@ -1,0 +1,86 @@
+"""Tests for calibration diagnostics, incl. a check on Platt scaling."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC
+from repro.ml.calibration import (
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+def perfectly_calibrated(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    p = rng.random(n)
+    y = (rng.random(n) < p).astype(int)
+    return y, p
+
+
+class TestReliabilityCurve:
+    def test_bin_structure(self):
+        y, p = perfectly_calibrated()
+        curve = reliability_curve(y, p, n_bins=10)
+        assert curve.bin_centers.size == 10
+        assert curve.counts.sum() == y.size
+
+    def test_calibrated_curve_hugs_diagonal(self):
+        y, p = perfectly_calibrated()
+        curve = reliability_curve(y, p)
+        populated = curve.counts > 100
+        assert np.allclose(
+            curve.predicted_mean[populated], curve.observed_fraction[populated], atol=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 1]), np.array([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 2]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 1]), np.array([0.5, 0.5]), n_bins=1)
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([]), np.array([]))
+
+
+class TestEce:
+    def test_calibrated_near_zero(self):
+        y, p = perfectly_calibrated()
+        assert expected_calibration_error(y, p) < 0.02
+
+    def test_overconfident_is_penalized(self):
+        y, p = perfectly_calibrated()
+        overconfident = np.clip((p - 0.5) * 3.0 + 0.5, 0.0, 1.0)
+        assert expected_calibration_error(y, overconfident) > 0.08
+
+    def test_constant_half_on_balanced_data(self):
+        y = np.array([0, 1] * 500)
+        p = np.full(1000, 0.5)
+        assert expected_calibration_error(y, p) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestBrier:
+    def test_perfect_predictions(self):
+        y = np.array([0, 1, 1, 0])
+        assert brier_score(y, y.astype(float)) == 0.0
+
+    def test_worst_predictions(self):
+        y = np.array([0, 1])
+        assert brier_score(y, np.array([1.0, 0.0])) == 1.0
+
+
+class TestPlattScalingCalibration:
+    def test_svm_probabilities_are_roughly_calibrated(self):
+        """Platt-scaled SVM probabilities on overlapping gaussians must
+        have moderate ECE (far better than raw +-1 decisions would)."""
+        rng = np.random.default_rng(3)
+        n = 400
+        X = np.vstack([rng.normal(0, 1, (n, 4)), rng.normal(1.4, 1, (n, 4))])
+        y = np.array([0] * n + [1] * n)
+        perm = rng.permutation(2 * n)
+        X, y = X[perm], y[perm]
+        model = SVC(C=1.0, probability=True).fit(X[:500], y[:500])
+        probabilities = model.predict_proba(X[500:])[:, 1]
+        ece = expected_calibration_error(y[500:], probabilities)
+        assert ece < 0.12

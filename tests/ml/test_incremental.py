@@ -1,0 +1,94 @@
+"""Tests for high-confidence self-training."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    IncrementalModelPool,
+    KNeighborsClassifier,
+    SVC,
+    select_high_confidence,
+    self_training_update,
+)
+
+
+def drifting_blobs(shift=0.0, n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(0 + shift, 0.8, (n, 3)), rng.normal(3 + shift, 0.8, (n, 3))]
+    )
+    y = np.array([0] * n + [1] * n)
+    return X, y
+
+
+def factory():
+    return SVC(C=1.0, probability=True)
+
+
+class TestSelectHighConfidence:
+    def test_selects_confident_rows(self):
+        X, y = drifting_blobs()
+        model = factory().fit(X, y)
+        X_new, y_new = drifting_blobs(seed=1)
+        rows, labels = select_high_confidence(model, X_new, threshold=0.8)
+        assert rows.size > 0
+        assert np.mean(labels == y_new[rows]) > 0.9
+
+    def test_high_threshold_selects_fewer(self):
+        X, y = drifting_blobs()
+        model = factory().fit(X, y)
+        X_new, _ = drifting_blobs(seed=2)
+        low, _ = select_high_confidence(model, X_new, threshold=0.6)
+        high, _ = select_high_confidence(model, X_new, threshold=0.99)
+        assert high.size <= low.size
+
+    def test_threshold_validation(self):
+        X, y = drifting_blobs()
+        model = factory().fit(X, y)
+        with pytest.raises(ValueError):
+            select_high_confidence(model, X, threshold=0.3)
+
+
+class TestSelfTrainingUpdate:
+    def test_recovers_under_drift(self):
+        X, y = drifting_blobs()
+        X_drift, y_drift = drifting_blobs(shift=1.2, seed=3)
+        stale = factory().fit(X, y)
+        stale_accuracy = stale.score(X_drift, y_drift)
+        outcome = self_training_update(factory, X, y, X_drift, n_to_add=30)
+        updated_accuracy = outcome.model.score(X_drift, y_drift)
+        assert outcome.n_added > 0
+        assert updated_accuracy >= stale_accuracy
+
+    def test_n_to_add_bounds_absorption(self):
+        X, y = drifting_blobs()
+        X_new, _ = drifting_blobs(seed=4)
+        outcome = self_training_update(factory, X, y, X_new, n_to_add=5)
+        assert outcome.n_added <= 5
+
+    def test_zero_additions(self):
+        X, y = drifting_blobs()
+        X_new, _ = drifting_blobs(seed=5)
+        outcome = self_training_update(factory, X, y, X_new, n_to_add=0)
+        assert outcome.n_added == 0
+
+    def test_validation(self):
+        X, y = drifting_blobs()
+        with pytest.raises(ValueError):
+            self_training_update(factory, X, y, X, n_to_add=-1)
+
+
+class TestIncrementalModelPool:
+    def test_pool_grows(self):
+        X, y = drifting_blobs()
+        pool = IncrementalModelPool(factory=factory, X_pool=X, y_pool=y)
+        initial = pool.X_pool.shape[0]
+        X_new, _ = drifting_blobs(seed=6)
+        outcome = pool.absorb(X_new, n_to_add=10)
+        assert pool.X_pool.shape[0] == initial + outcome.n_added
+        assert len(pool.rounds) == 1
+
+    def test_score_delegates(self):
+        X, y = drifting_blobs()
+        pool = IncrementalModelPool(factory=factory, X_pool=X, y_pool=y)
+        assert pool.score(X, y) > 0.9

@@ -1,0 +1,58 @@
+"""Tests for the k-nearest-neighbour classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KNeighborsClassifier
+from repro.ml.base import NotFittedError
+
+
+class TestKnn:
+    def test_memorizes_training_points_k1(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((30, 3))
+        y = rng.integers(0, 2, 30)
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_majority_vote(self):
+        X = np.array([[0.0], [0.1], [0.2], [5.0]])
+        y = np.array([0, 0, 0, 1])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict(np.array([[0.05]]))[0] == 0
+
+    def test_distance_weighting_prefers_near(self):
+        X = np.array([[0.0], [1.0], [1.1]])
+        y = np.array([0, 1, 1])
+        uniform = KNeighborsClassifier(3, weights="uniform").fit(X, y)
+        weighted = KNeighborsClassifier(3, weights="distance").fit(X, y)
+        query = np.array([[0.01]])
+        assert uniform.predict(query)[0] == 1  # 2-vs-1 majority
+        assert weighted.predict(query)[0] == 0  # nearest dominates
+
+    def test_proba_fractions(self):
+        X = np.array([[0.0], [0.1], [5.0]])
+        y = np.array([0, 0, 1])
+        model = KNeighborsClassifier(3).fit(X, y)
+        proba = model.predict_proba(np.array([[0.0]]))
+        assert proba[0].tolist() == pytest.approx([2 / 3, 1 / 3])
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsClassifier(5).fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(3, weights="cosine")
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(np.zeros((1, 2)))
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["near", "near", "far", "far"])
+        model = KNeighborsClassifier(1).fit(X, y)
+        assert model.predict(np.array([[4.9]]))[0] == "far"

@@ -1,0 +1,94 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.calibration import expected_calibration_error
+from repro.ml.logistic import LogisticRegression
+
+
+def blobs(n=150, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, 3)), rng.normal(gap, 1, (n, 3))])
+    y = np.array([0] * n + [1] * n)
+    perm = rng.permutation(2 * n)
+    return X[perm], y[perm]
+
+
+class TestFit:
+    def test_separates_blobs(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_converges_quickly(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        assert model.n_iterations_ < 25
+
+    def test_recovers_known_weights(self):
+        """Data generated from a logistic model recovers its weights."""
+        rng = np.random.default_rng(1)
+        true_beta = np.array([1.5, -2.0])
+        X = rng.normal(0, 1, (20_000, 2))
+        p = 1.0 / (1.0 + np.exp(-(X @ true_beta)))
+        y = (rng.random(20_000) < p).astype(int)
+        model = LogisticRegression(l2=1e-6).fit(X, y)
+        assert np.allclose(model.coef_, true_beta, atol=0.1)
+        assert abs(model.intercept_) < 0.1
+
+    def test_l2_shrinks_weights(self):
+        X, y = blobs(gap=5.0)
+        loose = LogisticRegression(l2=1e-6).fit(X, y)
+        tight = LogisticRegression(l2=100.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_separable_data_with_ridge_stays_finite(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegression(l2=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_string_labels(self):
+        X, y = blobs()
+        labels = np.where(y == 1, "facing", "non-facing")
+        model = LogisticRegression().fit(X, labels)
+        assert set(model.predict(X)) <= {"facing", "non-facing"}
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).standard_normal((30, 2))
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(X, np.arange(30) % 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestProbabilities:
+    def test_rows_sum_to_one(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_well_calibrated_on_logistic_data(self):
+        """On data from its own model family, ECE should be tiny —
+        the calibrated-by-construction property."""
+        rng = np.random.default_rng(2)
+        beta = np.array([1.0, -1.0, 0.5])
+        X = rng.normal(0, 1, (8000, 3))
+        p = 1.0 / (1.0 + np.exp(-(X @ beta)))
+        y = (rng.random(8000) < p).astype(int)
+        model = LogisticRegression(l2=1e-4).fit(X[:4000], y[:4000])
+        probabilities = model.predict_proba(X[4000:])[:, 1]
+        assert expected_calibration_error(y[4000:], probabilities) < 0.03
+
+    def test_dimension_mismatch(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.zeros((2, 9)))

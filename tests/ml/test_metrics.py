@@ -1,0 +1,137 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy,
+    auc,
+    binary_report,
+    confusion_matrix,
+    equal_error_rate,
+    f1_score,
+    false_acceptance_rate,
+    false_rejection_rate,
+    precision_recall_f1,
+    roc_curve,
+    true_positive_rate,
+)
+
+Y_TRUE = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 1, 0, 0, 0, 1, 1])
+
+
+class TestBasicMetrics:
+    def test_accuracy(self):
+        assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(5 / 8)
+
+    def test_precision_recall_f1(self):
+        precision, recall, f1 = precision_recall_f1(Y_TRUE, Y_PRED)
+        assert precision == pytest.approx(3 / 5)
+        assert recall == pytest.approx(3 / 4)
+        assert f1 == pytest.approx(2 * 0.6 * 0.75 / 1.35)
+
+    def test_far_frr_tpr(self):
+        assert false_acceptance_rate(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+        assert false_rejection_rate(Y_TRUE, Y_PRED) == pytest.approx(1 / 4)
+        assert true_positive_rate(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_perfect_prediction(self):
+        report = binary_report(Y_TRUE, Y_TRUE)
+        assert report.accuracy == 1.0
+        assert report.far == 0.0
+        assert report.frr == 0.0
+        assert report.f1 == 1.0
+
+    def test_no_negatives_far_zero(self):
+        assert false_acceptance_rate(np.ones(4), np.ones(4)) == 0.0
+
+    def test_f1_zero_when_nothing_predicted_positive(self):
+        assert f1_score(np.array([1, 1, 0]), np.array([0, 0, 0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.ones(3), np.ones(4))
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_string_labels(self):
+        y = np.array(["facing", "non-facing", "facing"])
+        p = np.array(["facing", "facing", "facing"])
+        report = binary_report(y, p, positive_label="facing")
+        assert report.recall == 1.0
+        assert report.far == 1.0
+
+    def test_as_row_percentages(self):
+        row = binary_report(Y_TRUE, Y_PRED).as_row()
+        assert row["accuracy"] == pytest.approx(62.5)
+
+
+class TestConfusion:
+    def test_counts(self):
+        labels, matrix = confusion_matrix(Y_TRUE, Y_PRED)
+        assert labels.tolist() == [0, 1]
+        assert matrix[1, 1] == 3  # true positives
+        assert matrix[0, 1] == 2  # false positives
+        assert matrix.sum() == 8
+
+    def test_explicit_labels(self):
+        labels, matrix = confusion_matrix(
+            np.array([0]), np.array([0]), labels=np.array([0, 1, 2])
+        )
+        assert matrix.shape == (3, 3)
+
+
+class TestRoc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        far, tpr, _ = roc_curve(labels, scores)
+        assert auc(far, tpr) == pytest.approx(1.0)
+        assert equal_error_rate(labels, scores) == pytest.approx(0.0)
+
+    def test_reversed_scores(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert equal_error_rate(labels, scores) == pytest.approx(1.0)
+
+    def test_random_scores_eer_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert equal_error_rate(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_gaussian_overlap_eer(self):
+        """Two unit gaussians 2 sigma apart: EER = Phi(-1) ~ 15.9%."""
+        rng = np.random.default_rng(1)
+        n = 20_000
+        scores = np.concatenate([rng.normal(0, 1, n), rng.normal(2, 1, n)])
+        labels = np.array([0] * n + [1] * n)
+        assert equal_error_rate(labels, scores) == pytest.approx(0.159, abs=0.01)
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, 500)
+        scores = rng.random(500)
+        far, tpr, thresholds = roc_curve(labels, scores)
+        assert np.all(np.diff(far) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert np.all(np.diff(thresholds) <= 0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.ones(5), np.random.random(5))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_eer_always_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 50
+        labels = np.concatenate([np.zeros(n), np.ones(n)])
+        scores = rng.random(2 * n)
+        eer = equal_error_rate(labels, scores)
+        assert 0.0 <= eer <= 1.0

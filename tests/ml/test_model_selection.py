@@ -1,0 +1,119 @@
+"""Tests for splits, cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KNeighborsClassifier,
+    StratifiedKFold,
+    cross_val_score,
+    grid_search,
+    group_k_fold,
+    train_test_split,
+)
+
+
+def blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, 3)), rng.normal(3, 1, (n, 3))])
+    y = np.array([0] * n + [1] * n)
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = blobs()
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.25)
+        assert X_te.shape[0] == pytest.approx(30, abs=2)
+        assert X_tr.shape[0] + X_te.shape[0] == 120
+
+    def test_stratification(self):
+        X, y = blobs()
+        _, _, y_tr, y_te = train_test_split(X, y, test_fraction=0.25, stratify=True)
+        assert np.sum(y_te == 0) == np.sum(y_te == 1)
+
+    def test_deterministic(self):
+        X, y = blobs()
+        a = train_test_split(X, y, random_state=3)[1]
+        b = train_test_split(X, y, random_state=3)[1]
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        X, y = blobs()
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=1.5)
+
+
+class TestStratifiedKFold:
+    def test_partitions_everything_once(self):
+        X, y = blobs()
+        seen = np.zeros(y.size, dtype=int)
+        for train_rows, test_rows in StratifiedKFold(5).split(X, y):
+            seen[test_rows] += 1
+            assert np.intersect1d(train_rows, test_rows).size == 0
+        assert np.all(seen == 1)
+
+    def test_class_balance_per_fold(self):
+        X, y = blobs()
+        for _, test_rows in StratifiedKFold(5).split(X, y):
+            fractions = np.mean(y[test_rows])
+            assert fractions == pytest.approx(0.5, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(1).split(*blobs()))
+
+
+class TestGroupKFold:
+    def test_holds_out_each_group(self):
+        groups = np.array(["a", "a", "b", "b", "c"])
+        held = [value for value, _, _ in group_k_fold(groups)]
+        assert held == ["a", "b", "c"]
+
+    def test_no_group_leakage(self):
+        groups = np.array(["a", "a", "b", "b"])
+        for value, train_rows, test_rows in group_k_fold(groups):
+            assert set(groups[test_rows]) == {value}
+            assert value not in set(groups[train_rows])
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            list(group_k_fold(np.array(["a", "a"])))
+
+
+class TestCrossValScore:
+    def test_easy_problem_scores_high(self):
+        X, y = blobs()
+        scores = cross_val_score(lambda: KNeighborsClassifier(3), X, y, n_splits=5)
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.9
+
+    def test_f1_scoring(self):
+        X, y = blobs()
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(3), X, y, n_splits=4, scoring="f1"
+        )
+        assert np.all((0 <= scores) & (scores <= 1))
+
+    def test_unknown_scoring(self):
+        with pytest.raises(ValueError, match="scoring"):
+            cross_val_score(lambda: KNeighborsClassifier(3), *blobs(), scoring="mcc")
+
+
+class TestGridSearch:
+    def test_finds_reasonable_k(self):
+        X, y = blobs(seed=2)
+        result = grid_search(
+            lambda n_neighbors: KNeighborsClassifier(n_neighbors),
+            {"n_neighbors": [1, 3, 25]},
+            X,
+            y,
+            n_splits=4,
+        )
+        assert result.best_params["n_neighbors"] in (1, 3, 25)
+        assert result.best_score >= max(score for _, score in result.results) - 1e-12
+        assert len(result.results) == 3
+
+    def test_empty_grid(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, {}, *blobs())

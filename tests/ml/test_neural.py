@@ -1,0 +1,217 @@
+"""Tests for the numpy neural-network framework, including numerical
+gradient checks of every layer's backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Adam,
+    Conv1d,
+    Dense,
+    Dropout,
+    GlobalAvgPool1d,
+    ReLU,
+    Sequential,
+    SpectroTemporalNet,
+    cross_entropy_loss,
+    softmax,
+)
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for k in range(flat.size):
+        old = flat[k]
+        flat[k] = old + eps
+        plus = f()
+        flat[k] = old - eps
+        minus = f()
+        flat[k] = old
+        grad_flat[k] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestGradients:
+    def test_dense_backward_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, True) - target) ** 2)
+
+        out = layer.forward(x, True)
+        layer.backward(out - target)
+        for param, grad in zip(layer.parameters(), layer.gradients()):
+            numeric = numerical_gradient(loss, param)
+            assert np.allclose(grad, numeric, atol=1e-4)
+
+    def test_dense_input_gradient(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 2, rng)
+        x = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, True) - target) ** 2)
+
+        out = layer.forward(x, True)
+        dx = layer.backward(out - target)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(dx, numeric, atol=1e-4)
+
+    def test_conv1d_backward_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        layer = Conv1d(2, 3, kernel_size=3, stride=2, rng=rng)
+        x = rng.standard_normal((2, 2, 11))
+        target = rng.standard_normal((2, 3, 5))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, True) - target) ** 2)
+
+        out = layer.forward(x, True)
+        assert out.shape == (2, 3, 5)
+        dx = layer.backward(out - target)
+        for param, grad in zip(layer.parameters(), layer.gradients()):
+            numeric = numerical_gradient(loss, param)
+            assert np.allclose(grad, numeric, atol=1e-4)
+        numeric_dx = numerical_gradient(loss, x)
+        assert np.allclose(dx, numeric_dx, atol=1e-4)
+
+    def test_relu_gradient_mask(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0, -3.0, 4.0]])
+        layer.forward(x, True)
+        grad = layer.backward(np.ones_like(x))
+        assert grad.tolist() == [[0.0, 1.0, 0.0, 1.0]]
+
+    def test_pool_gradient_spreads_evenly(self):
+        layer = GlobalAvgPool1d()
+        x = np.ones((1, 2, 4))
+        layer.forward(x, True)
+        grad = layer.backward(np.ones((1, 2)))
+        assert np.allclose(grad, 0.25)
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((6, 3))
+        codes = rng.integers(0, 3, 6)
+
+        def loss():
+            return cross_entropy_loss(logits, codes)[0]
+
+        _, grad = cross_entropy_loss(logits, codes)
+        numeric = numerical_gradient(loss, logits)
+        assert np.allclose(grad, numeric, atol=1e-5)
+
+
+class TestLayers:
+    def test_conv_rejects_short_input(self):
+        layer = Conv1d(1, 1, kernel_size=5, stride=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="too short"):
+            layer.forward(np.zeros((1, 1, 3)), True)
+
+    def test_conv_validation(self):
+        with pytest.raises(ValueError):
+            Conv1d(1, 1, kernel_size=0, stride=1, rng=np.random.default_rng(0))
+
+    def test_dropout_inference_identity(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((4, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_preserves_expectation(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, np.random.default_rng(0))
+
+    def test_softmax_rows_sum_to_one(self):
+        z = np.random.default_rng(4).standard_normal((5, 7)) * 50
+        p = softmax(z)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        x = np.array([5.0, -3.0])
+        optimizer = Adam([x], learning_rate=0.1)
+        for _ in range(400):
+            optimizer.step([2.0 * x])
+        assert np.allclose(x, 0.0, atol=1e-2)
+
+    def test_gradient_count_mismatch(self):
+        optimizer = Adam([np.zeros(3)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(3), np.zeros(2)])
+
+
+class TestSpectroTemporalNet:
+    def make_data(self, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        features, labels = [], []
+        for k in range(n):
+            label = k % 2
+            base = rng.standard_normal((rng.integers(40, 120), 16))
+            if label:
+                base[:, 8:] += 1.5  # bright class
+            features.append(base)
+            labels.append(label)
+        return features, np.asarray(labels)
+
+    def test_learns_separable_classes(self):
+        features, labels = self.make_data()
+        net = SpectroTemporalNet(n_bands=16, n_frames=64, epochs=15, random_state=0)
+        net.fit(features, labels)
+        assert net.history.accuracy[-1] > 0.9
+
+    def test_predict_proba_shape(self):
+        features, labels = self.make_data(20)
+        net = SpectroTemporalNet(n_bands=16, n_frames=64, epochs=3)
+        net.fit(features, labels)
+        proba = net.predict_proba(features[:5])
+        assert proba.shape == (5, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_pad_features(self):
+        net = SpectroTemporalNet(n_bands=16, n_frames=64)
+        short = np.zeros((10, 16))
+        long = np.zeros((200, 16))
+        assert net.pad_features(short).shape == (64, 16)
+        assert net.pad_features(long).shape == (64, 16)
+
+    def test_pad_features_validates_bands(self):
+        net = SpectroTemporalNet(n_bands=16, n_frames=64)
+        with pytest.raises(ValueError):
+            net.pad_features(np.zeros((10, 8)))
+
+    def test_incremental_fit_continues(self):
+        features, labels = self.make_data(40)
+        net = SpectroTemporalNet(n_bands=16, n_frames=64, epochs=4)
+        net.fit(features, labels)
+        epochs_before = len(net.history.loss)
+        net.fit(features, labels, epochs=2, reset=False)
+        assert len(net.history.loss) == epochs_before + 2
+
+    def test_incremental_rejects_unseen_class(self):
+        features, labels = self.make_data(20)
+        net = SpectroTemporalNet(n_bands=16, n_frames=64, epochs=2)
+        net.fit(features, labels)
+        with pytest.raises(ValueError, match="unseen"):
+            net.fit(features[:4], np.array([7, 7, 7, 7]), reset=False)
+
+    def test_scores_are_positive_class_probability(self):
+        features, labels = self.make_data(30)
+        net = SpectroTemporalNet(n_bands=16, n_frames=64, epochs=5)
+        net.fit(features, labels)
+        scores = net.scores(features, positive_label=1)
+        proba = net.predict_proba(features)
+        assert np.allclose(scores, proba[:, 1])

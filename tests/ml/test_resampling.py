@@ -1,0 +1,81 @@
+"""Tests for SMOTE and ADASYN oversampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import adasyn, smote
+
+
+def imbalanced(n_minority=15, n_majority=60, seed=0, dims=4):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(0, 1, (n_minority, dims)), rng.normal(3, 1, (n_majority, dims))]
+    )
+    y = np.array([1] * n_minority + [0] * n_majority)
+    return X, y
+
+
+@pytest.mark.parametrize("method", [smote, adasyn], ids=["smote", "adasyn"])
+class TestCommonBehaviour:
+    def test_balances_classes(self, method):
+        X, y = imbalanced()
+        X_out, y_out = method(X, y)
+        values, counts = np.unique(y_out, return_counts=True)
+        assert counts[0] == counts[1]
+
+    def test_original_samples_preserved(self, method):
+        X, y = imbalanced()
+        X_out, y_out = method(X, y)
+        assert np.array_equal(X_out[: X.shape[0]], X)
+        assert np.array_equal(y_out[: y.shape[0]], y)
+
+    def test_synthetic_points_near_minority_cloud(self, method):
+        """Interpolated points stay inside the minority class's region."""
+        X, y = imbalanced(seed=1)
+        X_out, y_out = method(X, y, random_state=1)
+        synthetic = X_out[X.shape[0] :]
+        minority = X[y == 1]
+        lo, hi = minority.min(axis=0) - 1e-9, minority.max(axis=0) + 1e-9
+        assert np.all(synthetic >= lo) and np.all(synthetic <= hi)
+
+    def test_already_balanced_passthrough(self, method):
+        X, y = imbalanced(30, 30)
+        X_out, y_out = method(X, y)
+        assert X_out.shape == X.shape
+
+    def test_deterministic_given_seed(self, method):
+        X, y = imbalanced()
+        a = method(X, y, random_state=5)[0]
+        b = method(X, y, random_state=5)[0]
+        assert np.array_equal(a, b)
+
+    def test_rejects_multiclass(self, method):
+        X = np.random.default_rng(0).standard_normal((30, 2))
+        y = np.arange(30) % 3
+        with pytest.raises(ValueError, match="binary"):
+            method(X, y)
+
+    def test_tiny_minority_adapts_k(self, method):
+        X, y = imbalanced(n_minority=3, n_majority=30)
+        X_out, y_out = method(X, y, k_neighbors=5)
+        assert np.sum(y_out == 1) == np.sum(y_out == 0)
+
+
+class TestAdasynSpecific:
+    def test_focuses_on_boundary(self):
+        """ADASYN must allocate more synthetics near the class boundary
+        than deep inside the minority cloud."""
+        rng = np.random.default_rng(3)
+        # Minority: a far cluster (easy) plus a boundary cluster (hard).
+        easy = rng.normal(-5, 0.3, (10, 2))
+        hard = rng.normal(2.5, 0.3, (10, 2))
+        majority = rng.normal(3, 1.0, (80, 2))
+        X = np.vstack([easy, hard, majority])
+        y = np.array([1] * 20 + [0] * 80)
+        X_out, y_out = adasyn(X, y, random_state=0)
+        synthetic = X_out[X.shape[0] :]
+        near_hard = np.sum(np.linalg.norm(synthetic - [2.5, 2.5], axis=1) < 2.5)
+        near_easy = np.sum(np.linalg.norm(synthetic - [-5, -5], axis=1) < 2.5)
+        assert near_hard > near_easy

@@ -1,0 +1,68 @@
+"""Tests for feature scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import MinMaxScaler, StandardScaler
+from repro.ml.base import NotFittedError
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 2, (50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_uses_training_stats(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        assert scaler.transform(np.array([[4.0]]))[0, 0] == pytest.approx(3.0)
+
+    def test_dimension_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.zeros((5, 4)))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent_on_standardized_data(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (100, 3))
+        Z = StandardScaler().fit_transform(X)
+        Z2 = StandardScaler().fit_transform(Z)
+        assert np.allclose(Z, Z2, atol=1e-8)
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 10, (100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_constant_feature(self):
+        Z = MinMaxScaler().fit_transform(np.full((5, 1), 3.0))
+        assert np.all(Z == 0.0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((2, 2)))

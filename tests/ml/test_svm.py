@@ -1,0 +1,138 @@
+"""Tests for the SMO-trained SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, OneVsRestClassifier, linear_kernel, polynomial_kernel, rbf_kernel
+from repro.ml.base import NotFittedError
+
+
+def blobs(n=80, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, 4)), rng.normal(gap, 1, (n, 4))])
+    y = np.array([0] * n + [1] * n)
+    perm = rng.permutation(2 * n)
+    return X[perm], y[perm]
+
+
+class TestKernels:
+    def test_rbf_diagonal_ones(self):
+        X = np.random.default_rng(0).standard_normal((5, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric_and_bounded(self):
+        X = np.random.default_rng(1).standard_normal((6, 3))
+        K = rbf_kernel(X, X, gamma=1.0)
+        assert np.allclose(K, K.T)
+        assert np.all(K <= 1.0 + 1e-12) and np.all(K > 0)
+
+    def test_linear_matches_dot(self):
+        A = np.random.default_rng(2).standard_normal((3, 4))
+        assert np.allclose(linear_kernel(A, A), A @ A.T)
+
+    def test_polynomial(self):
+        A = np.ones((1, 2))
+        assert polynomial_kernel(A, A, degree=2)[0, 0] == pytest.approx(9.0)
+
+
+class TestSvcTraining:
+    def test_separable_blobs(self):
+        X, y = blobs(gap=3.0)
+        model = SVC(C=1.0).fit(X[:100], y[:100])
+        assert model.score(X[100:], y[100:]) > 0.95
+
+    def test_xor_needs_rbf(self):
+        """XOR: linear fails, RBF succeeds."""
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, (200, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        rbf = SVC(C=10.0, kernel="rbf", gamma=2.0).fit(X, y)
+        lin = SVC(C=10.0, kernel="linear").fit(X, y)
+        assert rbf.score(X, y) > 0.9
+        assert lin.score(X, y) < 0.75
+
+    def test_string_labels(self):
+        X, y = blobs()
+        labels = np.where(y == 1, "facing", "non-facing")
+        model = SVC().fit(X, labels)
+        assert set(model.predict(X[:10])) <= {"facing", "non-facing"}
+
+    def test_decision_function_sign_convention(self):
+        X, y = blobs(gap=4.0)
+        model = SVC().fit(X, y)
+        decision = model.decision_function(X)
+        predictions = model.predict(X)
+        assert np.all((decision >= 0) == (predictions == model.classes_[1]))
+
+    def test_support_vectors_subset(self):
+        X, y = blobs(gap=4.0)
+        model = SVC(C=1.0).fit(X, y)
+        assert 0 < model.support_vectors_.shape[0] <= X.shape[0]
+
+    def test_rejects_multiclass(self):
+        X = np.random.default_rng(0).standard_normal((30, 2))
+        y = np.arange(30) % 3
+        with pytest.raises(ValueError, match="binary"):
+            SVC().fit(X, y)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SVC().predict(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+        with pytest.raises(ValueError):
+            SVC(kernel="sigmoid")
+
+
+class TestProbabilities:
+    def test_shape_and_sum(self):
+        X, y = blobs()
+        model = SVC(probability=True).fit(X, y)
+        proba = model.predict_proba(X[:20])
+        assert proba.shape == (20, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_confident_on_easy_points(self):
+        X, y = blobs(gap=5.0)
+        model = SVC(probability=True).fit(X, y)
+        proba = model.predict_proba(X)
+        picked = proba[np.arange(len(y)), y]
+        assert np.median(picked) > 0.9
+
+    def test_probability_false_raises(self):
+        X, y = blobs()
+        model = SVC(probability=False).fit(X, y)
+        with pytest.raises(RuntimeError, match="probability"):
+            model.predict_proba(X)
+
+    def test_proba_consistent_with_prediction(self):
+        X, y = blobs(gap=1.0, seed=7)
+        model = SVC(probability=True).fit(X, y)
+        proba = model.predict_proba(X)
+        hard = model.predict(X)
+        soft = model.classes_[np.argmax(proba, axis=1)]
+        assert np.mean(hard == soft) > 0.97
+
+
+class TestOneVsRest:
+    def test_three_class_blobs(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack([rng.normal(c * 3, 1, (40, 3)) for c in range(3)])
+        y = np.repeat([0, 1, 2], 40)
+        model = OneVsRestClassifier(lambda: SVC(C=1.0)).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(c * 3, 1, (30, 2)) for c in range(3)])
+        y = np.repeat([0, 1, 2], 30)
+        model = OneVsRestClassifier(lambda: SVC()).fit(X, y)
+        proba = model.predict_proba(X[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestClassifier(lambda: SVC()).fit(np.zeros((5, 2)), np.zeros(5))

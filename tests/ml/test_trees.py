@@ -1,0 +1,127 @@
+"""Tests for the CART decision tree and the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+from repro.ml.base import NotFittedError
+
+
+def stripes(n=120, seed=0):
+    """1-D threshold problem: y = x0 > 0."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 3))
+    return X, (X[:, 0] > 0).astype(int)
+
+
+class TestDecisionTree:
+    def test_learns_threshold(self):
+        X, y = stripes()
+        tree = DecisionTreeClassifier(max_splits=1).fit(X, y)
+        assert tree.score(X, y) > 0.95
+        assert tree.n_splits_ == 1
+        assert tree.root_.feature == 0
+        assert abs(tree.root_.threshold) < 0.15
+
+    def test_max_splits_budget(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, (300, 4))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(max_splits=5).fit(X, y)
+        assert tree.n_splits_ <= 5
+
+    def test_best_first_beats_tiny_budget_on_xor(self):
+        """XOR needs 3 splits; 3-split best-first tree should get there."""
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-1, 1, (500, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(max_splits=3).fit(X, y)
+        assert tree.score(X, y) > 0.9
+
+    def test_max_depth(self):
+        X, y = stripes(300)
+        tree = DecisionTreeClassifier(max_splits=None, max_depth=2).fit(X, y)
+        assert tree.depth_ <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = stripes(50)
+        tree = DecisionTreeClassifier(max_splits=None, min_samples_leaf=20).fit(X, y)
+        # Any split must leave >= 20 per side, so at most 1 split here.
+        assert tree.n_splits_ <= 1
+
+    def test_pure_node_stops(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_splits_ == 0
+        assert np.all(tree.predict(X) == 1)
+
+    def test_predict_proba_rows_sum(self):
+        X, y = stripes()
+        tree = DecisionTreeClassifier().fit(X, y)
+        proba = tree.predict_proba(X[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_string_labels(self):
+        X, y = stripes()
+        labels = np.where(y == 1, "a", "b")
+        tree = DecisionTreeClassifier().fit(X, labels)
+        assert set(tree.predict(X)) <= {"a", "b"}
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 3)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_splits=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((20, 3))
+        y = np.arange(20) % 2
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_splits_ == 0
+
+
+class TestRandomForest:
+    def test_beats_single_stump_on_xor(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, (400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        stump = DecisionTreeClassifier(max_splits=1).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=25, random_state=0).fit(X, y)
+        assert forest.score(X, y) > stump.score(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_deterministic_given_seed(self):
+        X, y = stripes(100)
+        a = RandomForestClassifier(n_estimators=5, random_state=7).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=7).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_proba_shape(self):
+        X, y = stripes(100)
+        forest = RandomForestClassifier(n_estimators=5).fit(X, y)
+        proba = forest.predict_proba(X[:7])
+        assert proba.shape == (7, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_handles_class_missing_from_bootstrap(self):
+        """Heavily imbalanced data: some bootstraps miss the rare class."""
+        rng = np.random.default_rng(4)
+        X = rng.standard_normal((60, 2))
+        y = np.array([1] * 57 + [0] * 3)
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (60, 2)
+        assert np.all(np.isfinite(proba))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))

@@ -1,0 +1,81 @@
+"""API-quality meta-tests: every public item is importable and documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.arrays",
+    "repro.dsp",
+    "repro.acoustics",
+    "repro.ml",
+    "repro.core",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.userstudy",
+]
+
+
+def iter_public_objects():
+    for package_name in PACKAGES:
+        module = importlib.import_module(package_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            yield package_name, name, getattr(module, name)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        """Every name in __all__ actually exists."""
+        for package_name in PACKAGES:
+            module = importlib.import_module(package_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    def test_public_callables_documented(self):
+        """Every exported class/function carries a docstring."""
+        undocumented = []
+        for package_name, name, obj in iter_public_objects():
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{package_name}.{name}")
+        assert not undocumented, f"undocumented public API: {undocumented}"
+
+    def test_public_class_methods_documented(self):
+        """Public methods of exported classes carry docstrings."""
+        undocumented = []
+        for package_name, name, obj in iter_public_objects():
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__module__ and not method.__module__.startswith("repro"):
+                    continue
+                if not (method.__doc__ or "").strip():
+                    undocumented.append(f"{package_name}.{name}.{method_name}")
+        assert not undocumented, f"undocumented methods: {undocumented}"
+
+    def test_every_module_has_docstring(self):
+        missing = []
+        for _, module_name, _ in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_name)
+            if not (module.__doc__ or "").strip():
+                missing.append(module_name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_experiment_runners_share_signature(self):
+        """Every experiment runner accepts (scale=..., seed=...)."""
+        from repro.experiments import ALL_EXPERIMENTS
+
+        for experiment_id, runner in ALL_EXPERIMENTS.items():
+            parameters = inspect.signature(runner).parameters
+            assert "scale" in parameters, experiment_id
+            assert "seed" in parameters, experiment_id

@@ -1,0 +1,71 @@
+"""Example-script hygiene: they must at least parse and expose main().
+
+Full runs take 30-90 s each (they render audio and train models), so
+CI-style execution is reserved for the cheap CLI paths; the rest are
+compile-checked and inspected."""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleScripts:
+    def test_examples_exist(self):
+        names = {script.name for script in SCRIPTS}
+        assert {
+            "quickstart.py",
+            "replay_attack_demo.py",
+            "smart_home_session.py",
+            "always_on_assistant.py",
+            "cross_user_household.py",
+            "run_experiment.py",
+            "reproduce_paper_scale.py",
+        } <= names
+
+    @pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
+    def test_parses_and_has_main(self, script):
+        tree = ast.parse(script.read_text())
+        functions = {
+            node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{script.name} lacks a main()"
+
+    @pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
+    def test_has_module_docstring(self, script):
+        tree = ast.parse(script.read_text())
+        assert ast.get_docstring(tree), f"{script.name} lacks a docstring"
+
+    def test_run_experiment_list_executes(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "run_experiment.py"), "--list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "E01" in result.stdout and "E27" in result.stdout
+
+    def test_run_experiment_rejects_unknown_id(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "run_experiment.py"), "E99"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 2
+
+    def test_paper_scale_estimate_executes(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "reproduce_paper_scale.py"), "--estimate"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "9072" in result.stdout

@@ -1,0 +1,90 @@
+"""Failure injection: degenerate audio and hostile inputs.
+
+A deployed always-on system sees silence, clipping, DC offsets, dropped
+channels and absurd configurations; nothing here may crash with an
+unhelpful error or, worse, silently accept."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Capture
+from repro.core import (
+    DEFAULT_DEFINITION,
+    REJECT_NO_SPEECH,
+    OrientationDetector,
+    preprocess,
+)
+from repro.core.preprocessing import DenoisedAudio
+
+FS = 48_000
+
+
+class TestDegenerateAudio:
+    def test_silence_flagged_not_crashed(self):
+        capture = Capture(channels=np.zeros((4, FS // 2)), sample_rate=FS)
+        audio = preprocess(capture)
+        assert not audio.had_speech
+
+    def test_dc_offset_removed(self):
+        capture = Capture(channels=np.full((4, FS // 2), 0.7), sample_rate=FS)
+        audio = preprocess(capture, normalize=False)
+        # The 100 Hz high-pass edge kills DC entirely.
+        assert np.abs(audio.channels.mean()) < 1e-3
+
+    def test_clipped_audio_survives(self, extractor, forward_capture):
+        clipped = Capture(
+            channels=np.clip(forward_capture.channels * 50.0, -1.0, 1.0),
+            sample_rate=FS,
+        )
+        audio = preprocess(clipped)
+        features = extractor.extract(audio)
+        assert np.all(np.isfinite(features))
+
+    def test_single_sample_spike(self, extractor):
+        channels = np.zeros((4, FS // 2))
+        channels[:, FS // 4] = 1.0
+        audio = preprocess(Capture(channels=channels, sample_rate=FS))
+        # A click is "speech" to an energy VAD, but features stay finite.
+        features = extractor.extract(audio)
+        assert np.all(np.isfinite(features))
+
+    def test_pipeline_rejects_silence_early(self, d2_subset, trained_detector):
+        from repro.core import HeadTalkPipeline, LivenessDetector
+
+        pipeline = HeadTalkPipeline(
+            array=d2_subset,
+            liveness=LivenessDetector(),  # untrained: must never be reached
+            orientation=trained_detector,
+        )
+        silent = Capture(channels=np.zeros((4, FS // 2)), sample_rate=FS)
+        decision = pipeline.evaluate(silent)
+        assert decision.reason == REJECT_NO_SPEECH
+
+
+class TestHostileModelInputs:
+    def test_detector_rejects_nan_features(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((20, 5))
+        y = np.array(["facing", "non-facing"] * 10)
+        detector = OrientationDetector().fit(X, y)
+        bad = X[:1].copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            detector.predict(bad)
+
+    def test_detector_rejects_wrong_dimension(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((20, 5))
+        y = np.array(["facing", "non-facing"] * 10)
+        detector = OrientationDetector().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            detector.predict(rng.standard_normal((3, 9)))
+
+    def test_extractor_rejects_wrong_channel_count(self, extractor):
+        audio = DenoisedAudio(
+            channels=np.random.default_rng(2).standard_normal((7, FS // 4)),
+            sample_rate=FS,
+            had_speech=True,
+        )
+        with pytest.raises(ValueError, match="channels"):
+            extractor.extract(audio)

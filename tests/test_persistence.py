@@ -1,0 +1,63 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import FACING, NON_FACING, OrientationDetector
+from repro.ml import SVC, StandardScaler
+from repro.persistence import load_model, save_model
+
+
+def trained_detector():
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(0, 1, (30, 6)), rng.normal(2, 1, (30, 6))])
+    y = np.array([FACING] * 30 + [NON_FACING] * 30)
+    return OrientationDetector(backend="svm").fit(X, y), X, y
+
+
+class TestRoundTrip:
+    def test_detector_predictions_survive(self, tmp_path):
+        detector, X, y = trained_detector()
+        path = save_model(detector, tmp_path / "detector.repro")
+        loaded = load_model(path)
+        assert np.array_equal(loaded.predict(X), detector.predict(X))
+        assert np.allclose(
+            loaded.facing_probability(X), detector.facing_probability(X)
+        )
+
+    def test_svc_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(0, 1, (20, 3)), rng.normal(3, 1, (20, 3))])
+        y = np.array([0] * 20 + [1] * 20)
+        model = SVC().fit(X, y)
+        loaded = load_model(save_model(model, tmp_path / "svc.repro"))
+        assert np.array_equal(loaded.predict(X), model.predict(X))
+
+    def test_scaler_round_trip(self, tmp_path):
+        scaler = StandardScaler().fit(np.random.default_rng(2).normal(3, 2, (40, 4)))
+        loaded = load_model(save_model(scaler, tmp_path / "scaler.repro"))
+        assert np.allclose(loaded.mean_, scaler.mean_)
+
+
+class TestFormatGuards:
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"not a model at all")
+        with pytest.raises(ValueError, match="not a repro model"):
+            load_model(path)
+
+    def test_rejects_wrong_format_version(self, tmp_path):
+        import pickle
+
+        from repro.persistence import MAGIC
+
+        path = tmp_path / "future.repro"
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            pickle.dump({"format_version": 999, "model": None}, handle)
+        with pytest.raises(ValueError, match="format 999"):
+            load_model(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope.repro")

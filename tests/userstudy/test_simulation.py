@@ -1,0 +1,46 @@
+"""Tests for the simulated interaction study."""
+
+import pytest
+
+from repro.datasets import TINY
+from repro.userstudy import (
+    BACKWARD_ANGLES,
+    FORWARD_ANGLES,
+    ParticipantOutcome,
+    run_interaction_study,
+)
+from repro.userstudy.simulation import run
+
+
+class TestProtocol:
+    def test_angle_sets_match_protocol(self):
+        assert len(FORWARD_ANGLES) == 5
+        assert len(BACKWARD_ANGLES) == 5
+        assert all(abs(a) <= 30 for a in FORWARD_ANGLES)
+        assert all(abs(a) >= 90 for a in BACKWARD_ANGLES)
+
+    def test_outcome_accuracy(self):
+        outcome = ParticipantOutcome(participant="P1", n_trials=10, n_correct=7)
+        assert outcome.accuracy == pytest.approx(0.7)
+
+    def test_zero_trials(self):
+        assert ParticipantOutcome("P1", 0, 0).accuracy == 0.0
+
+
+class TestStudy:
+    def test_one_participant_runs(self):
+        outcomes = run_interaction_study(n_participants=1, scale=TINY)
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.n_trials == 30  # 3 locations x 10 angles
+        assert 0 <= outcome.n_correct <= outcome.n_trials
+        # The pipeline should respond correctly far more often than chance.
+        assert outcome.accuracy > 0.6
+
+    def test_full_run_produces_result(self):
+        result = run(scale=TINY, n_participants=1)
+        metrics = [row["metric"] for row in result.rows]
+        assert "SUS HeadTalk" in metrics
+        assert "SUS mute button" in metrics
+        assert result.summary["headtalk_beats_mute"] in (True, False)
+        assert 60 < result.summary["sus_headtalk"] < 95

@@ -1,0 +1,55 @@
+"""Tests for the Table V survey data."""
+
+import pytest
+
+from repro.userstudy import N_PARTICIPANTS, SurveyQuestion, TABLE_V, takeaways
+
+
+class TestSurveyQuestion:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            SurveyQuestion("q", ("a", "b"), (1,))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SurveyQuestion("q", ("a",), (-1,))
+
+    def test_fraction(self):
+        q = SurveyQuestion("q", ("a", "b", "c"), (2, 3, 5))
+        assert q.fraction("a") == pytest.approx(0.2)
+        assert q.fraction("a", "b") == pytest.approx(0.5)
+
+    def test_fraction_unknown_option(self):
+        q = SurveyQuestion("q", ("a",), (1,))
+        with pytest.raises(ValueError):
+            q.fraction("z")
+
+
+class TestTableV:
+    def test_five_questions(self):
+        assert len(TABLE_V) == 5
+
+    def test_each_question_has_20_responses(self):
+        for question in TABLE_V:
+            assert question.n_responses == N_PARTICIPANTS
+
+    def test_ownership_tallies(self):
+        ownership = TABLE_V[0]
+        assert ownership.counts == (5, 12, 2, 1)
+
+    def test_participant_comments_present(self):
+        from repro.userstudy import PARTICIPANT_COMMENTS
+
+        assert set(PARTICIPANT_COMMENTS) == {"P1", "P8", "P9", "P20"}
+        assert "mute button" in PARTICIPANT_COMMENTS["P20"]
+
+    def test_paper_takeaways(self):
+        marks = takeaways()
+        # 10/15 owners face the VA often or very often.
+        assert marks["owners_who_face_va_pct"] == pytest.approx(66.67, abs=0.1)
+        # 19/20 found it easy.
+        assert marks["easy_to_use_pct"] == pytest.approx(95.0)
+        # 14/20 would deploy.
+        assert marks["would_deploy_pct"] == pytest.approx(70.0)
+        # 14/20 rate it better than existing controls.
+        assert marks["better_than_existing_pct"] == pytest.approx(70.0)

@@ -1,0 +1,98 @@
+"""Tests for SUS scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.userstudy import (
+    ABOVE_AVERAGE_THRESHOLD,
+    SUS_ITEMS,
+    responses_for_target,
+    summarize,
+    sus_score,
+    sus_scores,
+)
+
+
+class TestScoring:
+    def test_ten_items(self):
+        assert len(SUS_ITEMS) == 10
+
+    def test_best_possible(self):
+        """All-5 on odd (positive) items, all-1 on even (negative) = 100."""
+        responses = np.array([5, 1, 5, 1, 5, 1, 5, 1, 5, 1])
+        assert sus_score(responses) == 100.0
+
+    def test_worst_possible(self):
+        responses = np.array([1, 5, 1, 5, 1, 5, 1, 5, 1, 5])
+        assert sus_score(responses) == 0.0
+
+    def test_neutral(self):
+        assert sus_score(np.full(10, 3)) == 50.0
+
+    def test_known_textbook_example(self):
+        # Classic worked example: alternating 4/2 -> 75.
+        responses = np.array([4, 2, 4, 2, 4, 2, 4, 2, 4, 2])
+        assert sus_score(responses) == 75.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sus_score(np.full(9, 3))
+        with pytest.raises(ValueError):
+            sus_score(np.full(10, 6))
+
+    def test_matrix_scoring(self):
+        matrix = np.stack([np.full(10, 3), np.array([5, 1] * 5)])
+        assert sus_scores(matrix).tolist() == [50.0, 100.0]
+
+    @given(st.lists(st.integers(1, 5), min_size=10, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_score_always_in_range(self, responses):
+        score = sus_score(np.asarray(responses))
+        assert 0.0 <= score <= 100.0
+        assert score % 2.5 == 0.0
+
+
+class TestSummary:
+    def test_confidence_interval(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(75, 10, 40)
+        summary = summarize(scores)
+        assert summary.mean == pytest.approx(scores.mean())
+        assert summary.half_width > 0
+        assert summary.n == 40
+
+    def test_above_average_flag(self):
+        high = summarize(np.full(10, 80.0) + np.arange(10) * 0.1)
+        low = summarize(np.full(10, 50.0) + np.arange(10) * 0.1)
+        assert high.above_average
+        assert not low.above_average
+        assert ABOVE_AVERAGE_THRESHOLD == 68.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([70.0]))
+        with pytest.raises(ValueError):
+            summarize(np.array([70.0, 80.0]), confidence=1.5)
+
+    def test_str_format(self):
+        text = str(summarize(np.array([70.0, 80.0, 75.0])))
+        assert "95% CI" in text
+
+
+class TestSynthesis:
+    def test_targets_roughly_hit(self):
+        rng = np.random.default_rng(1)
+        responses = responses_for_target(77.0, 12.0, 200, rng)
+        scores = sus_scores(responses)
+        assert scores.mean() == pytest.approx(77.0, abs=5.0)
+
+    def test_responses_valid_likert(self):
+        rng = np.random.default_rng(2)
+        responses = responses_for_target(60.0, 15.0, 30, rng)
+        assert np.all((responses >= 1) & (responses <= 5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            responses_for_target(150.0, 10.0, 5, np.random.default_rng(0))
