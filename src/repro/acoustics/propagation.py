@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dsp.filters import band_split, octave_band_edges
-from .image_source import RirConfig, render_band_rirs
+from .image_source import RirConfig
 from .noise import NoiseSource, scale_to_spl, spl_to_rms
 from .scene import Scene
 from .sources import SourceRendering
@@ -94,33 +94,14 @@ def render_capture(
             f"rendering at {rendering.sample_rate} Hz but device records at {sample_rate} Hz"
         )
 
-    source = scale_to_spl(rendering.waveform, loudness_db_spl)
-    bands = octave_band_edges(sample_rate, low_hz=125.0, n_bands=n_bands)
-    band_signals = band_split(source, sample_rate, bands)
-
-    rirs = render_band_rirs(
-        room=scene.room,
-        source_position=scene.source_position,
-        facing=scene.facing_vector,
-        directivity=rendering.directivity,
-        mic_positions=scene.mic_positions,
-        sample_rate=sample_rate,
-        bands=bands,
-        config=rir_config,
+    mixed = render_dry(
+        scene,
+        rendering,
+        loudness_db_spl=loudness_db_spl,
+        rir_config=rir_config,
         rng=rng,
-        direct_band_gains=scene.occlusion.band_gains(bands),
+        n_bands=n_bands,
     )
-
-    n_mics = scene.device.n_mics
-    n_out = source.size + rirs.shape[2] - 1
-    # Batched frequency-domain convolution: one forward FFT per band
-    # signal, one batched FFT over all RIRs, one inverse FFT per mic.
-    n_fft = 1 << (n_out - 1).bit_length()
-    rir_spectra = np.fft.rfft(rirs, n_fft, axis=-1)  # (n_bands, n_mics, nf)
-    accumulated = np.zeros((n_mics, n_fft // 2 + 1), dtype=complex)
-    for b, band_signal in enumerate(band_signals):
-        accumulated += np.fft.rfft(band_signal, n_fft) * rir_spectra[b]
-    mixed = np.fft.irfft(accumulated, n_fft, axis=-1)[:, :n_out]
 
     ambient = ambient or NoiseSource(
         kind="household", level_db_spl=scene.room.ambient_noise_db_spl
@@ -138,6 +119,84 @@ def render_capture(
     mixed += self_rms * rng.standard_normal(mixed.shape)
 
     return Capture(channels=mixed, sample_rate=sample_rate)
+
+
+def render_dry(
+    scene: Scene,
+    rendering: SourceRendering,
+    loudness_db_spl: float = 70.0,
+    rir_config: RirConfig | None = None,
+    rng: np.random.Generator | None = None,
+    n_bands: int = DEFAULT_N_BANDS,
+) -> np.ndarray:
+    """Noise-free multi-channel render: emission through the room's RIRs.
+
+    This is the deterministic part of :func:`render_capture` (band
+    splitting plus frequency-domain convolution with the band RIRs),
+    before any ambient or self noise.  Both the band RIRs and the full
+    dry result are memoized via :mod:`repro.runtime.cache` whenever the
+    diffuse tail is pinned (``RirConfig.tail_seed``) or disabled, so
+    repeated renders of the same placement/emission skip the image-source
+    model and the large FFTs while staying byte-identical.
+
+    Returns ``(n_mics, n_out)`` writable channels.
+    """
+    # Function-level import: repro.runtime imports the acoustics layer.
+    from ..runtime import cache as render_cache
+
+    rng = rng or np.random.default_rng()
+    config = rir_config or RirConfig()
+    sample_rate = scene.device.sample_rate
+    source = scale_to_spl(rendering.waveform, loudness_db_spl)
+    bands = octave_band_edges(sample_rate, low_hz=125.0, n_bands=n_bands)
+
+    scene_key: tuple | None = None
+    digest: bytes | None = None
+    if render_cache.cache_enabled() and render_cache.deterministic_rir(config):
+        scene_key = render_cache.rir_key(
+            scene.room,
+            scene.source_position,
+            scene.facing_vector,
+            rendering.directivity,
+            scene.mic_positions,
+            sample_rate,
+            bands,
+            config,
+            scene.occlusion.band_gains(bands),
+        )
+        digest = render_cache.waveform_digest(source)
+        cached = render_cache.get_dry_render(scene_key, digest, loudness_db_spl)
+        if cached is not None:
+            return cached
+
+    band_signals = band_split(source, sample_rate, bands)
+    rirs, _ = render_cache.cached_band_rirs(
+        room=scene.room,
+        source_position=scene.source_position,
+        facing=scene.facing_vector,
+        directivity=rendering.directivity,
+        mic_positions=scene.mic_positions,
+        sample_rate=sample_rate,
+        bands=bands,
+        config=config,
+        rng=rng,
+        direct_band_gains=scene.occlusion.band_gains(bands),
+    )
+
+    n_mics = scene.device.n_mics
+    n_out = source.size + rirs.shape[2] - 1
+    # Batched frequency-domain convolution: one forward FFT per band
+    # signal, one batched FFT over all RIRs, one inverse FFT per mic.
+    n_fft = 1 << (n_out - 1).bit_length()
+    rir_spectra = np.fft.rfft(rirs, n_fft, axis=-1)  # (n_bands, n_mics, nf)
+    accumulated = np.zeros((n_mics, n_fft // 2 + 1), dtype=complex)
+    for b, band_signal in enumerate(band_signals):
+        accumulated += np.fft.rfft(band_signal, n_fft) * rir_spectra[b]
+    mixed = np.fft.irfft(accumulated, n_fft, axis=-1)[:, :n_out]
+
+    if scene_key is not None and digest is not None:
+        render_cache.put_dry_render(scene_key, digest, loudness_db_spl, mixed)
+    return mixed
 
 
 def render_interference(

@@ -6,7 +6,7 @@ orientation feature extractor, and returns an
 :class:`~repro.datasets.store.OrientationDataset` (or a
 :class:`~repro.datasets.store.LivenessDataset`).
 
-**Scale policy** (DESIGN.md section 6): ``PAPER`` reproduces the full
+**Scale policy** (DESIGN.md section 7): ``PAPER`` reproduces the full
 Table II factor grid (9,072 utterances for Dataset-1); ``BENCH`` keeps
 every factor but trims locations to the M column and repetitions to 1 so
 benches complete in minutes.  Builders are deterministic in
@@ -30,6 +30,12 @@ from .collection import (
     collect,
 )
 from .store import LivenessDataset, OrientationDataset, UtteranceMeta
+
+_EXTRACT_CHUNK = 64
+"""Captures per stacked-FFT feature extraction call.
+
+Bounds the transient memory of the batched GCC (one rfft buffer per
+capture in the chunk) while keeping the FFT large enough to amortize."""
 
 WAKE_WORDS = ("hey assistant", "computer", "amazon")
 DEVICES = ("D1", "D2", "D3")
@@ -82,8 +88,15 @@ def build_orientation_dataset(
     specs: tuple[CollectionSpec, ...],
     seed: int = 0,
     gcc_only: bool = False,
+    workers: int | None = None,
 ) -> OrientationDataset:
-    """Render sweeps and extract orientation features (cached)."""
+    """Render sweeps and extract orientation features (cached).
+
+    ``workers`` fans the rendering out over a process pool (see
+    :func:`repro.datasets.collection.collect`); feature extraction runs
+    the chunked stacked-FFT path either way.  The cache key excludes
+    ``workers`` because every path is byte-identical.
+    """
     key = ("orient", specs, seed, gcc_only)
     if key in _ORIENTATION_CACHE:
         return _ORIENTATION_CACHE[key]
@@ -91,14 +104,19 @@ def build_orientation_dataset(
     metas: list[UtteranceMeta] = []
     for spec in specs:
         extractor = _extractor_for(spec, gcc_only)
-        for meta, capture in collect(spec, seed):
-            audio = preprocess(capture)
-            rows.append(extractor.extract(audio))
+        pending: list = []
+        for meta, capture in collect(spec, seed, workers=workers):
+            pending.append(preprocess(capture))
             metas.append(meta)
+            if len(pending) >= _EXTRACT_CHUNK:
+                rows.append(extractor.extract_batch(pending))
+                pending = []
+        if pending:
+            rows.append(extractor.extract_batch(pending))
     if not rows:
         raise ValueError("no utterances rendered")
     dataset = OrientationDataset(
-        X=np.stack(rows),
+        X=np.concatenate(rows, axis=0),
         meta=metas,
         extractor_name="gcc-only" if gcc_only else "headtalk",
     )
@@ -110,6 +128,7 @@ def build_liveness_dataset(
     specs: tuple[CollectionSpec, ...],
     seed: int = 0,
     n_bands: int = 40,
+    workers: int | None = None,
 ) -> LivenessDataset:
     """Render sweeps and extract liveness log-filterbank features (cached)."""
     key = ("live", specs, seed, n_bands)
@@ -120,7 +139,7 @@ def build_liveness_dataset(
     labels: list[int] = []
     metas: list[UtteranceMeta] = []
     for spec in specs:
-        for meta, capture in collect(spec, seed):
+        for meta, capture in collect(spec, seed, workers=workers):
             audio = preprocess(capture)
             features.append(featurizer.featurize(audio.reference, audio.sample_rate))
             labels.append(LIVE_HUMAN if meta.is_live_human else MECHANICAL)
@@ -172,10 +191,11 @@ def dataset1(
     devices: tuple[str, ...] = DEVICES,
     wake_words: tuple[str, ...] = WAKE_WORDS,
     seed: int = 0,
+    workers: int | None = None,
 ) -> OrientationDataset:
     """Dataset-1 orientation features (slices via keyword arguments)."""
     return build_orientation_dataset(
-        dataset1_specs(scale, rooms, devices, wake_words), seed
+        dataset1_specs(scale, rooms, devices, wake_words), seed, workers=workers
     )
 
 

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..acoustics.image_source import RirConfig
 from ..acoustics.noise import NoiseSource
-from ..acoustics.propagation import Capture, render_capture, render_interference
+from ..acoustics.propagation import Capture
 from ..acoustics.room import Material, Room, get_room
 from ..acoustics.scene import (
     ANGLE_GRID_DEG,
@@ -257,15 +257,20 @@ def build_session_context(spec: CollectionSpec, base_seed: int) -> SessionContex
     )
 
 
-def collect(
+def render_tasks(
     spec: CollectionSpec, base_seed: int = 0
-) -> Iterator[tuple[UtteranceMeta, Capture]]:
-    """Render every capture of one collection sweep, deterministically.
+) -> Iterator[tuple[UtteranceMeta, "RenderTask"]]:
+    """Frozen render tasks for one collection sweep, deterministically.
 
-    The same ``(spec, base_seed)`` always yields identical audio; any
-    field change (session, timeframe, ...) re-derives every random
-    stream.
+    Does every per-utterance setup step of the protocol — session
+    context, pose jitter, emission synthesis — and freezes the remaining
+    (expensive) acoustic render as a :class:`repro.runtime.RenderTask`
+    carrying the exact random-stream state the in-line path would use.
+    ``collect`` executes these tasks; batch callers can fan them out over
+    a process pool with byte-identical results.
     """
+    from ..runtime.batch import InterferenceSpec, RenderTask
+
     context = build_session_context(spec, base_seed)
     device = get_device(spec.device)
     channels = (
@@ -365,32 +370,27 @@ def collect(
                         occlusion=occlusion,
                     )
                 emission = source.emit(spec.wake_word, array.sample_rate, rng)
-                capture = render_capture(
-                    scene,
-                    emission,
-                    loudness_db_spl=spec.loudness_db,
-                    rng=rng,
-                    rir_config=rir_config,
-                    ambient=ambient,
-                )
+                interference: tuple[InterferenceSpec, ...] = ()
                 if spec.noise:
-                    channels = capture.channels.copy()
                     noise_scene = Scene(
                         room=context.room,
                         device=array,
                         placement=context.placement,
                         pose=interferer_pose,
                     )
-                    for kind, level in spec.noise:
-                        channels += render_interference(
-                            noise_scene,
-                            kind,
-                            level,
-                            capture.n_samples,
-                            rng,
-                            rir_config,
-                        )
-                    capture = Capture(channels=channels, sample_rate=capture.sample_rate)
+                    interference = tuple(
+                        InterferenceSpec(scene=noise_scene, kind=kind, level_db_spl=level)
+                        for kind, level in spec.noise
+                    )
+                task = RenderTask.from_rng(
+                    scene,
+                    emission,
+                    rng,
+                    loudness_db_spl=spec.loudness_db,
+                    rir_config=rir_config,
+                    ambient=ambient,
+                    interference=interference,
+                )
                 meta = UtteranceMeta(
                     room=spec.room,
                     device=spec.device,
@@ -408,4 +408,37 @@ def collect(
                     timeframe=spec.timeframe,
                     posture=spec.posture,
                 )
-                yield meta, capture
+                yield meta, task
+
+
+def collect(
+    spec: CollectionSpec,
+    base_seed: int = 0,
+    workers: int | None = None,
+) -> Iterator[tuple[UtteranceMeta, Capture]]:
+    """Render every capture of one collection sweep, deterministically.
+
+    The same ``(spec, base_seed)`` always yields identical audio — for
+    any ``workers`` value; any field change (session, timeframe, ...)
+    re-derives every random stream.
+
+    Parameters
+    ----------
+    workers:
+        Render-process count.  ``None`` defers to
+        :func:`repro.runtime.default_workers` (serial unless opted in);
+        ``1`` streams captures lazily in-process, sharing this process's
+        warm render caches; ``> 1`` renders the whole sweep on a process
+        pool before yielding.
+    """
+    from ..runtime.batch import default_workers, execute_render_task, render_captures
+
+    effective = default_workers() if workers is None else int(workers)
+    if effective <= 1:
+        for meta, task in render_tasks(spec, base_seed):
+            yield meta, execute_render_task(task)
+        return
+    metas_tasks = list(render_tasks(spec, base_seed))
+    captures = render_captures([task for _, task in metas_tasks], workers=effective)
+    for (meta, _), capture in zip(metas_tasks, captures):
+        yield meta, capture

@@ -9,7 +9,7 @@ from .filters import (
     lowpass,
     octave_band_edges,
 )
-from .gcc import estimate_tdoa, gcc_phat, lag_axis, pairwise_gcc
+from .gcc import estimate_tdoa, gcc_phat, lag_axis, pairwise_gcc, pairwise_gcc_batch
 from .localization import AzimuthEstimate, angular_error_deg, estimate_azimuth
 from .resample import resample, to_liveness_input
 from .segmenter import Segment, SegmenterConfig, extract_segments, segment_stream
@@ -77,6 +77,7 @@ __all__ = [
     "mean_power_spectrum",
     "octave_band_edges",
     "pairwise_gcc",
+    "pairwise_gcc_batch",
     "power_spectrogram",
     "resample",
     "Segment",

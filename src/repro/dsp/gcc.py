@@ -6,24 +6,62 @@ the candidate time differences of arrival (Eq. 5 of the paper).  The
 orientation feature extractor consumes a short window of correlation lags
 centered at zero (e.g. 27 lags for device D2) per microphone pair,
 together with the per-pair TDoA estimate.
+
+Sign convention (shared by every function here and by
+:mod:`repro.dsp.srp`): a lag is the arrival-time difference
+``t_a - t_b`` in samples.  A *positive* lag therefore means the wavefront
+reached ``signal_b`` first and ``signal_a`` lags behind it
+(``a(t) ~= b(t - lag)``).  ``tests/dsp/test_gcc.py`` pins this with
+synthetic integer shifts and against array geometry.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
+
+_PHAT_REGULARIZATION = 1e-12
+
+
+def _fft_length(n_linear: int, max_lag: int) -> int:
+    """Power-of-two FFT size fitting linear correlation AND the lag window.
+
+    The circular correlation of an ``n_fft``-point FFT only exposes lags
+    ``-(n_fft // 2 - 1) .. n_fft // 2``; sizing by signal length alone
+    silently truncated wide windows requested for short signals.  The
+    returned size guarantees ``n_fft // 2 - 1 >= max_lag`` so the full
+    ``2 * max_lag + 1`` window always exists.
+    """
+    n = max(int(n_linear), 2 * max_lag + 2)
+    return 1 << (n - 1).bit_length()
+
+
+def _lag_window(corr: np.ndarray, max_lag: int) -> np.ndarray:
+    """Reorder circular correlation into lags ``-max_lag .. +max_lag``.
+
+    ``irfft`` puts positive lags first and negative lags at the tail;
+    works on any leading batch shape, operating over the last axis.
+    """
+    if max_lag == 0:
+        return corr[..., :1]
+    return np.concatenate([corr[..., -max_lag:], corr[..., : max_lag + 1]], axis=-1)
 
 
 def gcc_phat(
     signal_a: np.ndarray,
     signal_b: np.ndarray,
     max_lag: int,
-    regularization: float = 1e-12,
+    regularization: float = _PHAT_REGULARIZATION,
 ) -> np.ndarray:
     """Windowed GCC-PHAT between two signals.
 
     Returns the PHAT-weighted cross-correlation at integer lags
-    ``-max_lag .. +max_lag`` (length ``2 * max_lag + 1``).  Positive lags
-    mean ``signal_a`` lags ``signal_b`` (``a(t) ~= b(t - lag)``).
+    ``-max_lag .. +max_lag`` — always exactly ``2 * max_lag + 1`` values,
+    however short the signals (the FFT is sized to fit the window).
+    Positive lags mean the wavefront reached ``signal_b`` first, i.e.
+    ``signal_a`` lags ``signal_b`` (``a(t) ~= b(t - lag)``); the peak lag
+    estimates the arrival-time difference ``t_a - t_b``.
     """
     a = np.asarray(signal_a, dtype=float).ravel()
     b = np.asarray(signal_b, dtype=float).ravel()
@@ -31,18 +69,13 @@ def gcc_phat(
         raise ValueError("signals must be non-empty")
     if max_lag < 0:
         raise ValueError("max_lag must be >= 0")
-    n = int(a.size + b.size)
-    n_fft = 1 << (n - 1).bit_length()
+    n_fft = _fft_length(a.size + b.size, max_lag)
     spec_a = np.fft.rfft(a, n_fft)
     spec_b = np.fft.rfft(b, n_fft)
     cross = spec_a * np.conj(spec_b)
     cross /= np.abs(cross) + regularization
     corr = np.fft.irfft(cross, n_fft)
-    # irfft puts positive lags first and negative lags at the tail.
-    max_lag = min(max_lag, n_fft // 2 - 1)
-    positive = corr[: max_lag + 1]
-    negative = corr[-max_lag:] if max_lag > 0 else np.array([])
-    return np.concatenate([negative, positive])
+    return _lag_window(corr, max_lag)
 
 
 def lag_axis(max_lag: int, sample_rate: int) -> np.ndarray:
@@ -59,12 +92,30 @@ def estimate_tdoa(
 ) -> float:
     """TDoA estimate in seconds: the lag of the GCC-PHAT maximum.
 
-    Positive values mean the wavefront reached ``signal_b`` first.
+    The estimate is ``t_a - t_b``: positive values mean the wavefront
+    reached ``signal_b`` first (``signal_a`` lags), matching
+    :func:`gcc_phat` and ``MicArray.tdoa``/``steering_pair_lags``.
     """
     corr = gcc_phat(signal_a, signal_b, max_lag)
     best = int(np.argmax(corr))
-    effective_max_lag = (corr.size - 1) // 2
-    return (best - effective_max_lag) / float(sample_rate)
+    return (best - max_lag) / float(sample_rate)
+
+
+def _validate_channels(channels: np.ndarray) -> np.ndarray:
+    x = np.asarray(channels, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"channels must be (n_mics, n_samples), got {x.shape}")
+    if x.shape[1] == 0:
+        raise ValueError("channels must be non-empty")
+    return x
+
+
+def _validate_pairs(pairs: list[tuple[int, int]], n_mics: int) -> None:
+    if not pairs:
+        raise ValueError("pairs must be non-empty")
+    for i, j in pairs:
+        if not (0 <= i < n_mics and 0 <= j < n_mics):
+            raise ValueError(f"pair ({i}, {j}) out of range for {n_mics} mics")
 
 
 def pairwise_gcc(
@@ -79,32 +130,86 @@ def pairwise_gcc(
     channels:
         ``(n_mics, n_samples)`` multi-channel capture.
     pairs:
-        Microphone index pairs.
+        Microphone index pairs; row ``(i, j)`` uses channel ``i`` as
+        ``signal_a`` and channel ``j`` as ``signal_b`` (see module
+        docstring for the lag sign convention).
     max_lag:
         Half-window of lags, in samples.
 
     Returns
     -------
-    ``(len(pairs), 2 * max_lag + 1)`` array of correlation windows.
+    ``(len(pairs), 2 * max_lag + 1)`` array of correlation windows — the
+    window length always honours the request (the FFT is sized to fit).
     """
-    x = np.asarray(channels, dtype=float)
-    if x.ndim != 2:
-        raise ValueError(f"channels must be (n_mics, n_samples), got {x.shape}")
+    x = _validate_channels(channels)
     if max_lag < 0:
         raise ValueError("max_lag must be >= 0")
-    if not pairs:
-        raise ValueError("pairs must be non-empty")
+    _validate_pairs(pairs, x.shape[0])
     # One FFT per channel, reused across all pairs.
-    n = 2 * x.shape[1]
-    n_fft = 1 << (n - 1).bit_length()
+    n_fft = _fft_length(2 * x.shape[1], max_lag)
     spectra = np.fft.rfft(x, n_fft, axis=1)
-    effective_lag = min(max_lag, n_fft // 2 - 1)
-    rows = np.empty((len(pairs), 2 * effective_lag + 1))
+    rows = np.empty((len(pairs), 2 * max_lag + 1))
     for row, (i, j) in enumerate(pairs):
         cross = spectra[i] * np.conj(spectra[j])
-        cross /= np.abs(cross) + 1e-12
+        cross /= np.abs(cross) + _PHAT_REGULARIZATION
         corr = np.fft.irfft(cross, n_fft)
-        positive = corr[: effective_lag + 1]
-        negative = corr[-effective_lag:] if effective_lag > 0 else np.array([])
-        rows[row] = np.concatenate([negative, positive])
+        rows[row] = _lag_window(corr, max_lag)
     return rows
+
+
+def pairwise_gcc_batch(
+    batch: Sequence[np.ndarray],
+    pairs: list[tuple[int, int]],
+    max_lag: int,
+) -> np.ndarray:
+    """Vectorized :func:`pairwise_gcc` over a batch of captures.
+
+    All captures' channel spectra are computed in stacked FFTs (grouped
+    by FFT length, since the power-of-two sizing quantizes lengths) and
+    every pair's whitened cross-spectrum is inverted in one batched
+    ``irfft``.  Results are bit-identical to calling :func:`pairwise_gcc`
+    per capture — the batch path is a pure re-grouping of the same
+    transforms.
+
+    Parameters
+    ----------
+    batch:
+        Sequence of ``(n_mics, n_samples_k)`` arrays; ``n_mics`` must
+        agree across the batch, lengths may differ.
+
+    Returns
+    -------
+    ``(len(batch), len(pairs), 2 * max_lag + 1)`` array.
+    """
+    if len(batch) == 0:
+        raise ValueError("batch must be non-empty")
+    if max_lag < 0:
+        raise ValueError("max_lag must be >= 0")
+    arrays = [_validate_channels(c) for c in batch]
+    n_mics = arrays[0].shape[0]
+    for a in arrays:
+        if a.shape[0] != n_mics:
+            raise ValueError("all captures in a batch must share n_mics")
+    _validate_pairs(pairs, n_mics)
+
+    i_idx = np.array([i for i, _ in pairs])
+    j_idx = np.array([j for _, j in pairs])
+    out = np.empty((len(arrays), len(pairs), 2 * max_lag + 1))
+
+    groups: dict[int, list[int]] = {}
+    for k, a in enumerate(arrays):
+        groups.setdefault(_fft_length(2 * a.shape[1], max_lag), []).append(k)
+
+    for n_fft, members in groups.items():
+        longest = max(arrays[k].shape[1] for k in members)
+        stacked = np.zeros((len(members), n_mics, longest))
+        for slot, k in enumerate(members):
+            stacked[slot, :, : arrays[k].shape[1]] = arrays[k]
+        spectra = np.fft.rfft(stacked, n_fft, axis=-1)  # (g, n_mics, nf)
+        cross = spectra[:, i_idx] * np.conj(spectra[:, j_idx])  # (g, n_pairs, nf)
+        cross /= np.abs(cross) + _PHAT_REGULARIZATION
+        corr = np.fft.irfft(cross, n_fft, axis=-1)
+        windows = _lag_window(corr, max_lag)
+        for slot, k in enumerate(members):
+            out[k] = windows[slot]
+    return out

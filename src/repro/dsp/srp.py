@@ -44,11 +44,10 @@ def srp_phat_at_delays(
     GCCs at those lags (lags outside the window contribute zero).
     """
     gcc = pairwise_gcc(channels, pairs, max_lag)
-    effective = (gcc.shape[1] - 1) // 2
     total = 0.0
     for row, lag in zip(gcc, np.asarray(pair_lags, dtype=int)):
-        if -effective <= lag <= effective:
-            total += float(row[lag + effective])
+        if -max_lag <= lag <= max_lag:
+            total += float(row[lag + max_lag])
     return total
 
 
@@ -59,7 +58,13 @@ def steering_pair_lags(
     array_position: np.ndarray | None = None,
     speed_of_sound: float = SPEED_OF_SOUND,
 ) -> np.ndarray:
-    """Integer per-pair lags (samples) for a hypothesized source position."""
+    """Integer per-pair lags (samples) for a hypothesized source position.
+
+    Each lag is ``(delay_i - delay_j) * sample_rate`` for pair
+    ``(i, j)`` — the arrival-time difference ``t_i - t_j``, matching the
+    GCC-PHAT sign convention (positive when mic ``j`` hears the source
+    first), so the lag indexes the pair's GCC window directly.
+    """
     delays = array.steering_delays(source_position, array_position, speed_of_sound)
     lags = [
         int(round((delays[i] - delays[j]) * array.sample_rate)) for i, j in pairs
@@ -86,13 +91,12 @@ def srp_phat_map(
     pairs = pairs if pairs is not None else array.pairs()
     max_lag = max_lag if max_lag is not None else array.max_delay_samples() + 1
     gcc = pairwise_gcc(channels, pairs, max_lag)
-    effective = (gcc.shape[1] - 1) // 2
     powers = np.zeros(cands.shape[0])
     for c, position in enumerate(cands):
         lags = steering_pair_lags(array, position, pairs, array_position)
         for row, lag in zip(gcc, lags):
-            if -effective <= lag <= effective:
-                powers[c] += row[lag + effective]
+            if -max_lag <= lag <= max_lag:
+                powers[c] += row[lag + max_lag]
     return powers
 
 

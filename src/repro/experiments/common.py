@@ -93,10 +93,15 @@ def cross_session_evaluation(
     )
 
 
-def default_dataset(scale=None, seed: int = 0) -> OrientationDataset:
+def default_dataset(
+    scale=None, seed: int = 0, workers: int | None = None
+) -> OrientationDataset:
     """The paper's default slice: lab room, device D2, "Computer".
 
     Most sensitivity experiments train on this and probe one factor.
+    ``workers`` opts the rendering into the process-pool batch path
+    (``None`` defers to ``REPRO_RENDER_WORKERS``); features are
+    byte-identical for any value.
     """
     from ..datasets.catalog import BENCH, dataset1
 
@@ -106,6 +111,7 @@ def default_dataset(scale=None, seed: int = 0) -> OrientationDataset:
         devices=("D2",),
         wake_words=("computer",),
         seed=seed,
+        workers=workers,
     )
 
 
@@ -115,6 +121,7 @@ def factor_f1_cells(
     rooms: tuple[str, ...] = ("lab", "home"),
     devices: tuple[str, ...] = ("D1", "D2", "D3"),
     wake_words: tuple[str, ...] = ("hey assistant", "computer", "amazon"),
+    workers: int | None = None,
 ) -> list[dict]:
     """Cross-session F1 for every (room, device, word, direction) cell.
 
@@ -128,7 +135,12 @@ def factor_f1_cells(
         for device in devices:
             for word in wake_words:
                 dataset = dataset1(
-                    scale=scale, rooms=(room,), devices=(device,), wake_words=(word,), seed=seed
+                    scale=scale,
+                    rooms=(room,),
+                    devices=(device,),
+                    wake_words=(word,),
+                    seed=seed,
+                    workers=workers,
                 )
                 outcome = cross_session_evaluation(dataset, DEFAULT_DEFINITION)
                 for direction, report in enumerate(outcome.reports):

@@ -10,8 +10,6 @@ wake-word response window.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..core.config import DEFAULT_DEFINITION
@@ -52,29 +50,34 @@ def run(scale: Scale = BENCH, seed: int = 0, n_trials: int = 10) -> ExperimentRe
     pipeline = HeadTalkPipeline(array=array, liveness=liveness, orientation=detector)
     _, capture = next(iter(collect(CollectionSpec(**{**spec.__dict__, "source": "human"}), seed + 1)))
 
+    # Stage latencies come straight off the Decision, whose total_ms is
+    # the paper's end-to-end definition (preprocess + both inferences).
     preprocess_ms, liveness_ms, orientation_ms = [], [], []
     for _ in range(n_trials):
-        start = time.perf_counter()
-        audio = preprocess(capture)
-        preprocess_ms.append((time.perf_counter() - start) * 1000)
         with_liveness = pipeline.evaluate(capture)
+        preprocess_ms.append(with_liveness.preprocess_ms)
         liveness_ms.append(with_liveness.liveness_ms)
         # Time the orientation stage unconditionally (a rejected
         # liveness check would otherwise short-circuit it).
         orientation_only = pipeline.evaluate(capture, check_liveness=False)
         orientation_ms.append(orientation_only.orientation_ms)
 
+    batch = pipeline.evaluate_batch([capture] * n_trials)
     rows = [
         {"stage": "preprocess", "mean_ms": float(np.mean(preprocess_ms)), "p95_ms": float(np.percentile(preprocess_ms, 95))},
         {"stage": "liveness", "mean_ms": float(np.mean(liveness_ms)), "p95_ms": float(np.percentile(liveness_ms, 95))},
         {"stage": "orientation", "mean_ms": float(np.mean(orientation_ms)), "p95_ms": float(np.percentile(orientation_ms, 95))},
+        {"stage": "batch-per-capture", "mean_ms": batch.timings.per_capture_ms, "p95_ms": batch.timings.per_capture_ms},
     ]
-    total = sum(r["mean_ms"] for r in rows)
+    total = sum(r["mean_ms"] for r in rows[:3])
     return ExperimentResult(
         experiment_id="E18",
         title="Run-time performance (Section IV-B15)",
         headers=["stage", "mean_ms", "p95_ms"],
         rows=rows,
         paper="PC: 42 ms liveness, 136 ms orientation; ReSpeaker: 527 ms orientation",
-        summary={"total_ms": total},
+        summary={
+            "total_ms": total,
+            "batch_per_capture_ms": batch.timings.per_capture_ms,
+        },
     )

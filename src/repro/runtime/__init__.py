@@ -1,0 +1,58 @@
+"""Runtime layer: render memoization and batch/parallel execution.
+
+``repro.runtime`` makes the simulator serve batch workloads at hardware
+speed without changing a single output byte:
+
+- :mod:`repro.runtime.cache` memoizes band-split RIRs (keyed by room,
+  source pose, array geometry, band set and :class:`RirConfig`) and
+  noise-free scene renders, so repeated renders of the same placement
+  skip the image-source model and the large convolution FFTs;
+- :mod:`repro.runtime.batch` fans :class:`RenderTask` lists out over a
+  process pool with deterministic per-task random-stream state, falling
+  back to serial (and in-process cache reuse) at ``workers=1``.
+
+Invariant: serial, parallel, cold-cache and warm-cache paths all produce
+byte-identical captures.  See DESIGN.md ("Runtime layer").
+"""
+
+from .batch import (
+    InterferenceSpec,
+    RenderTask,
+    default_workers,
+    execute_render_task,
+    generator_state,
+    render_captures,
+    restore_generator,
+    worker_pool,
+)
+from .cache import (
+    CacheStats,
+    cache_enabled,
+    cache_sizes,
+    cache_stats,
+    cached_band_rirs,
+    clear_caches,
+    deterministic_rir,
+    rir_key,
+    set_cache_enabled,
+)
+
+__all__ = [
+    "CacheStats",
+    "InterferenceSpec",
+    "RenderTask",
+    "cache_enabled",
+    "cache_sizes",
+    "cache_stats",
+    "cached_band_rirs",
+    "clear_caches",
+    "default_workers",
+    "deterministic_rir",
+    "execute_render_task",
+    "generator_state",
+    "render_captures",
+    "restore_generator",
+    "rir_key",
+    "set_cache_enabled",
+    "worker_pool",
+]

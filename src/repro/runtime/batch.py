@@ -1,0 +1,185 @@
+"""Process-pool batch rendering of capture scenes.
+
+A :class:`RenderTask` freezes everything one capture render needs —
+scene, emission, loudness, noise layers and the *exact* random-generator
+state the serial path would have used — so the same task list produces
+byte-identical captures whether executed in order in this process
+(``workers=1``) or fanned out over a process pool.  Tasks are immutable
+and re-executable: the generator state is stored (not a live generator),
+so re-running a task list is how warm-cache benchmarks measure
+memoization.
+
+Worker processes are plain ``ProcessPoolExecutor`` workers; each holds
+its own render cache (:mod:`repro.runtime.cache`).  The default worker
+count comes from ``REPRO_RENDER_WORKERS`` (serial when unset) and can be
+overridden per call or via :func:`worker_pool`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..acoustics.image_source import RirConfig
+from ..acoustics.noise import NoiseSource
+from ..acoustics.propagation import (
+    Capture,
+    DEFAULT_N_BANDS,
+    render_capture,
+    render_interference,
+)
+from ..acoustics.scene import Scene
+from ..acoustics.sources import SourceRendering
+
+_WORKER_OVERRIDE: int | None = None
+
+
+def default_workers() -> int:
+    """Worker count used when ``render_captures`` is not told explicitly.
+
+    Resolution order: :func:`worker_pool` override, then the
+    ``REPRO_RENDER_WORKERS`` environment variable, then 1 (serial).
+    """
+    if _WORKER_OVERRIDE is not None:
+        return _WORKER_OVERRIDE
+    try:
+        workers = int(os.environ.get("REPRO_RENDER_WORKERS", "1"))
+    except ValueError:
+        return 1
+    return max(1, workers)
+
+
+@contextmanager
+def worker_pool(workers: int | None):
+    """Scoped default worker count (``None`` leaves the default alone)."""
+    global _WORKER_OVERRIDE
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    previous = _WORKER_OVERRIDE
+    _WORKER_OVERRIDE = workers if workers is None else int(workers)
+    try:
+        yield
+    finally:
+        _WORKER_OVERRIDE = previous
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """Snapshot of a generator's bit-stream position (picklable)."""
+    return rng.bit_generator.state
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """Generator resumed at a snapshotted bit-stream position."""
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """A coherent point-source interferer mixed into a capture."""
+
+    scene: Scene
+    kind: str
+    level_db_spl: float
+
+
+@dataclass(frozen=True)
+class RenderTask:
+    """One capture render, frozen for (re-)execution anywhere.
+
+    ``rng_state`` is the state of the caller's per-utterance generator at
+    the moment the serial path would call ``render_capture`` — i.e. after
+    pose sampling and emission synthesis consumed from it.  Executing the
+    task never mutates the stored state, so task lists can be re-run.
+    """
+
+    scene: Scene
+    rendering: SourceRendering
+    rng_state: dict
+    loudness_db_spl: float = 70.0
+    rir_config: RirConfig | None = None
+    ambient: NoiseSource | None = None
+    extra_noise: tuple[NoiseSource, ...] = ()
+    n_bands: int = DEFAULT_N_BANDS
+    self_noise_db_spl: float | None = None
+    interference: tuple[InterferenceSpec, ...] = ()
+
+    @classmethod
+    def from_rng(cls, scene: Scene, rendering: SourceRendering, rng: np.random.Generator, **kwargs) -> "RenderTask":
+        """Task capturing ``rng``'s current state (the serial hand-off point)."""
+        return cls(scene=scene, rendering=rendering, rng_state=generator_state(rng), **kwargs)
+
+
+def execute_render_task(task: RenderTask) -> Capture:
+    """Render one task exactly as the serial path would.
+
+    The restored generator is threaded through the capture render and
+    then each interference layer in order, reproducing the sequential
+    random stream of the original in-line code path.
+    """
+    rng = restore_generator(task.rng_state)
+    capture = render_capture(
+        task.scene,
+        task.rendering,
+        loudness_db_spl=task.loudness_db_spl,
+        rng=rng,
+        rir_config=task.rir_config,
+        ambient=task.ambient,
+        extra_noise=task.extra_noise,
+        n_bands=task.n_bands,
+        self_noise_db_spl=task.self_noise_db_spl,
+    )
+    if task.interference:
+        channels = capture.channels.copy()
+        for spec in task.interference:
+            channels += render_interference(
+                spec.scene,
+                spec.kind,
+                spec.level_db_spl,
+                capture.n_samples,
+                rng,
+                task.rir_config,
+            )
+        capture = Capture(channels=channels, sample_rate=capture.sample_rate)
+    return capture
+
+
+def render_captures(
+    tasks: list[RenderTask],
+    workers: int | None = None,
+    chunksize: int | None = None,
+) -> list[Capture]:
+    """Render a batch of tasks, serially or over a process pool.
+
+    Results are returned in task order and are byte-identical for any
+    ``workers`` value: each task carries its own random-stream state, and
+    render memoization never consumes randomness (see
+    :mod:`repro.runtime.cache`).
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` uses :func:`default_workers`, ``1`` runs
+        in-process (and therefore shares this process's warm caches).
+    chunksize:
+        Tasks per pool dispatch; defaults to a value that balances
+        scheduling overhead against load balance.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workers = default_workers() if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    workers = min(workers, len(tasks))
+    if workers == 1:
+        return [execute_render_task(task) for task in tasks]
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (4 * workers))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_render_task, tasks, chunksize=chunksize))

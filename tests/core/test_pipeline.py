@@ -95,9 +95,39 @@ class TestDecisions:
     def test_latency_recorded(self, pipeline, forward_capture):
         decision = pipeline.evaluate(forward_capture)
         assert decision.orientation_ms > 0
+        assert decision.preprocess_ms > 0
         assert decision.total_ms == pytest.approx(
-            decision.liveness_ms + decision.orientation_ms
+            decision.preprocess_ms + decision.liveness_ms + decision.orientation_ms
         )
+
+    def test_batch_matches_serial(self, pipeline, forward_capture, backward_capture, replay_capture):
+        captures = [forward_capture, backward_capture, replay_capture]
+        serial = [pipeline.evaluate(c) for c in captures]
+        batch = pipeline.evaluate_batch(captures)
+        assert len(batch) == len(captures)
+        for one, many in zip(serial, batch):
+            assert many.fingerprint() == one.fingerprint()
+        assert batch.timings.n_captures == len(captures)
+        assert batch.timings.total_ms == pytest.approx(
+            batch.timings.preprocess_ms
+            + batch.timings.liveness_ms
+            + batch.timings.orientation_ms
+        )
+
+    def test_batch_handles_silence_and_skip_liveness(self, pipeline, forward_capture):
+        silent = Capture(channels=np.zeros((4, FS // 4)), sample_rate=FS)
+        batch = pipeline.evaluate_batch([silent, forward_capture], check_liveness=False)
+        first, second = batch.decisions
+        assert first.reason == REJECT_NO_SPEECH
+        assert first.liveness_ms == 0.0 and first.orientation_ms == 0.0
+        assert second.liveness_score == 1.0
+        assert second.fingerprint() == pipeline.evaluate(
+            forward_capture, check_liveness=False
+        ).fingerprint()
+
+    def test_batch_rejects_empty(self, pipeline):
+        with pytest.raises(ValueError, match="non-empty"):
+            pipeline.evaluate_batch([])
 
     def test_channel_mismatch_rejected(self, pipeline):
         bad = Capture(channels=np.zeros((2, FS // 4)), sample_rate=FS)

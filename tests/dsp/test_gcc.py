@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dsp import estimate_tdoa, gcc_phat, lag_axis, pairwise_gcc
+from repro.dsp import (
+    estimate_tdoa,
+    gcc_phat,
+    lag_axis,
+    pairwise_gcc,
+    pairwise_gcc_batch,
+)
 
 
 def delayed_pair(delay: int, n: int = 4096, seed: int = 0):
@@ -98,3 +104,104 @@ class TestPairwiseGcc:
             pairwise_gcc(np.zeros(10), [(0, 1)], 4)
         with pytest.raises(ValueError, match="non-empty"):
             pairwise_gcc(np.zeros((2, 10)), [], 4)
+
+
+class TestWideWindowRegression:
+    """The FFT must be sized so the requested lag window always fits.
+
+    Sizing by signal length alone silently clamped ``max_lag`` to
+    ``n_fft // 2 - 1`` for short signals, returning a narrower window
+    than requested and shifting the centre ``estimate_tdoa`` assumed.
+    """
+
+    def test_window_never_clamped_for_short_signals(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal(30)
+        corr = gcc_phat(a, a, max_lag=40)
+        assert corr.size == 2 * 40 + 1
+        assert int(np.argmax(corr)) == 40
+
+    def test_short_signal_delay_recovered_with_wide_window(self):
+        # max_lag 40 exceeds the old clamp (31 for 30-sample signals).
+        a, b = delayed_pair(10, n=30, seed=11)
+        corr = gcc_phat(a, b, max_lag=40)
+        assert corr.size == 81
+        assert int(np.argmax(corr)) - 40 == -10
+
+    def test_estimate_tdoa_uses_requested_lag(self):
+        a, b = delayed_pair(10, n=30, seed=11)
+        tdoa = estimate_tdoa(a, b, max_lag=40, sample_rate=48_000)
+        assert tdoa == pytest.approx(-10 / 48_000)
+
+    def test_pairwise_window_never_clamped(self):
+        rng = np.random.default_rng(9)
+        channels = rng.standard_normal((2, 30))
+        out = pairwise_gcc(channels, [(0, 1)], max_lag=40)
+        assert out.shape == (1, 81)
+        single = gcc_phat(channels[0], channels[1], max_lag=40)
+        assert np.array_equal(out[0], single)
+
+
+class TestSignConventionAgainstGeometry:
+    """Pin lag = t_a - t_b and its agreement with steering_pair_lags."""
+
+    def test_positive_lag_means_a_lags_b(self):
+        # a(t) = b(t - 7): wavefront reached b first, a lags by 7.
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal(4096)
+        a, b = np.roll(base, 7), base
+        corr = gcc_phat(a, b, max_lag=12)
+        assert int(np.argmax(corr)) - 12 == 7
+        assert estimate_tdoa(a, b, max_lag=12, sample_rate=48_000) == pytest.approx(
+            7 / 48_000
+        )
+
+    def test_agrees_with_steering_pair_lags(self):
+        from repro.arrays.geometry import SPEED_OF_SOUND, MicArray
+        from repro.dsp.srp import steering_pair_lags
+
+        fs = 48_000
+        shift = 14  # integer-sample inter-mic delay by construction
+        spacing = shift * SPEED_OF_SOUND / fs
+        array = MicArray(
+            name="pair",
+            positions=[(-spacing / 2, 0.0, 0.0), (spacing / 2, 0.0, 0.0)],
+            sample_rate=fs,
+        )
+        source = np.array([10.0, 0.0, 0.0])  # on-axis: exact sample delay
+        expected = steering_pair_lags(array, source, [(0, 1)])
+        assert expected[0] == shift
+
+        # Mic 1 is nearer the source, so mic 0's channel is the delayed
+        # copy; GCC must recover the same positive lag.
+        rng = np.random.default_rng(6)
+        base = rng.standard_normal(8192)
+        channels = np.stack([np.roll(base, shift), base])
+        tdoa = estimate_tdoa(channels[0], channels[1], max_lag=20, sample_rate=fs)
+        assert round(tdoa * fs) == expected[0]
+
+
+class TestPairwiseGccBatch:
+    def test_matches_serial_bitwise(self):
+        rng = np.random.default_rng(2)
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        batch = [rng.standard_normal((3, n)) for n in (1024, 1024, 900)]
+        stacked = pairwise_gcc_batch(batch, pairs, max_lag=9)
+        assert stacked.shape == (3, 3, 19)
+        for got, channels in zip(stacked, batch):
+            assert np.array_equal(got, pairwise_gcc(channels, pairs, max_lag=9))
+
+    def test_mixed_fft_lengths_grouped(self):
+        """Captures whose lengths quantize to different FFT sizes."""
+        rng = np.random.default_rng(3)
+        pairs = [(0, 1)]
+        batch = [rng.standard_normal((2, n)) for n in (500, 2000, 600, 1500)]
+        stacked = pairwise_gcc_batch(batch, pairs, max_lag=6)
+        for got, channels in zip(stacked, batch):
+            assert np.array_equal(got, pairwise_gcc(channels, pairs, max_lag=6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            pairwise_gcc_batch([], [(0, 1)], 4)
+        with pytest.raises(ValueError, match="n_mics"):
+            pairwise_gcc_batch([np.zeros((2, 64)), np.zeros((3, 64))], [(0, 2)], 4)

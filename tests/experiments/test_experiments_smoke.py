@@ -78,9 +78,10 @@ class TestCheapExperiments:
     def test_runtime(self):
         result = exp_runtime.run(TINY, n_trials=2)
         stages = [row["stage"] for row in result.rows]
-        assert stages == ["preprocess", "liveness", "orientation"]
+        assert stages == ["preprocess", "liveness", "orientation", "batch-per-capture"]
         assert all(row["mean_ms"] >= 0 for row in result.rows)
         assert result.summary["total_ms"] > 0
+        assert result.summary["batch_per_capture_ms"] > 0
 
     def test_results_render_as_text(self):
         result = exp_definitions.run(TINY)
