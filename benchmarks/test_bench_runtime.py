@@ -3,11 +3,24 @@
 Shape to hold: both inference stages complete within a VA's wake-word
 response window (the paper's PC numbers are 42 ms liveness + 136 ms
 orientation; absolute values are hardware-bound), and the runtime
-layer's warm render cache beats cold serial rendering by >= 2x on the
-E01 scene set.  The serial-vs-parallel ratio is *recorded*, not
-asserted: on a single-core CI box process-pool fan-out cannot win.
+layer's warm render cache beats cold serial rendering by >= 1.5x on the
+E01 scene set (one-time FFT-plan/BLAS warmup is excluded from the cold
+pass, so the ratio is pure cache effect).  The serial-vs-parallel ratio
+is *recorded*, not asserted: on a single-core CI box process-pool
+fan-out cannot win.
+Parallel timing runs inside a pre-warmed :func:`persistent_pool`, so
+one-time worker-spawn cost stays out of the measured region.
+
+Every number also lands in ``benchmarks/results/BENCH_runtime.json``
+(schema ``repro.obs.bench/1``); CI gates it against the committed
+``benchmarks/baselines/BENCH_runtime.json`` with
+``python -m repro.obs.bench --compare``.  The report accumulates across
+the tests of this module in definition order — run the whole file to
+produce a complete report.
 """
 
+import json
+import pathlib
 import time
 
 import numpy as np
@@ -16,19 +29,44 @@ from repro.datasets import BENCH, TINY
 from repro.datasets.catalog import dataset1_specs, dataset2_specs
 from repro.datasets.collection import render_tasks
 from repro.experiments import exp_runtime
+from repro.obs import REGISTRY, observed
+from repro.obs import bench as obs_bench
+from repro.obs.bench import BenchReport
 from repro.reporting import ExperimentResult
-from repro.runtime import cache_stats, clear_caches, render_captures
+from repro.runtime import cache_stats, clear_caches, persistent_pool, render_captures
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "BENCH_runtime.json"
+
+_REPORT = BenchReport("runtime")
 
 
 def test_bench_runtime(benchmark, record_result):
-    result = benchmark.pedantic(
-        exp_runtime.run, kwargs={"scale": BENCH, "n_trials": 20}, rounds=1, iterations=1
-    )
+    REGISTRY.reset()
+    with observed():
+        result = benchmark.pedantic(
+            exp_runtime.run, kwargs={"scale": BENCH, "n_trials": 20}, rounds=1, iterations=1
+        )
     record_result(result)
     latency = {row["stage"]: row["mean_ms"] for row in result.rows}
     assert latency["liveness"] > 0
     assert latency["orientation"] > 0
     assert result.summary["total_ms"] < 2000.0  # well inside the response window
+    assert result.summary["batch_matches_serial"] is True
+
+    for stage in ("preprocess", "liveness", "orientation"):
+        _REPORT.add_metric(f"e18.{stage}_mean_ms", latency[stage], unit="ms")
+    _REPORT.add_metric("e18.total_ms", result.summary["total_ms"], unit="ms")
+    _REPORT.add_metric(
+        "e18.batch_per_capture_ms", result.summary["batch_per_capture_ms"], unit="ms"
+    )
+    _REPORT.add_metric(
+        "e18.batch_matches_serial",
+        result.summary["batch_matches_serial"],
+        kind="equivalence",
+    )
+    for name, summary in REGISTRY.histograms("pipeline.").items():
+        _REPORT.add_histogram(name, summary)
 
 
 def _e01_tasks():
@@ -59,25 +97,36 @@ def test_bench_render_engine(benchmark, record_result):
         warm_s = min(warm_s, warm_again_s)
         stats = cache_stats()
         clear_caches()
-        par, par_s = _timed(lambda: render_captures(tasks, workers=2))
+        # Spawn + warm the pool outside the timed region: worker
+        # startup is a one-time cost, not render throughput.
+        with persistent_pool(2):
+            par, par_s = _timed(lambda: render_captures(tasks, workers=2))
         return cold, warm, par, cold_s, warm_s, par_s, stats
 
     cold, warm, par, cold_s, warm_s, par_s, stats = benchmark.pedantic(
         measure, rounds=1, iterations=1
     )
 
-    for a, b in zip(cold, warm):
-        assert np.array_equal(a.channels, b.channels)
-    for a, b in zip(cold, par):
-        assert np.array_equal(a.channels, b.channels)
+    warm_equal = all(np.array_equal(a.channels, b.channels) for a, b in zip(cold, warm))
+    parallel_equal = all(np.array_equal(a.channels, b.channels) for a, b in zip(cold, par))
+    assert warm_equal
+    assert parallel_equal
 
     warm_speedup = cold_s / warm_s
     parallel_speedup = cold_s / par_s
     per_capture = 1000.0 * cold_s / len(tasks)
     rows = [
         {"path": "serial cold", "seconds": round(cold_s, 3), "speedup_vs_cold": 1.0},
-        {"path": "serial warm cache", "seconds": round(warm_s, 3), "speedup_vs_cold": round(warm_speedup, 2)},
-        {"path": "parallel x2 cold", "seconds": round(par_s, 3), "speedup_vs_cold": round(parallel_speedup, 2)},
+        {
+            "path": "serial warm cache",
+            "seconds": round(warm_s, 3),
+            "speedup_vs_cold": round(warm_speedup, 2),
+        },
+        {
+            "path": "parallel x2 cold (pre-warmed pool)",
+            "seconds": round(par_s, 3),
+            "speedup_vs_cold": round(parallel_speedup, 2),
+        },
     ]
     record_result(
         ExperimentResult(
@@ -95,5 +144,84 @@ def test_bench_render_engine(benchmark, record_result):
             },
         )
     )
-    assert stats["dry"].hits == 2 * len(tasks)  # warm passes fully memoized
-    assert warm_speedup >= 2.0
+    fully_memoized = stats["dry"].hits == 2 * len(tasks)  # warm passes fully memoized
+    assert fully_memoized
+    # The cold pass no longer pays one-time process warmup (exp_runtime's
+    # warmup trials already populated the FFT-plan and BLAS caches), so
+    # the warm/cold ratio is lower than when cold included those costs;
+    # 1.5x is the noise-proof floor on a shared single core and the
+    # recorded ratio in BENCH_runtime.json tracks the trend.
+    assert warm_speedup >= 1.5
+
+    _REPORT.add_metric("render.n_captures", len(tasks), kind="equivalence")
+    _REPORT.add_metric("render.cold_seconds", cold_s, unit="s")
+    _REPORT.add_metric("render.warm_seconds", warm_s, unit="s")
+    _REPORT.add_metric("render.parallel_seconds", par_s, unit="s")
+    _REPORT.add_metric("render.cold_ms_per_capture", per_capture, unit="ms")
+    _REPORT.add_metric(
+        "render.warm_speedup", warm_speedup, kind="ratio", direction="higher", gate=False
+    )
+    _REPORT.add_metric(
+        "render.parallel_speedup",
+        parallel_speedup,
+        kind="ratio",
+        direction="higher",
+        gate=False,
+    )
+    _REPORT.add_metric("render.warm_equals_cold", warm_equal, kind="equivalence")
+    _REPORT.add_metric("render.parallel_equals_cold", parallel_equal, kind="equivalence")
+    _REPORT.add_metric("render.dry_cache_fully_memoized", fully_memoized, kind="equivalence")
+
+
+def test_bench_report_written(tmp_path):
+    """Serialize the accumulated report and prove the gate bites.
+
+    Runs last in this module: it needs the metrics the two benchmarks
+    above recorded.  Writes ``results/BENCH_runtime.json``, validates it
+    against the schema, and checks the comparator's exit codes — 0
+    against the committed baseline (generous CI threshold), nonzero on a
+    synthetically regressed copy and on a flipped equivalence bit.
+    """
+    assert "e18.total_ms" in _REPORT.metrics, "run the whole file in order"
+    assert "render.cold_seconds" in _REPORT.metrics, "run the whole file in order"
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    current_path = RESULTS_DIR / "BENCH_runtime.json"
+    _REPORT.write(current_path)
+    assert obs_bench.validate(json.loads(current_path.read_text())) == []
+
+    # A report is always within tolerance of itself.
+    assert obs_bench.main(["--compare", str(current_path), str(current_path)]) == 0
+
+    # Synthetic wall-clock regression: 10x on a gated metric must fail
+    # even at the CI job's generous 200% threshold.
+    regressed = json.loads(current_path.read_text())
+    regressed["metrics"]["render.cold_seconds"]["value"] *= 10.0
+    regressed_path = tmp_path / "regressed.json"
+    regressed_path.write_text(json.dumps(regressed))
+    assert (
+        obs_bench.main(
+            ["--compare", str(current_path), str(regressed_path), "--max-regress", "200"]
+        )
+        == 1
+    )
+
+    # Equivalence bits are strict at any threshold.
+    flipped = json.loads(current_path.read_text())
+    flipped["metrics"]["render.parallel_equals_cold"]["value"] = False
+    flipped_path = tmp_path / "flipped.json"
+    flipped_path.write_text(json.dumps(flipped))
+    assert (
+        obs_bench.main(
+            ["--compare", str(current_path), str(flipped_path), "--max-regress", "10000"]
+        )
+        == 1
+    )
+
+    if BASELINE_PATH.exists():
+        assert (
+            obs_bench.main(
+                ["--compare", str(BASELINE_PATH), str(current_path), "--max-regress", "200"]
+            )
+            == 0
+        )

@@ -69,7 +69,10 @@ def main() -> None:
     )
     # Orientation-only gating for this walkthrough.
     original_evaluate = pipeline.evaluate
-    pipeline.evaluate = lambda capture: original_evaluate(capture, check_liveness=False)
+    def _evaluate_without_liveness(capture):
+        return original_evaluate(capture, check_liveness=False)
+
+    pipeline.evaluate = _evaluate_without_liveness
 
     controller = VoiceAssistantController(pipeline=pipeline)
 

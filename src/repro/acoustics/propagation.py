@@ -10,7 +10,7 @@ self-noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -217,7 +217,6 @@ def render_interference(
     its own).
     """
     from .noise import household_noise, pink_noise, tv_babble_noise, white_noise
-    from .scene import SpeakerPose
     from .sources import SourceRendering
     from .directivity import loudspeaker_directivity
 

@@ -10,7 +10,7 @@ diffuse tail of simulated impulse responses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

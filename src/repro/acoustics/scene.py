@@ -8,7 +8,7 @@ rotates their head through 14 angles spanning 360 deg.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

@@ -22,7 +22,7 @@ produces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import signal as sps
@@ -186,7 +186,6 @@ def _glottal_source(
 ) -> np.ndarray:
     """Jittered glottal pulse train following an f0 contour."""
     out = np.zeros(n_samples)
-    t = 0.0
     position = 0
     while position < n_samples:
         f0 = float(f0_curve[min(position, n_samples - 1)])
@@ -200,7 +199,6 @@ def _glottal_source(
         end = min(position + open_len, n_samples)
         out[position:end] += amp * pulse[: end - position]
         position += period
-        t += period / sample_rate
     # Differentiate to get the classic -12 dB/oct glottal flow derivative.
     out = np.diff(out, prepend=0.0)
     return out

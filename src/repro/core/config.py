@@ -10,7 +10,7 @@ label-filtering definitions for training; Definition-4 (train facing on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 FACING = "facing"
 NON_FACING = "non-facing"

@@ -25,7 +25,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..acoustics.propagation import Capture
-from .pipeline import ACCEPT, Decision, HeadTalkPipeline
+from .pipeline import Decision, HeadTalkPipeline
 
 
 class Mode(enum.Enum):

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..arrays.geometry import MicArray
 from ..ml.incremental import select_high_confidence
-from .config import FACING, DEFAULT_DEFINITION, FacingDefinition, ground_truth_label
+from .config import DEFAULT_DEFINITION, FacingDefinition, ground_truth_label
 from .features import OrientationFeatureExtractor
 from .orientation import OrientationDetector
 from .preprocessing import DenoisedAudio

@@ -29,6 +29,7 @@ from ..dsp.spectral import high_low_band_ratio, low_band_chunk_stats
 from ..dsp.srp import srp_max_lag_for
 from ..dsp.stats import summary_vector, top_k_peaks
 from ..dsp.stft import mean_power_spectrum
+from ..obs.spans import span
 from .preprocessing import DenoisedAudio
 
 N_SRP_PEAKS = 3
@@ -100,9 +101,11 @@ class OrientationFeatureExtractor:
 
     def extract(self, audio: DenoisedAudio) -> np.ndarray:
         """Feature vector for one denoised utterance."""
-        channels = self._validated_channels(audio)
-        gcc = pairwise_gcc(channels, self.pairs, self.max_lag)
-        return self._finalize(audio, gcc)
+        with span("features.extract"):
+            channels = self._validated_channels(audio)
+            with span("features.gcc"):
+                gcc = pairwise_gcc(channels, self.pairs, self.max_lag)
+            return self._finalize(audio, gcc)
 
     def _finalize(self, audio: DenoisedAudio, gcc: np.ndarray) -> np.ndarray:
         """Assemble the feature vector from precomputed GCC windows."""
@@ -145,11 +148,13 @@ class OrientationFeatureExtractor:
         """
         if not audios:
             raise ValueError("no utterances given")
-        batch = [self._validated_channels(a) for a in audios]
-        gccs = pairwise_gcc_batch(batch, self.pairs, self.max_lag)
-        return np.stack(
-            [self._finalize(a, gcc) for a, gcc in zip(audios, gccs)]
-        )
+        with span("features.extract_batch", n=len(audios)):
+            batch = [self._validated_channels(a) for a in audios]
+            with span("features.gcc", n=len(audios)):
+                gccs = pairwise_gcc_batch(batch, self.pairs, self.max_lag)
+            return np.stack(
+                [self._finalize(a, gcc) for a, gcc in zip(audios, gccs)]
+            )
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ slice of in-domain data) reproduces the paper's Section IV-A1 loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

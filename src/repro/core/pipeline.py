@@ -18,6 +18,7 @@ path, plus per-stage batch timings.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -25,6 +26,8 @@ import numpy as np
 
 from ..acoustics.propagation import Capture
 from ..arrays.geometry import MicArray
+from ..obs import audit_record, counter_inc, histogram_observe, obs_enabled
+from ..obs.spans import span
 from .config import HeadTalkConfig
 from .features import OrientationFeatureExtractor
 from .liveness import LivenessDetector
@@ -35,6 +38,20 @@ REJECT_NO_SPEECH = "no-speech"
 REJECT_MECHANICAL = "mechanical-source"
 REJECT_NON_FACING = "non-facing"
 ACCEPT = "accepted"
+
+
+def capture_key(capture: Capture) -> str:
+    """Short stable digest identifying one capture's audio content.
+
+    The audit log's join key: the same rendered scene always hashes to
+    the same key, so decisions can be correlated across runs without
+    storing waveforms.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(np.ascontiguousarray(capture.channels).tobytes())
+    digest.update(str(capture.channels.shape).encode())
+    digest.update(str(capture.sample_rate).encode())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -139,12 +156,64 @@ class HeadTalkPipeline:
     def _facing_probability(self, features: np.ndarray) -> float:
         return float(self.orientation.facing_probability(features.reshape(1, -1))[0])
 
+    def _observe_decision(
+        self,
+        call: str,
+        capture: Capture,
+        decision: Decision,
+        batch_size: int | None = None,
+        batch_index: int | None = None,
+    ) -> None:
+        """Metrics + audit record for one decision (observability on only)."""
+        from ..runtime.cache import cache_stats
+
+        counter_inc("pipeline.decisions", call=call, reason=decision.reason)
+        if call == "evaluate":
+            histogram_observe("pipeline.stage_ms", decision.preprocess_ms, stage="preprocess")
+            histogram_observe("pipeline.stage_ms", decision.liveness_ms, stage="liveness")
+            histogram_observe("pipeline.stage_ms", decision.orientation_ms, stage="orientation")
+            histogram_observe("pipeline.total_ms", decision.total_ms)
+        record = {
+            "call": call,
+            "capture_key": capture_key(capture),
+            "accepted": decision.accepted,
+            "reason": decision.reason,
+            "liveness_score": decision.liveness_score,
+            "facing_probability": decision.facing_probability,
+            "preprocess_ms": decision.preprocess_ms,
+            "liveness_ms": decision.liveness_ms,
+            "orientation_ms": decision.orientation_ms,
+            "total_ms": decision.total_ms,
+            "cache": {
+                name: {"hits": s.hits, "misses": s.misses, "evictions": s.evictions}
+                for name, s in cache_stats().items()
+            },
+        }
+        if batch_size is not None:
+            record["batch_size"] = batch_size
+            record["batch_index"] = batch_index
+        audit_record("decision", **record)
+
     def evaluate(self, capture: Capture, check_liveness: bool = True) -> Decision:
-        """Run the full gate for one capture."""
+        """Run the full gate for one capture.
+
+        With observability enabled (:mod:`repro.obs`) the call is traced
+        as a ``pipeline.evaluate`` span with one child span per stage,
+        the stage latencies land in the ``pipeline.stage_ms`` histograms
+        and the outcome is appended to the decision audit log.
+        """
         self._check_capture(capture)
-        start = time.perf_counter()
-        audio = preprocess(capture)
-        preprocess_ms = (time.perf_counter() - start) * 1000.0
+        with span("pipeline.evaluate"):
+            decision = self._evaluate_one(capture, check_liveness)
+        if obs_enabled():
+            self._observe_decision("evaluate", capture, decision)
+        return decision
+
+    def _evaluate_one(self, capture: Capture, check_liveness: bool) -> Decision:
+        with span("pipeline.preprocess"):
+            start = time.perf_counter()
+            audio = preprocess(capture)
+            preprocess_ms = (time.perf_counter() - start) * 1000.0
         if not audio.had_speech:
             return Decision(
                 accepted=False,
@@ -159,9 +228,10 @@ class HeadTalkPipeline:
         liveness_score = 1.0
         liveness_ms = 0.0
         if check_liveness:
-            start = time.perf_counter()
-            liveness_score = self._liveness_score(audio)
-            liveness_ms = (time.perf_counter() - start) * 1000.0
+            with span("pipeline.liveness"):
+                start = time.perf_counter()
+                liveness_score = self._liveness_score(audio)
+                liveness_ms = (time.perf_counter() - start) * 1000.0
             if liveness_score < self.config.liveness_threshold:
                 return Decision(
                     accepted=False,
@@ -173,10 +243,11 @@ class HeadTalkPipeline:
                     preprocess_ms=preprocess_ms,
                 )
 
-        start = time.perf_counter()
-        features = self.extractor.extract(audio)
-        facing_probability = self._facing_probability(features)
-        orientation_ms = (time.perf_counter() - start) * 1000.0
+        with span("pipeline.orientation"):
+            start = time.perf_counter()
+            features = self.extractor.extract(audio)
+            facing_probability = self._facing_probability(features)
+            orientation_ms = (time.perf_counter() - start) * 1000.0
         accepted = facing_probability >= self.config.facing_threshold
         return Decision(
             accepted=accepted,
@@ -205,10 +276,29 @@ class HeadTalkPipeline:
             raise ValueError("captures must be non-empty")
         for capture in captures:
             self._check_capture(capture)
+        with span("pipeline.evaluate_batch", n=len(captures)):
+            evaluation = self._evaluate_batch(captures, check_liveness)
+        if obs_enabled():
+            timings = evaluation.timings
+            histogram_observe("pipeline.batch_stage_ms", timings.preprocess_ms, stage="preprocess")
+            histogram_observe("pipeline.batch_stage_ms", timings.liveness_ms, stage="liveness")
+            histogram_observe("pipeline.batch_stage_ms", timings.orientation_ms, stage="orientation")
+            histogram_observe("pipeline.batch_per_capture_ms", timings.per_capture_ms)
+            for index, (capture, decision) in enumerate(zip(captures, evaluation.decisions)):
+                self._observe_decision(
+                    "evaluate_batch",
+                    capture,
+                    decision,
+                    batch_size=len(captures),
+                    batch_index=index,
+                )
+        return evaluation
 
-        start = time.perf_counter()
-        audios = [preprocess(capture) for capture in captures]
-        preprocess_total = (time.perf_counter() - start) * 1000.0
+    def _evaluate_batch(self, captures: list[Capture], check_liveness: bool) -> BatchEvaluation:
+        with span("pipeline.preprocess", n=len(captures)):
+            start = time.perf_counter()
+            audios = [preprocess(capture) for capture in captures]
+            preprocess_total = (time.perf_counter() - start) * 1000.0
         preprocess_share = preprocess_total / len(captures)
 
         n = len(captures)
@@ -223,33 +313,35 @@ class HeadTalkPipeline:
         liveness_total = 0.0
         live_idx = speech_idx
         if check_liveness and speech_idx:
-            start = time.perf_counter()
-            live_idx = []
-            for k in speech_idx:
-                score = self._liveness_score(audios[k])
-                liveness_scores[k] = score
-                if score < self.config.liveness_threshold:
-                    reasons[k] = REJECT_MECHANICAL
-                else:
-                    live_idx.append(k)
-            liveness_total = (time.perf_counter() - start) * 1000.0
+            with span("pipeline.liveness", n=len(speech_idx)):
+                start = time.perf_counter()
+                live_idx = []
+                for k in speech_idx:
+                    score = self._liveness_score(audios[k])
+                    liveness_scores[k] = score
+                    if score < self.config.liveness_threshold:
+                        reasons[k] = REJECT_MECHANICAL
+                    else:
+                        live_idx.append(k)
+                liveness_total = (time.perf_counter() - start) * 1000.0
         elif not check_liveness:
             for k in speech_idx:
                 liveness_scores[k] = 1.0
 
         orientation_total = 0.0
         if live_idx:
-            start = time.perf_counter()
-            feature_rows = self.extractor.extract_batch([audios[k] for k in live_idx])
-            for k, row in zip(live_idx, feature_rows):
-                probability = self._facing_probability(row)
-                facing[k] = probability
-                reasons[k] = (
-                    ACCEPT
-                    if probability >= self.config.facing_threshold
-                    else REJECT_NON_FACING
-                )
-            orientation_total = (time.perf_counter() - start) * 1000.0
+            with span("pipeline.orientation", n=len(live_idx)):
+                start = time.perf_counter()
+                feature_rows = self.extractor.extract_batch([audios[k] for k in live_idx])
+                for k, row in zip(live_idx, feature_rows):
+                    probability = self._facing_probability(row)
+                    facing[k] = probability
+                    reasons[k] = (
+                        ACCEPT
+                        if probability >= self.config.facing_threshold
+                        else REJECT_NON_FACING
+                    )
+                orientation_total = (time.perf_counter() - start) * 1000.0
 
         liveness_share = liveness_total / len(speech_idx) if speech_idx else 0.0
         orientation_share = orientation_total / len(live_idx) if live_idx else 0.0

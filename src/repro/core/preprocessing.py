@@ -15,6 +15,7 @@ import numpy as np
 from ..acoustics.propagation import Capture
 from ..dsp.filters import headtalk_bandpass
 from ..dsp.vad import detect_activity
+from ..obs.spans import span
 
 
 @dataclass(frozen=True)
@@ -43,9 +44,11 @@ def preprocess(
     as a trivial cue while keeping every inter-channel and spectral
     relationship intact.
     """
-    bandpass = headtalk_bandpass(capture.sample_rate)
-    filtered = bandpass.apply(capture.channels)
-    activity = detect_activity(filtered[0], capture.sample_rate, vad_threshold)
+    with span("preprocess.bandpass"):
+        bandpass = headtalk_bandpass(capture.sample_rate)
+        filtered = bandpass.apply(capture.channels)
+    with span("preprocess.vad"):
+        activity = detect_activity(filtered[0], capture.sample_rate, vad_threshold)
     had_speech = activity.is_speech
     if had_speech:
         filtered = filtered[:, activity.start : activity.end]

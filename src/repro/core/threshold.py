@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..ml.metrics import equal_error_rate
 
 
 @dataclass(frozen=True)

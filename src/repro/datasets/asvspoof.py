@@ -12,7 +12,6 @@ exactly what produces the paper's pretrain-then-adapt transfer gap.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import numpy as np
 

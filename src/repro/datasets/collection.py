@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Iterator
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -34,7 +34,6 @@ from ..acoustics.scene import (
     NO_OCCLUSION,
     PARTIAL_BLOCK,
     DevicePlacement,
-    Occlusion,
     Scene,
     SpeakerPose,
     raised_placement,
@@ -43,12 +42,12 @@ from ..acoustics.sources import (
     GALAXY_S21,
     HumanSpeaker,
     LoudspeakerSource,
-    MOUTH_HEIGHT_SITTING,
-    MOUTH_HEIGHT_STANDING,
     SONY_SRS_X5,
 )
 from ..acoustics.speech import VocalProfile, random_profile
 from ..arrays.devices import default_channel_subset, get_device
+from ..obs.metrics import counter_inc
+from ..obs.spans import span
 from .store import UtteranceMeta
 
 DEFAULT_LOCATIONS: tuple[tuple[float, float], ...] = (
@@ -436,9 +435,14 @@ def collect(
     effective = default_workers() if workers is None else int(workers)
     if effective <= 1:
         for meta, task in render_tasks(spec, base_seed):
+            counter_inc("datasets.captures", room=spec.room, device=spec.device)
             yield meta, execute_render_task(task)
         return
-    metas_tasks = list(render_tasks(spec, base_seed))
-    captures = render_captures([task for _, task in metas_tasks], workers=effective)
+    with span("datasets.collect", room=spec.room, device=spec.device, workers=effective):
+        metas_tasks = list(render_tasks(spec, base_seed))
+        captures = render_captures([task for _, task in metas_tasks], workers=effective)
+    counter_inc(
+        "datasets.captures", amount=len(metas_tasks), room=spec.room, device=spec.device
+    )
     for (meta, _), capture in zip(metas_tasks, captures):
         yield meta, capture

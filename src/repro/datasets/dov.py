@@ -15,7 +15,6 @@ ADASYN upsampling.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .catalog import BENCH, Scale, build_orientation_dataset
 from .collection import ALL_LOCATIONS, CollectionSpec

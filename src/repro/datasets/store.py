@@ -10,7 +10,7 @@ one container.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 

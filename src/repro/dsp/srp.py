@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..arrays.geometry import SPEED_OF_SOUND, MicArray
-from .gcc import gcc_phat, pairwise_gcc
+from .gcc import pairwise_gcc
 
 
 def srp_phat_lag_curve(

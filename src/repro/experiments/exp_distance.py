@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import DEFAULT_DEFINITION
-from ..datasets.catalog import BENCH, DEVICES, ROOMS, Scale, WAKE_WORDS, dataset1
+from ..datasets.catalog import BENCH, Scale, dataset1
 from ..reporting import ExperimentResult
 from .common import evaluate_detector, fit_detector
 

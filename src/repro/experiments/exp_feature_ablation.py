@@ -10,7 +10,6 @@ together.
 
 from __future__ import annotations
 
-import itertools
 
 import numpy as np
 

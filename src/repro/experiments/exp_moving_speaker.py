@@ -14,10 +14,10 @@ import numpy as np
 
 from ..acoustics.motion import render_turning_capture
 from ..acoustics.scene import SpeakerPose
-from ..core.config import DEFAULT_DEFINITION, FACING
+from ..core.config import DEFAULT_DEFINITION
 from ..core.preprocessing import preprocess
 from ..datasets.catalog import BENCH, Scale
-from ..datasets.collection import CollectionSpec, build_session_context, collect, stable_seed
+from ..datasets.collection import CollectionSpec, build_session_context, stable_seed
 from ..reporting import ExperimentResult
 from .common import default_dataset, fit_detector
 
@@ -40,7 +40,7 @@ def run(scale: Scale = BENCH, seed: int = 0, n_repetitions: int = 4) -> Experime
 
     # Reuse the collection machinery to get a matched scene and speaker.
     from ..acoustics.image_source import RirConfig
-    from ..acoustics.scene import LAB_PLACEMENTS, Scene
+    from ..acoustics.scene import Scene
     from ..acoustics.sources import HumanSpeaker
     from ..arrays.devices import default_channel_subset, get_device
     from ..core.features import OrientationFeatureExtractor

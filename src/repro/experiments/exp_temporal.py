@@ -11,10 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import DEFAULT_DEFINITION
-from ..core.enrollment import ground_truth_labels
 from ..datasets.catalog import BENCH, Scale, build_orientation_dataset, dataset3_specs
 from ..reporting import ExperimentResult
-from .common import default_dataset, evaluate_detector, fit_detector, labeled_arrays
+from .common import default_dataset, labeled_arrays
 
 
 def run(

@@ -1,0 +1,64 @@
+"""Observability layer: spans, metrics, decision audit log, bench reports.
+
+``repro.obs`` is zero-dependency (stdlib only) and off by default: every
+instrumented hot path checks one global flag first, so the disabled cost
+is a function call and a dict/global lookup.  Enable per process with
+``REPRO_OBS=1`` or :func:`set_obs_enabled`.
+
+- :mod:`repro.obs.spans` — nestable ``span("stage")`` context managers
+  with monotonic timings, exportable as a flat JSON trace;
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms (p50/p95/p99) keyed by name + labels;
+- :mod:`repro.obs.audit` — a JSONL audit log of every pipeline
+  decision (capture key, verdicts, per-stage ms, cache counters);
+- :mod:`repro.obs.bench` — schema-versioned ``BENCH_<name>.json``
+  reports and the ``python -m repro.obs.bench --compare`` CI gate
+  (imported explicitly, not re-exported here, so the ``-m`` entry
+  point stays clean).
+
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from .audit import (
+    AuditLog,
+    audit_log,
+    audit_record,
+    configure_audit,
+    read_jsonl,
+)
+from .control import obs_enabled, observed, set_obs_enabled
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter_inc,
+    gauge_set,
+    histogram_observe,
+)
+from .spans import SpanRecord, clear_spans, export_trace, span, span_records
+
+__all__ = [
+    "AuditLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SpanRecord",
+    "audit_log",
+    "audit_record",
+    "clear_spans",
+    "configure_audit",
+    "counter_inc",
+    "export_trace",
+    "gauge_set",
+    "histogram_observe",
+    "obs_enabled",
+    "observed",
+    "read_jsonl",
+    "set_obs_enabled",
+    "span",
+    "span_records",
+]

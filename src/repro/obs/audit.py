@@ -1,0 +1,101 @@
+"""JSONL decision audit log.
+
+Every gate outcome (:meth:`HeadTalkPipeline.evaluate` /
+``evaluate_batch``) is recorded here while observability is on: one
+JSON object per line with the capture key, verdicts, per-stage
+latencies and the runtime cache counters at decision time.  Records
+land in a bounded in-memory ring (inspectable in tests and notebooks)
+and, when a path is configured — ``REPRO_AUDIT_LOG`` or
+:func:`configure_audit` — are appended to a JSONL file as they happen.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from .control import obs_enabled
+
+DEFAULT_CAPACITY = 4096
+
+
+class AuditLog:
+    """Bounded in-memory record ring with an optional JSONL file sink."""
+
+    def __init__(self, path=None, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._records: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._path = str(path) if path else None
+
+    @property
+    def path(self) -> str | None:
+        """The JSONL sink path (``None`` keeps records in memory only)."""
+        return self._path
+
+    def log(self, record: dict) -> dict:
+        """Append one record (a ``ts`` epoch field is added if missing)."""
+        record = dict(record)
+        record.setdefault("ts", time.time())
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._records.append(record)
+            if self._path:
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+        return record
+
+    def records(self) -> list[dict]:
+        """The in-memory ring, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        """Drop the in-memory ring (the file sink is left untouched)."""
+        with self._lock:
+            self._records.clear()
+
+    def configure(self, path=None, capacity: int | None = None) -> None:
+        """Re-point the file sink and/or resize the ring."""
+        with self._lock:
+            self._path = str(path) if path else None
+            if capacity is not None:
+                self._records = deque(self._records, maxlen=capacity)
+
+
+_LOG = AuditLog(path=os.environ.get("REPRO_AUDIT_LOG") or None)
+
+
+def audit_log() -> AuditLog:
+    """The process-global audit log."""
+    return _LOG
+
+
+def configure_audit(path=None, capacity: int | None = None) -> AuditLog:
+    """Configure the global audit log's file sink / ring capacity."""
+    _LOG.configure(path=path, capacity=capacity)
+    return _LOG
+
+
+def audit_record(event: str, **fields) -> None:
+    """Record one audit event; no-op while observability is off.
+
+    ``fields`` must be JSON-serializable (instrumentation converts
+    numpy scalars to plain floats before calling).
+    """
+    if not obs_enabled():
+        return
+    _LOG.log({"event": event, **fields})
+
+
+def read_jsonl(path) -> list[dict]:
+    """Parse a JSONL audit file back into records (blank lines skipped)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

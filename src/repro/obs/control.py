@@ -1,0 +1,39 @@
+"""Master switch for the observability layer.
+
+Everything in :mod:`repro.obs` — spans, metrics, the audit log — is
+gated on one process-global flag so instrumented hot paths pay a single
+function call and a global read when observability is off (the default).
+Enable it per process with ``REPRO_OBS=1`` or programmatically with
+:func:`set_obs_enabled` / the :func:`observed` scope.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_TRUTHY = ("1", "true", "True", "yes", "on")
+
+_ENABLED = os.environ.get("REPRO_OBS", "0") in _TRUTHY
+
+
+def obs_enabled() -> bool:
+    """Whether observability is active for this process."""
+    return _ENABLED
+
+
+def set_obs_enabled(enabled: bool) -> None:
+    """Turn span/metric/audit recording on or off globally."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def observed(enabled: bool = True):
+    """Scoped observability toggle (restores the previous state on exit)."""
+    previous = _ENABLED
+    set_obs_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_obs_enabled(previous)

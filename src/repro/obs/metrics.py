@@ -1,0 +1,269 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Metrics are keyed by ``name`` plus a sorted label tuple, created on
+first use and held by a process-global :class:`MetricsRegistry`.
+Histograms use fixed upper-bound buckets (plus an implicit overflow
+bucket) and report linearly interpolated p50/p95/p99 summaries — the
+estimate is exact to within one bucket width, which is what the fixed
+latency buckets are sized for.
+
+The module-level helpers (:func:`counter_inc`, :func:`gauge_set`,
+:func:`histogram_observe`) are the instrumentation entry points: they
+check the global observability switch first, so disabled hot paths pay
+one function call and a global read.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+from .control import obs_enabled
+
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10_000.0,
+)
+"""Geometric millisecond buckets sized for the pipeline's stage latencies."""
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-able state."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self.value = float(value)
+
+    def snapshot(self) -> dict:
+        """JSON-able state."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``bounds`` are inclusive upper bounds of the finite buckets; values
+    above the last bound land in the overflow bucket.  Observed min/max
+    are tracked exactly and clamp the percentile interpolation, so
+    estimates never leave the observed range.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, bounds=DEFAULT_LATENCY_BUCKETS_MS) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        if len(set(self.bounds)) != len(self.bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one value."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def percentile(self, p: float) -> float:
+        """Interpolated ``p``-th percentile (``0 <= p <= 100``).
+
+        NaN when empty.  Exact to within the width of the bucket the
+        true quantile falls in.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if self.count == 0:
+                return math.nan
+            target = p / 100.0 * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= target:
+                    lo = self.min if index == 0 else self.bounds[index - 1]
+                    hi = self.max if index == len(self.bounds) else self.bounds[index]
+                    lo = max(lo, self.min)
+                    hi = min(hi, self.max)
+                    if hi <= lo:
+                        return lo
+                    fraction = (target - cumulative) / bucket_count
+                    return min(max(lo + fraction * (hi - lo), self.min), self.max)
+                cumulative += bucket_count
+            return self.max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observed values (NaN when empty)."""
+        return self.sum / self.count if self.count else math.nan
+
+    def summary(self) -> dict:
+        """JSON-able summary including bucket counts and percentiles."""
+        with self._lock:
+            count, total = self.count, self.sum
+            counts = list(self.counts)
+            lo = self.min if count else None
+            hi = self.max if count else None
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": counts,
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else None,
+            "min": lo,
+            "max": hi,
+            "p50": self.percentile(50) if count else None,
+            "p95": self.percentile(95) if count else None,
+            "p99": self.percentile(99) if count else None,
+        }
+
+    def snapshot(self) -> dict:
+        """Alias of :meth:`summary` (uniform metric interface)."""
+        return self.summary()
+
+
+def metric_id(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Canonical ``name{k=v,...}`` identity used in snapshots."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._metrics: dict = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+    def _get(self, factory, name: str, labels: dict, *args):
+        key = self._key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = factory(*args)
+            elif not isinstance(metric, factory):
+                raise TypeError(
+                    f"metric {metric_id(name, key[1])!r} already registered "
+                    f"as {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter for ``name`` + ``labels`` (created on first use)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for ``name`` + ``labels`` (created on first use)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+        """The histogram for ``name`` + ``labels`` (created on first use)."""
+        return self._get(Histogram, name, labels, buckets or DEFAULT_LATENCY_BUCKETS_MS)
+
+    def snapshot(self) -> dict:
+        """JSON-able state of every registered metric."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {metric_id(name, labels): m.snapshot() for (name, labels), m in items}
+
+    def histograms(self, prefix: str = "") -> dict:
+        """Summaries of registered histograms whose id starts with ``prefix``."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {
+            metric_id(name, labels): metric.summary()
+            for (name, labels), metric in items
+            if isinstance(metric, Histogram) and metric_id(name, labels).startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+
+
+REGISTRY = MetricsRegistry()
+"""The process-global registry all instrumentation records into."""
+
+
+def counter_inc(name: str, amount: float = 1.0, **labels) -> None:
+    """Increment a registry counter; no-op while observability is off."""
+    if not obs_enabled():
+        return
+    REGISTRY.counter(name, **labels).inc(amount)
+
+
+def gauge_set(name: str, value: float, **labels) -> None:
+    """Set a registry gauge; no-op while observability is off."""
+    if not obs_enabled():
+        return
+    REGISTRY.gauge(name, **labels).set(value)
+
+
+def histogram_observe(name: str, value: float, buckets=None, **labels) -> None:
+    """Observe into a registry histogram; no-op while observability is off."""
+    if not obs_enabled():
+        return
+    REGISTRY.histogram(name, buckets=buckets, **labels).observe(value)

@@ -18,9 +18,11 @@ byte-identical captures.  See DESIGN.md ("Runtime layer").
 from .batch import (
     InterferenceSpec,
     RenderTask,
+    active_pool,
     default_workers,
     execute_render_task,
     generator_state,
+    persistent_pool,
     render_captures,
     restore_generator,
     worker_pool,
@@ -41,6 +43,7 @@ __all__ = [
     "CacheStats",
     "InterferenceSpec",
     "RenderTask",
+    "active_pool",
     "cache_enabled",
     "cache_sizes",
     "cache_stats",
@@ -50,6 +53,7 @@ __all__ = [
     "deterministic_rir",
     "execute_render_task",
     "generator_state",
+    "persistent_pool",
     "render_captures",
     "restore_generator",
     "rir_key",

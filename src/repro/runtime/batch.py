@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,8 +34,12 @@ from ..acoustics.propagation import (
 )
 from ..acoustics.scene import Scene
 from ..acoustics.sources import SourceRendering
+from ..obs.metrics import counter_inc
+from ..obs.spans import span
 
 _WORKER_OVERRIDE: int | None = None
+_ACTIVE_POOL: ProcessPoolExecutor | None = None
+_ACTIVE_POOL_WORKERS: int = 0
 
 
 def default_workers() -> int:
@@ -65,6 +69,48 @@ def worker_pool(workers: int | None):
         yield
     finally:
         _WORKER_OVERRIDE = previous
+
+
+def _worker_pid(_: int) -> int:
+    """Trivial pool task used to force worker-process spawn at warmup."""
+    return os.getpid()
+
+
+def active_pool() -> ProcessPoolExecutor | None:
+    """The executor a :func:`persistent_pool` scope has open, if any."""
+    return _ACTIVE_POOL
+
+
+@contextmanager
+def persistent_pool(workers: int, warmup: bool = True):
+    """Scoped reusable process pool shared by all renders inside it.
+
+    ``render_captures`` normally spins up a fresh ``ProcessPoolExecutor``
+    per call, which charges the one-time worker spawn (interpreter boot,
+    numpy/scipy import) to whatever happens to be the first parallel
+    batch — exactly the cost that used to pollute the parallel row of
+    the runtime benchmark.  Inside this scope the pool is created (and,
+    with ``warmup``, its workers force-spawned by trivial tasks) up
+    front, every ``render_captures`` call with ``workers`` up to the
+    pool size reuses it, and the scope also sets the default worker
+    count (like :func:`worker_pool`) so ``workers=None`` callers fan
+    out too.
+    """
+    global _ACTIVE_POOL, _ACTIVE_POOL_WORKERS
+    if workers < 2:
+        raise ValueError("persistent pool needs workers >= 2")
+    previous = (_ACTIVE_POOL, _ACTIVE_POOL_WORKERS)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        if warmup:
+            with span("runtime.pool_warmup", workers=workers):
+                list(pool.map(_worker_pid, range(2 * workers), chunksize=1))
+        _ACTIVE_POOL, _ACTIVE_POOL_WORKERS = pool, workers
+        with worker_pool(workers):
+            yield pool
+    finally:
+        _ACTIVE_POOL, _ACTIVE_POOL_WORKERS = previous
+        pool.shutdown()
 
 
 def generator_state(rng: np.random.Generator) -> dict:
@@ -122,6 +168,11 @@ def execute_render_task(task: RenderTask) -> Capture:
     then each interference layer in order, reproducing the sequential
     random stream of the original in-line code path.
     """
+    with span("runtime.render_task"):
+        return _execute_render_task(task)
+
+
+def _execute_render_task(task: RenderTask) -> Capture:
     rng = restore_generator(task.rng_state)
     capture = render_capture(
         task.scene,
@@ -166,6 +217,8 @@ def render_captures(
     workers:
         Process count; ``None`` uses :func:`default_workers`, ``1`` runs
         in-process (and therefore shares this process's warm caches).
+        Inside a :func:`persistent_pool` scope whose pool is at least
+        this large, the scope's already-spawned workers are reused.
     chunksize:
         Tasks per pool dispatch; defaults to a value that balances
         scheduling overhead against load balance.
@@ -177,9 +230,14 @@ def render_captures(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     workers = min(workers, len(tasks))
-    if workers == 1:
-        return [execute_render_task(task) for task in tasks]
-    if chunksize is None:
-        chunksize = max(1, len(tasks) // (4 * workers))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute_render_task, tasks, chunksize=chunksize))
+    with span("runtime.render_captures", workers=workers, n=len(tasks)):
+        if workers == 1:
+            counter_inc("runtime.captures_rendered", amount=len(tasks), mode="serial")
+            return [execute_render_task(task) for task in tasks]
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (4 * workers))
+        counter_inc("runtime.captures_rendered", amount=len(tasks), mode="pool")
+        if _ACTIVE_POOL is not None and _ACTIVE_POOL_WORKERS >= workers:
+            return list(_ACTIVE_POOL.map(execute_render_task, tasks, chunksize=chunksize))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_render_task, tasks, chunksize=chunksize))

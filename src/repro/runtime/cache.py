@@ -40,6 +40,7 @@ import numpy as np
 from ..acoustics.directivity import DirectivityModel
 from ..acoustics.image_source import RirConfig, render_band_rirs
 from ..acoustics.room import Room
+from ..obs.metrics import counter_inc
 
 DEFAULT_RIR_ENTRIES = 64
 DEFAULT_DRY_ENTRIES = 128
@@ -73,10 +74,15 @@ class CacheStats:
 
 
 class _LruCache:
-    """A small thread-safe LRU keyed by hashable tuples."""
+    """A small thread-safe LRU keyed by hashable tuples.
 
-    def __init__(self, max_entries: int) -> None:
+    ``name`` labels the cache's observability counters
+    (``runtime.cache.{hits,misses,evictions}{cache=<name>}``).
+    """
+
+    def __init__(self, max_entries: int, name: str = "cache") -> None:
         self.max_entries = max_entries
+        self.name = name
         self.stats = CacheStats()
         self._entries: OrderedDict = OrderedDict()
         self._lock = Lock()
@@ -89,8 +95,10 @@ class _LruCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                counter_inc("runtime.cache.hits", cache=self.name)
                 return self._entries[key]
             self.stats.misses += 1
+            counter_inc("runtime.cache.misses", cache=self.name)
             return None
 
     def put(self, key, value) -> None:
@@ -102,6 +110,7 @@ class _LruCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                counter_inc("runtime.cache.evictions", cache=self.name)
 
     def clear(self) -> None:
         with self._lock:
@@ -109,8 +118,8 @@ class _LruCache:
             self.stats = CacheStats()
 
 
-_RIR_CACHE = _LruCache(_env_entries("REPRO_RIR_CACHE_ENTRIES", DEFAULT_RIR_ENTRIES))
-_DRY_CACHE = _LruCache(_env_entries("REPRO_DRY_CACHE_ENTRIES", DEFAULT_DRY_ENTRIES))
+_RIR_CACHE = _LruCache(_env_entries("REPRO_RIR_CACHE_ENTRIES", DEFAULT_RIR_ENTRIES), name="rir")
+_DRY_CACHE = _LruCache(_env_entries("REPRO_DRY_CACHE_ENTRIES", DEFAULT_DRY_ENTRIES), name="dry")
 _ENABLED = os.environ.get("REPRO_RENDER_CACHE", "1") != "0"
 
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.config import DEFAULT_DEFINITION, FACING, ground_truth_label
+from ..core.config import DEFAULT_DEFINITION
 from ..core.enrollment import ground_truth_labels
 from ..datasets.catalog import BENCH, Scale, build_orientation_dataset
 from ..datasets.collection import CollectionSpec, stable_seed
@@ -25,7 +25,6 @@ from .survey import (
     N_PARTICIPANTS,
     PAPER_SUS_HEADTALK,
     PAPER_SUS_MUTE_BUTTON,
-    TABLE_V,
     takeaways,
 )
 from .sus import responses_for_target, summarize, sus_scores
@@ -77,7 +76,6 @@ def run_interaction_study(
     enrollment the paper's prototype requires), then the study runs on a
     fresh session-1 sweep.
     """
-    from .. import experiments  # local import to avoid a cycle at load
     from ..experiments.common import fit_detector
 
     outcomes = []

@@ -7,14 +7,10 @@ from repro.acoustics import (
     Capture,
     NoiseSource,
     RirConfig,
-    Scene,
     SpeakerPose,
-    LAB_PLACEMENTS,
-    lab_room,
     render_capture,
     rms_to_spl,
 )
-from repro.arrays import get_device
 from repro.dsp import estimate_tdoa, srp_max_lag_for
 
 

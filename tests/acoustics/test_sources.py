@@ -12,7 +12,7 @@ from repro.acoustics import (
     replay_channel,
     synthesize_wake_word,
 )
-from repro.dsp import mean_power_spectrum, spectral_contrast
+from repro.dsp import spectral_contrast
 
 FS = 48_000
 

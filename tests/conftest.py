@@ -21,10 +21,9 @@ from repro.acoustics import (
     render_capture,
 )
 from repro.arrays import get_device
-from repro.core import DEFAULT_DEFINITION, OrientationDetector, preprocess
+from repro.core import OrientationDetector, preprocess
 from repro.core.features import OrientationFeatureExtractor
-from repro.datasets import CollectionSpec, TINY, build_orientation_dataset, stable_seed
-from repro.experiments.common import fit_detector
+from repro.datasets import CollectionSpec, build_orientation_dataset, stable_seed
 
 # The same RIR settings the dataset collection path uses, so fixture
 # captures and dataset-trained models share one acoustic distribution.

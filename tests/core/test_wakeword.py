@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.acoustics import HumanSpeaker, synthesize_wake_word
+from repro.acoustics import synthesize_wake_word
 from repro.core.wakeword import Detection, WakeWordSpotter, dtw_distance
 from repro.datasets import speaker_profile
 

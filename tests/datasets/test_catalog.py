@@ -8,7 +8,6 @@ from repro.datasets import (
     BENCH,
     PAPER,
     Scale,
-    TINY,
     border_angle_specs,
     build_liveness_dataset,
     build_orientation_dataset,

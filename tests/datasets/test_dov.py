@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import DOV_ANGLES, Scale, TINY, dov_session_specs, dov_specs, make_dov_like
+from repro.datasets import DOV_ANGLES, TINY, dov_session_specs, dov_specs, make_dov_like
 
 
 class TestSpecs:

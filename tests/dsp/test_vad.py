@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dsp import VadResult, detect_activity, short_time_energy, trim_to_activity
+from repro.dsp import detect_activity, short_time_energy, trim_to_activity
 
 FS = 48_000
 

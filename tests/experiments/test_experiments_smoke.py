@@ -1,7 +1,6 @@
 """Smoke tests: cheap experiments run end to end at TINY scale and
 produce structurally valid, directionally sane results."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import TINY

@@ -5,7 +5,6 @@ grid; the rest reuse the process-level dataset cache, so the three
 together cost barely more than one.
 """
 
-import pytest
 
 from repro.datasets import TINY
 from repro.experiments import exp_devices, exp_environment, exp_liveness, exp_wakewords

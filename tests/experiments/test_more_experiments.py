@@ -1,8 +1,6 @@
 """TINY-scale runs of the heavier experiments — structure and direction
 checks without bench-scale cost."""
 
-import numpy as np
-import pytest
 
 from repro.datasets import Scale, TINY
 from repro.experiments import (

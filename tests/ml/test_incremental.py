@@ -5,7 +5,6 @@ import pytest
 
 from repro.ml import (
     IncrementalModelPool,
-    KNeighborsClassifier,
     SVC,
     select_high_confidence,
     self_training_update,

@@ -11,7 +11,6 @@ from repro.ml import (
     Dropout,
     GlobalAvgPool1d,
     ReLU,
-    Sequential,
     SpectroTemporalNet,
     cross_entropy_loss,
     softmax,

@@ -1,0 +1,27 @@
+"""Shared observability-test plumbing.
+
+Observability state is process-global (that is the point of the layer),
+so every test here runs inside a fixture that clears spans, metrics and
+the audit ring, and restores the disabled default afterwards.
+"""
+
+import pytest
+
+from repro.obs import REGISTRY, audit_log, clear_spans, set_obs_enabled
+from repro.obs.audit import DEFAULT_CAPACITY
+
+
+def _reset_obs_state():
+    set_obs_enabled(False)
+    clear_spans()
+    REGISTRY.reset()
+    audit_log().clear()
+    audit_log().configure(path=None, capacity=DEFAULT_CAPACITY)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Fresh, disabled observability state around every test."""
+    _reset_obs_state()
+    yield
+    _reset_obs_state()

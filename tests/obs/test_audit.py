@@ -1,0 +1,95 @@
+"""Audit log: in-memory ring, JSONL sink round-trip, no-op mode."""
+
+from repro.obs import (
+    audit_log,
+    audit_record,
+    configure_audit,
+    read_jsonl,
+    set_obs_enabled,
+)
+from repro.obs.audit import AuditLog
+
+
+class TestRing:
+    def test_records_kept_in_order(self):
+        log = AuditLog()
+        log.log({"event": "a"})
+        log.log({"event": "b"})
+        assert [r["event"] for r in log.records()] == ["a", "b"]
+
+    def test_ts_added_once(self):
+        log = AuditLog()
+        stamped = log.log({"event": "x"})
+        assert stamped["ts"] > 0
+        fixed = log.log({"event": "y", "ts": 123.0})
+        assert fixed["ts"] == 123.0
+
+    def test_capacity_bounds_ring(self):
+        log = AuditLog(capacity=3)
+        for k in range(5):
+            log.log({"event": str(k)})
+        assert [r["event"] for r in log.records()] == ["2", "3", "4"]
+
+    def test_clear_leaves_sink_alone(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path=path)
+        log.log({"event": "kept-on-disk"})
+        log.clear()
+        assert log.records() == []
+        assert len(read_jsonl(path)) == 1
+
+
+class TestJsonlSink:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path=path)
+        records = [
+            {"event": "decision", "accepted": True, "total_ms": 12.5},
+            {"event": "decision", "accepted": False, "reason": "non-facing"},
+        ]
+        for record in records:
+            log.log(record)
+        loaded = read_jsonl(path)
+        assert len(loaded) == 2
+        for original, back in zip(records, loaded):
+            for key, value in original.items():
+                assert back[key] == value
+            assert "ts" in back
+
+    def test_append_across_instances(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        AuditLog(path=path).log({"event": "first"})
+        AuditLog(path=path).log({"event": "second"})
+        assert [r["event"] for r in read_jsonl(path)] == ["first", "second"]
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+        assert [r["event"] for r in read_jsonl(path)] == ["a", "b"]
+
+
+class TestGlobalLog:
+    def test_disabled_records_nothing(self):
+        audit_record("decision", accepted=True)
+        assert audit_log().records() == []
+
+    def test_enabled_records_event(self):
+        set_obs_enabled(True)
+        audit_record("decision", accepted=True, reason="accepted")
+        (record,) = audit_log().records()
+        assert record["event"] == "decision"
+        assert record["accepted"] is True
+
+    def test_configure_points_sink(self, tmp_path):
+        set_obs_enabled(True)
+        path = tmp_path / "global.jsonl"
+        configure_audit(path=path)
+        audit_record("decision", accepted=False)
+        assert read_jsonl(path)[0]["accepted"] is False
+
+    def test_configure_capacity_preserves_tail(self):
+        log = audit_log()
+        for k in range(4):
+            log.log({"event": str(k)})
+        log.configure(capacity=2)
+        assert [r["event"] for r in log.records()] == ["2", "3"]

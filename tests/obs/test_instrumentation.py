@@ -1,0 +1,152 @@
+"""Pipeline instrumentation: audit records, span timings, no-op purity.
+
+Detector stubs keep these tests fast — the contract under test is the
+observability wiring, not the detectors (those have their own suites).
+The feature extractor and preprocessing are real.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Capture
+from repro.core import HeadTalkConfig, HeadTalkPipeline
+from repro.core.pipeline import capture_key
+from repro.obs import (
+    REGISTRY,
+    audit_log,
+    set_obs_enabled,
+    span_records,
+)
+
+
+class FakeLiveness:
+    def scores(self, waveforms, sample_rate):
+        return np.full(len(waveforms), 0.9)
+
+
+class FakeOrientation:
+    def facing_probability(self, rows):
+        return np.full(rows.shape[0], 0.8)
+
+
+@pytest.fixture
+def fake_pipeline(d2_subset):
+    return HeadTalkPipeline(
+        array=d2_subset,
+        liveness=FakeLiveness(),
+        orientation=FakeOrientation(),
+        config=HeadTalkConfig(),
+    )
+
+
+@pytest.fixture
+def noisy_capture(d2_subset):
+    rng = np.random.default_rng(11)
+    channels = rng.standard_normal((d2_subset.n_mics, d2_subset.sample_rate // 2))
+    return Capture(channels=channels, sample_rate=d2_subset.sample_rate)
+
+
+class TestEvaluateAudit:
+    def test_every_evaluate_produces_one_record(self, fake_pipeline, noisy_capture):
+        set_obs_enabled(True)
+        decision = fake_pipeline.evaluate(noisy_capture)
+        (record,) = audit_log().records()
+        assert record["event"] == "decision"
+        assert record["call"] == "evaluate"
+        assert record["capture_key"] == capture_key(noisy_capture)
+        assert record["accepted"] == decision.accepted
+        assert record["reason"] == decision.reason
+        assert record["total_ms"] == pytest.approx(decision.total_ms)
+        assert set(record["cache"]) == {"rir", "dry"}
+
+    def test_span_sum_consistent_with_total_ms(self, fake_pipeline, noisy_capture):
+        set_obs_enabled(True)
+        decision = fake_pipeline.evaluate(noisy_capture)
+        stage_names = {"pipeline.preprocess", "pipeline.liveness", "pipeline.orientation"}
+        stages = [r for r in span_records() if r.name in stage_names]
+        assert {r.name for r in stages} == stage_names
+        stage_sum = sum(r.duration_ms for r in stages)
+        # Stage spans wrap the same perf_counter regions total_ms sums,
+        # plus a few context-manager entries/exits of slack.
+        assert stage_sum == pytest.approx(decision.total_ms, rel=0.25, abs=2.0)
+        (root,) = span_records("pipeline.evaluate")
+        assert root.depth == 0
+        assert all(r.parent == "pipeline.evaluate" for r in stages)
+        assert root.duration_ms >= stage_sum * 0.75
+
+    def test_stage_histograms_populated(self, fake_pipeline, noisy_capture):
+        set_obs_enabled(True)
+        fake_pipeline.evaluate(noisy_capture)
+        histograms = REGISTRY.histograms("pipeline.stage_ms")
+        assert set(histograms) == {
+            "pipeline.stage_ms{stage=preprocess}",
+            "pipeline.stage_ms{stage=liveness}",
+            "pipeline.stage_ms{stage=orientation}",
+        }
+        assert all(h["count"] == 1 for h in histograms.values())
+        snapshot = REGISTRY.snapshot()
+        assert snapshot["pipeline.decisions{call=evaluate,reason=accepted}"]["value"] == 1
+
+
+class TestBatchAudit:
+    def test_batch_records_every_capture(self, fake_pipeline, d2_subset):
+        set_obs_enabled(True)
+        rng = np.random.default_rng(3)
+        captures = [
+            Capture(
+                channels=rng.standard_normal((d2_subset.n_mics, d2_subset.sample_rate // 2)),
+                sample_rate=d2_subset.sample_rate,
+            )
+            for _ in range(3)
+        ]
+        evaluation = fake_pipeline.evaluate_batch(captures)
+        records = audit_log().records()
+        assert len(records) == 3
+        for index, (capture, record) in enumerate(zip(captures, records)):
+            assert record["call"] == "evaluate_batch"
+            assert record["capture_key"] == capture_key(capture)
+            assert record["batch_size"] == 3
+            assert record["batch_index"] == index
+        per_capture = REGISTRY.histograms("pipeline.batch_per_capture_ms")
+        assert per_capture["pipeline.batch_per_capture_ms"]["count"] == 1
+        (root,) = span_records("pipeline.evaluate_batch")
+        assert root.labels == (("n", "3"),)
+        assert len(evaluation) == 3
+
+
+class TestNoopPurity:
+    def test_disabled_evaluate_has_zero_side_effects(self, fake_pipeline, noisy_capture):
+        decision = fake_pipeline.evaluate(noisy_capture)
+        assert decision.total_ms > 0  # the pipeline itself still times stages
+        assert span_records() == []
+        assert REGISTRY.snapshot() == {}
+        assert audit_log().records() == []
+
+    def test_disabled_batch_has_zero_side_effects(self, fake_pipeline, noisy_capture):
+        fake_pipeline.evaluate_batch([noisy_capture])
+        assert span_records() == []
+        assert REGISTRY.snapshot() == {}
+        assert audit_log().records() == []
+
+    def test_decisions_identical_with_and_without_observability(
+        self, fake_pipeline, noisy_capture
+    ):
+        baseline = fake_pipeline.evaluate(noisy_capture)
+        set_obs_enabled(True)
+        observed_run = fake_pipeline.evaluate(noisy_capture)
+        assert observed_run.fingerprint() == baseline.fingerprint()
+
+
+class TestCaptureKey:
+    def test_key_is_content_stable(self, noisy_capture):
+        duplicate = Capture(
+            channels=noisy_capture.channels.copy(), sample_rate=noisy_capture.sample_rate
+        )
+        assert capture_key(noisy_capture) == capture_key(duplicate)
+
+    def test_key_changes_with_content(self, noisy_capture):
+        perturbed = Capture(
+            channels=noisy_capture.channels + 1e-6, sample_rate=noisy_capture.sample_rate
+        )
+        assert capture_key(noisy_capture) != capture_key(perturbed)
+        assert len(capture_key(noisy_capture)) == 16  # blake2b digest_size=8 hex

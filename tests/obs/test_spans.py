@@ -1,0 +1,139 @@
+"""Spans: nesting, exception safety, no-op mode, trace export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import clear_spans, set_obs_enabled, span, span_records
+from repro.obs.spans import NOOP_SPAN, export_trace
+
+
+class TestNesting:
+    def test_records_depth_and_parent(self):
+        set_obs_enabled(True)
+        with span("outer"):
+            with span("middle"):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        names = [r.name for r in span_records()]
+        assert names == ["inner", "middle", "sibling", "outer"]
+        by_name = {r.name: r for r in span_records()}
+        assert by_name["outer"].depth == 0 and by_name["outer"].parent is None
+        assert by_name["middle"].depth == 1 and by_name["middle"].parent == "outer"
+        assert by_name["inner"].depth == 2 and by_name["inner"].parent == "middle"
+        assert by_name["sibling"].parent == "outer"
+
+    def test_child_duration_within_parent(self):
+        set_obs_enabled(True)
+        with span("parent"):
+            with span("child"):
+                sum(range(1000))
+        child, parent = span_records()
+        assert 0 <= child.duration_ms <= parent.duration_ms
+        assert parent.start_ms <= child.start_ms
+
+    def test_labels_stringified_and_sorted(self):
+        set_obs_enabled(True)
+        with span("labelled", workers=2, mode="pool"):
+            pass
+        record = span_records("labelled")[0]
+        assert record.labels == (("mode", "pool"), ("workers", "2"))
+        assert record.to_dict()["labels"] == {"mode": "pool", "workers": "2"}
+
+    def test_threads_nest_independently(self):
+        set_obs_enabled(True)
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with span(name):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Concurrent spans never appear as each other's parent.
+        for record in span_records():
+            assert record.depth == 0 and record.parent is None
+
+
+class TestExceptionSafety:
+    def test_exception_recorded_and_propagated(self):
+        set_obs_enabled(True)
+        with pytest.raises(ValueError, match="boom"):
+            with span("failing"):
+                raise ValueError("boom")
+        record = span_records("failing")[0]
+        assert record.error == "ValueError"
+        assert record.duration_ms >= 0
+
+    def test_stack_unwound_after_exception(self):
+        set_obs_enabled(True)
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("x")
+        # A fresh span after the unwind is a root span again.
+        with span("after"):
+            pass
+        after = span_records("after")[0]
+        assert after.depth == 0 and after.parent is None
+        outer = span_records("outer")[0]
+        assert outer.error == "RuntimeError"
+
+
+class TestNoopMode:
+    def test_disabled_returns_shared_noop(self):
+        assert span("anything") is NOOP_SPAN
+
+    def test_disabled_records_nothing(self):
+        with span("invisible"):
+            with span("also-invisible"):
+                pass
+        assert span_records() == []
+
+    def test_toggle_mid_run(self):
+        with span("before"):
+            pass
+        set_obs_enabled(True)
+        with span("during"):
+            pass
+        set_obs_enabled(False)
+        with span("after"):
+            pass
+        assert [r.name for r in span_records()] == ["during"]
+
+
+class TestExport:
+    def test_trace_round_trips_through_json(self, tmp_path):
+        set_obs_enabled(True)
+        with span("a", k="v"):
+            with span("b"):
+                pass
+        path = tmp_path / "trace.json"
+        trace = export_trace(path)
+        assert json.loads(path.read_text()) == json.loads(json.dumps(trace))
+        assert {entry["name"] for entry in trace} == {"a", "b"}
+        for entry in trace:
+            assert set(entry) == {
+                "name",
+                "start_ms",
+                "duration_ms",
+                "depth",
+                "parent",
+                "thread",
+                "error",
+                "labels",
+            }
+
+    def test_clear_spans(self):
+        set_obs_enabled(True)
+        with span("x"):
+            pass
+        assert span_records()
+        clear_spans()
+        assert span_records() == []

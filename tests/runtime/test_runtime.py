@@ -103,6 +103,37 @@ class TestSerialParallelEquivalence:
             render_captures(_tasks(), workers=0)
 
 
+class TestPersistentPool:
+    def test_pool_scoped_and_workers_defaulted(self):
+        from repro.runtime import active_pool, default_workers, persistent_pool
+
+        assert active_pool() is None
+        with persistent_pool(2):
+            assert active_pool() is not None
+            assert default_workers() == 2
+        assert active_pool() is None
+        assert default_workers() == 1
+
+    def test_renders_identical_through_reused_pool(self):
+        from repro.runtime import persistent_pool
+
+        tasks = _tasks()
+        serial = render_captures(tasks, workers=1)
+        with persistent_pool(2):
+            first = render_captures(tasks, workers=2)
+            second = render_captures(tasks)  # workers defaulted by the pool scope
+        for a, b, c in zip(serial, first, second):
+            assert np.array_equal(a.channels, b.channels)
+            assert np.array_equal(a.channels, c.channels)
+
+    def test_requires_at_least_two_workers(self):
+        from repro.runtime import persistent_pool
+
+        with pytest.raises(ValueError, match="workers"):
+            with persistent_pool(1):
+                pass
+
+
 class TestColdWarmEquivalence:
     def test_warm_cache_bytes_identical(self):
         tasks = _tasks()

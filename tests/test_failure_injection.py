@@ -9,7 +9,6 @@ import pytest
 
 from repro.acoustics import Capture
 from repro.core import (
-    DEFAULT_DEFINITION,
     REJECT_NO_SPEECH,
     OrientationDetector,
     preprocess,

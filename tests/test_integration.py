@@ -7,7 +7,6 @@ pipeline -> privacy controller, exactly as a deployment would wire them.
 import numpy as np
 import pytest
 
-from repro.acoustics import LoudspeakerSource, RirConfig, SpeakerPose, render_capture
 from repro.core import (
     DEFAULT_DEFINITION,
     ENTER_HEADTALK,
