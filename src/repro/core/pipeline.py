@@ -27,6 +27,7 @@ import numpy as np
 from ..acoustics.propagation import Capture
 from ..arrays.geometry import MicArray
 from ..obs import audit_record, counter_inc, histogram_observe, obs_enabled
+from ..obs.profile import profiled
 from ..obs.spans import span
 from .config import HeadTalkConfig
 from .features import OrientationFeatureExtractor
@@ -165,7 +166,8 @@ class HeadTalkPipeline:
         batch_index: int | None = None,
     ) -> None:
         """Metrics + audit record for one decision (observability on only)."""
-        from ..runtime.cache import cache_stats
+        from ..obs.workers import worker_totals
+        from ..runtime.cache import cache_counts
 
         counter_inc("pipeline.decisions", call=call, reason=decision.reason)
         if call == "evaluate":
@@ -184,10 +186,10 @@ class HeadTalkPipeline:
             "liveness_ms": decision.liveness_ms,
             "orientation_ms": decision.orientation_ms,
             "total_ms": decision.total_ms,
-            "cache": {
-                name: {"hits": s.hits, "misses": s.misses, "evictions": s.evictions}
-                for name, s in cache_stats().items()
-            },
+            "cache": cache_counts(),
+            # Pool workers hold their own render caches; their merged
+            # sidecar totals are the only view of worker-side behaviour.
+            "worker_cache": worker_totals(),
         }
         if batch_size is not None:
             record["batch_size"] = batch_size
@@ -276,7 +278,9 @@ class HeadTalkPipeline:
             raise ValueError("captures must be non-empty")
         for capture in captures:
             self._check_capture(capture)
-        with span("pipeline.evaluate_batch", n=len(captures)):
+        with profiled("pipeline.evaluate_batch"), span(
+            "pipeline.evaluate_batch", n=len(captures)
+        ):
             evaluation = self._evaluate_batch(captures, check_liveness)
         if obs_enabled():
             timings = evaluation.timings

@@ -46,6 +46,8 @@ from .common import (
     factor_f1_cells,
     fit_detector,
     labeled_arrays,
+    run_with_manifest,
+    write_run_manifest,
 )
 
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -81,14 +83,28 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_all(
-    experiment_ids: tuple[str, ...] | None = None, **kwargs
+    experiment_ids: tuple[str, ...] | None = None,
+    manifest_dir=None,
+    **kwargs,
 ) -> list[ExperimentResult]:
-    """Run a subset (default: all) of the experiments in id order."""
+    """Run a subset (default: all) of the experiments in id order.
+
+    With ``manifest_dir`` set, every run is routed through
+    :func:`run_with_manifest` so each experiment leaves a
+    ``RUN_<id>.json`` manifest behind.
+    """
     ids = sorted(experiment_ids or ALL_EXPERIMENTS)
     unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiment ids {unknown}")
-    return [ALL_EXPERIMENTS[i](**kwargs) for i in ids]
+    if manifest_dir is None:
+        return [ALL_EXPERIMENTS[i](**kwargs) for i in ids]
+    return [
+        run_with_manifest(
+            i, runner=ALL_EXPERIMENTS[i], manifest_dir=manifest_dir, **kwargs
+        )[0]
+        for i in ids
+    ]
 
 
 __all__ = [
@@ -100,4 +116,6 @@ __all__ = [
     "fit_detector",
     "labeled_arrays",
     "run_all",
+    "run_with_manifest",
+    "write_run_manifest",
 ]

@@ -7,7 +7,9 @@ report the average of both directions.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -15,6 +17,7 @@ from ..core.config import DEFAULT_DEFINITION, FACING, FacingDefinition
 from ..core.orientation import OrientationDetector
 from ..datasets.store import OrientationDataset
 from ..ml.metrics import BinaryReport, binary_report
+from ..reporting import ExperimentResult
 
 
 def labeled_arrays(
@@ -165,3 +168,75 @@ def train_on_all_sessions(
     """Detector trained on every session of a dataset (sensitivity tests
     reuse the Section IV-A2 model and probe it against new conditions)."""
     return fit_detector(dataset, definition, backend)
+
+
+def write_run_manifest(
+    result: ExperimentResult,
+    *,
+    seed: int | None = None,
+    config: dict | None = None,
+    stages: dict | None = None,
+    manifest_dir: Path | str | None = None,
+    run_id: str | None = None,
+) -> Path:
+    """Write the schema-versioned run manifest for an experiment result.
+
+    Builds a :class:`repro.obs.runlog.RunManifest` named after
+    ``result.experiment_id`` (environment fingerprint and git SHA are
+    auto-detected), snapshots the live metrics registry and any captured
+    profiles into it, and writes ``RUN_<id>.json`` under ``manifest_dir``
+    (default ``benchmarks/manifests/``).  Returns the written path.
+    """
+    from ..obs.metrics import REGISTRY
+    from ..obs.profile import profile_snapshot
+    from ..obs.runlog import RunManifest
+
+    manifest = RunManifest(
+        name=result.experiment_id,
+        seed=seed,
+        config=config or {},
+        run_id=run_id,
+    )
+    manifest.stages.update(stages or {})
+    manifest.metrics = REGISTRY.snapshot()
+    manifest.profile = profile_snapshot()
+    manifest.summary = {
+        "title": result.title,
+        "paper": result.paper,
+        "summary": result.summary,
+        "rows": result.rows,
+        "headers": result.headers,
+    }
+    return manifest.write(directory=manifest_dir)
+
+
+def run_with_manifest(
+    experiment_id: str,
+    runner=None,
+    manifest_dir: Path | str | None = None,
+    **kwargs,
+) -> tuple[ExperimentResult, Path]:
+    """Run one experiment and persist its run manifest.
+
+    ``runner`` defaults to the ``ALL_EXPERIMENTS`` entry for
+    ``experiment_id``; ``kwargs`` (``scale``, ``seed``, ...) are passed
+    through to it and recorded as the manifest config.  Returns the
+    result together with the manifest path.
+    """
+    if runner is None:
+        from . import ALL_EXPERIMENTS
+
+        if experiment_id not in ALL_EXPERIMENTS:
+            raise ValueError(f"unknown experiment id {experiment_id!r}")
+        runner = ALL_EXPERIMENTS[experiment_id]
+    start = time.perf_counter()
+    result = runner(**kwargs)
+    total_ms = (time.perf_counter() - start) * 1000.0
+    path = write_run_manifest(
+        result,
+        seed=kwargs.get("seed"),
+        config={k: v for k, v in kwargs.items() if k != "seed"},
+        stages={"run": total_ms},
+        manifest_dir=manifest_dir,
+    )
+    return result, path

@@ -19,6 +19,7 @@ from ..core.liveness import LIVE_HUMAN, MECHANICAL, LivenessDetector
 from ..core.pipeline import HeadTalkPipeline
 from ..core.preprocessing import preprocess
 from ..arrays.devices import default_channel_subset, get_device
+from ..obs.profile import profiled
 from ..reporting import ExperimentResult
 from .common import default_dataset, fit_detector
 
@@ -68,14 +69,15 @@ def run(
     # Stage latencies come straight off the Decision, whose total_ms is
     # the paper's end-to-end definition (preprocess + both inferences).
     preprocess_ms, liveness_ms, orientation_ms = [], [], []
-    for _ in range(n_trials):
-        with_liveness = pipeline.evaluate(capture)
-        preprocess_ms.append(with_liveness.preprocess_ms)
-        liveness_ms.append(with_liveness.liveness_ms)
-        # Time the orientation stage unconditionally (a rejected
-        # liveness check would otherwise short-circuit it).
-        orientation_only = pipeline.evaluate(capture, check_liveness=False)
-        orientation_ms.append(orientation_only.orientation_ms)
+    with profiled("e18.stages"):
+        for _ in range(n_trials):
+            with_liveness = pipeline.evaluate(capture)
+            preprocess_ms.append(with_liveness.preprocess_ms)
+            liveness_ms.append(with_liveness.liveness_ms)
+            # Time the orientation stage unconditionally (a rejected
+            # liveness check would otherwise short-circuit it).
+            orientation_only = pipeline.evaluate(capture, check_liveness=False)
+            orientation_ms.append(orientation_only.orientation_ms)
 
     batch = pipeline.evaluate_batch([capture] * n_trials)
     batch_matches_serial = all(

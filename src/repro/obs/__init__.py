@@ -11,10 +11,20 @@ is a function call and a dict/global lookup.  Enable per process with
   histograms (p50/p95/p99) keyed by name + labels;
 - :mod:`repro.obs.audit` — a JSONL audit log of every pipeline
   decision (capture key, verdicts, per-stage ms, cache counters);
+- :mod:`repro.obs.workers` — cross-process worker telemetry: an obs
+  context propagated into pool workers at spawn, per-task
+  :class:`WorkerSidecar` records (cache deltas, timings, spans) merged
+  back into the parent registry and trace;
+- :mod:`repro.obs.runlog` — schema-versioned experiment run manifests
+  (config, seed, env fingerprint, git SHA, stage timings, metrics
+  snapshot) under ``benchmarks/manifests/``;
+- :mod:`repro.obs.profile` — opt-in (``REPRO_PROFILE=1``) tracemalloc
+  peak + cProfile top-N capture around pipeline/render regions;
 - :mod:`repro.obs.bench` — schema-versioned ``BENCH_<name>.json``
   reports and the ``python -m repro.obs.bench --compare`` CI gate
   (imported explicitly, not re-exported here, so the ``-m`` entry
-  point stays clean).
+  point stays clean; ``python -m repro.obs.metrics`` likewise dumps
+  Prometheus text).
 
 See ``docs/OBSERVABILITY.md``.
 """
@@ -36,8 +46,26 @@ from .metrics import (
     counter_inc,
     gauge_set,
     histogram_observe,
+    snapshot_to_prometheus,
 )
-from .spans import SpanRecord, clear_spans, export_trace, span, span_records
+from .profile import (
+    clear_profiles,
+    profile_snapshot,
+    profiled,
+    profiling_enabled,
+    set_profiling_enabled,
+)
+from .runlog import RunManifest, diff_manifests
+from .spans import SpanRecord, clear_spans, export_trace, ingest_spans, span, span_records
+from .workers import (
+    ObsContext,
+    WorkerSidecar,
+    init_worker,
+    last_sidecars,
+    merge_sidecars,
+    reset_worker_totals,
+    worker_totals,
+)
 
 __all__ = [
     "AuditLog",
@@ -45,20 +73,36 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObsContext",
     "REGISTRY",
+    "RunManifest",
     "SpanRecord",
+    "WorkerSidecar",
     "audit_log",
     "audit_record",
+    "clear_profiles",
     "clear_spans",
     "configure_audit",
     "counter_inc",
+    "diff_manifests",
     "export_trace",
     "gauge_set",
     "histogram_observe",
+    "ingest_spans",
+    "init_worker",
+    "last_sidecars",
+    "merge_sidecars",
     "obs_enabled",
     "observed",
+    "profile_snapshot",
+    "profiled",
+    "profiling_enabled",
     "read_jsonl",
+    "reset_worker_totals",
     "set_obs_enabled",
+    "set_profiling_enabled",
+    "snapshot_to_prometheus",
     "span",
     "span_records",
+    "worker_totals",
 ]

@@ -81,6 +81,7 @@ class BenchReport:
         self.created = time.time() if created is None else created
         self.metrics: dict[str, dict] = {}
         self.histograms: dict[str, dict] = {}
+        self.profiles: dict[str, dict] = {}
 
     def add_metric(
         self,
@@ -119,9 +120,19 @@ class BenchReport:
         """Attach a histogram summary (see ``Histogram.summary()``)."""
         self.histograms[name] = dict(summary)
 
+    def add_profiles(self, profiles: dict) -> None:
+        """Embed profiling records (see ``repro.obs.profile``), merged by name.
+
+        Profiles are informational — never gated — and the section is
+        omitted entirely when empty, so reports from unprofiled runs
+        stay byte-identical to pre-profile ones.
+        """
+        for name, record in profiles.items():
+            self.profiles[name] = dict(record)
+
     def to_dict(self) -> dict:
         """The schema-versioned JSON document."""
-        return {
+        document = {
             "schema": SCHEMA,
             "name": self.name,
             "created": self.created,
@@ -129,6 +140,9 @@ class BenchReport:
             "metrics": self.metrics,
             "histograms": self.histograms,
         }
+        if self.profiles:
+            document["profiles"] = self.profiles
+        return document
 
     def write(self, path) -> dict:
         """Validate and write the report; returns the document."""
@@ -151,6 +165,9 @@ class BenchReport:
         report.metrics = {name: dict(metric) for name, metric in document["metrics"].items()}
         report.histograms = {
             name: dict(summary) for name, summary in document.get("histograms", {}).items()
+        }
+        report.profiles = {
+            name: dict(record) for name, record in document.get("profiles", {}).items()
         }
         return report
 
@@ -197,6 +214,13 @@ def validate(document) -> list[str]:
         for name, summary in histograms.items():
             if not isinstance(summary, dict) or "counts" not in summary:
                 problems.append(f"histograms[{name!r}] is not a histogram summary")
+    profiles = document.get("profiles", {})
+    if not isinstance(profiles, dict):
+        problems.append("profiles must be an object")
+    else:
+        for name, record in profiles.items():
+            if not isinstance(record, dict):
+                problems.append(f"profiles[{name!r}] is not an object")
     return problems
 
 

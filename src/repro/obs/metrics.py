@@ -15,7 +15,11 @@ one function call and a global read.
 
 from __future__ import annotations
 
+import argparse
+import json
 import math
+import re
+import sys
 import threading
 from bisect import bisect_left
 
@@ -238,6 +242,14 @@ class MetricsRegistry:
             if isinstance(metric, Histogram) and metric_id(name, labels).startswith(prefix)
         }
 
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric.
+
+        See :func:`snapshot_to_prometheus`; this is the live-registry
+        convenience used by scrapers and the ``-m`` dump entry point.
+        """
+        return snapshot_to_prometheus(self.snapshot())
+
     def reset(self) -> None:
         """Drop every registered metric."""
         with self._lock:
@@ -267,3 +279,122 @@ def histogram_observe(name: str, value: float, buckets=None, **labels) -> None:
     if not obs_enabled():
         return
     REGISTRY.histogram(name, buckets=buckets, **labels).observe(value)
+
+
+def _prometheus_name(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prometheus_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    escaped = {
+        key: value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        for key, value in labels.items()
+    }
+    inner = ",".join(f'{_prometheus_name(key)}="{value}"' for key, value in escaped.items())
+    return "{" + inner + "}"
+
+
+def _parse_metric_id(metric_id_text: str) -> tuple[str, dict]:
+    """Invert :func:`metric_id`: ``name{k=v,...}`` back to (name, labels)."""
+    if metric_id_text.endswith("}") and "{" in metric_id_text:
+        name, _, inner = metric_id_text.partition("{")
+        inner = inner[:-1]
+        labels = dict(part.split("=", 1) for part in inner.split(",")) if inner else {}
+        return name, labels
+    return metric_id_text, {}
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Counters expose as ``<name>_total``, gauges verbatim, histograms as
+    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` —
+    the standard text exposition format, ready to scrape or paste into
+    dashboards.  Metric and label names are sanitized to the Prometheus
+    charset (dots become underscores); label *values* containing ``,``
+    or ``}`` are not supported (the snapshot id format cannot carry
+    them either).
+    """
+    families: dict[str, list[str]] = {}
+    types: dict[str, str] = {}
+    for metric_id_text in sorted(snapshot):
+        state = snapshot[metric_id_text]
+        raw_name, labels = _parse_metric_id(metric_id_text)
+        kind = state.get("type")
+        if kind == "counter":
+            family = _prometheus_name(raw_name) + "_total"
+            types.setdefault(family, "counter")
+            families.setdefault(family, []).append(
+                f"{family}{_prometheus_labels(labels)} {_format_value(state['value'])}"
+            )
+        elif kind == "gauge":
+            family = _prometheus_name(raw_name)
+            types.setdefault(family, "gauge")
+            families.setdefault(family, []).append(
+                f"{family}{_prometheus_labels(labels)} {_format_value(state['value'])}"
+            )
+        elif kind == "histogram":
+            family = _prometheus_name(raw_name)
+            types.setdefault(family, "histogram")
+            lines = families.setdefault(family, [])
+            cumulative = 0
+            for bound, count in zip(list(state["bounds"]) + [math.inf], state["counts"]):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(float(bound))
+                lines.append(f"{family}_bucket{_prometheus_labels(bucket_labels)} {cumulative}")
+            label_text = _prometheus_labels(labels)
+            lines.append(f"{family}_sum{label_text} {_format_value(state['sum'])}")
+            lines.append(f"{family}_count{label_text} {state['count']}")
+    out: list[str] = []
+    for family in sorted(families):
+        out.append(f"# TYPE {family} {types[family]}")
+        out.extend(families[family])
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def main(argv=None) -> int:
+    """Dump metrics as Prometheus text (see module docstring).
+
+    ``python -m repro.obs.metrics`` prints this process's registry
+    (useful after an in-process run); pass a saved
+    ``REGISTRY.snapshot()`` JSON file to convert it instead.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.metrics",
+        description="Render a metrics snapshot in Prometheus text exposition format.",
+    )
+    parser.add_argument(
+        "snapshot",
+        nargs="?",
+        help="path to a REGISTRY.snapshot() JSON dump (default: this process's registry)",
+    )
+    args = parser.parse_args(argv)
+    if args.snapshot:
+        try:
+            with open(args.snapshot, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{args.snapshot}: {error}", file=sys.stderr)
+            return 1
+        if not isinstance(document, dict):
+            print(f"{args.snapshot}: not a snapshot object", file=sys.stderr)
+            return 1
+        sys.stdout.write(snapshot_to_prometheus(document))
+        return 0
+    sys.stdout.write(REGISTRY.to_prometheus())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

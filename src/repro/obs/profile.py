@@ -1,0 +1,150 @@
+"""Opt-in profiling hooks: tracemalloc peak + cProfile top-N.
+
+``profiled("region")`` wraps a code region the way ``span`` does, but
+captures *why* it is slow instead of just how long it took: the
+tracemalloc peak allocation and the top-N functions by cumulative time.
+Results accumulate in a process-global table (:func:`profile_snapshot`)
+that bench reports and run manifests embed.
+
+Profiling is strictly opt-in (``REPRO_PROFILE=1`` or
+:func:`set_profiling_enabled`) because cProfile and tracemalloc are
+whole-process instruments with real overhead; when disabled,
+:func:`profiled` hands back a shared no-op context manager — one
+function call and a global read, same as disabled spans.  Both
+instruments are also process-global at runtime, so regions do not
+nest: the outermost :func:`profiled` scope wins and inner scopes
+no-op (guarded, not an error — instrumented layers stack freely).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import threading
+import time
+import tracemalloc
+
+_TRUTHY = ("1", "true", "True", "yes", "on")
+
+_ENABLED = os.environ.get("REPRO_PROFILE", "0") in _TRUTHY
+_ACTIVE = False
+_LOCK = threading.Lock()
+_PROFILES: dict[str, dict] = {}
+
+DEFAULT_TOP_N = 10
+
+
+def profiling_enabled() -> bool:
+    """Whether profiling hooks are active for this process."""
+    return _ENABLED
+
+
+def set_profiling_enabled(enabled: bool) -> None:
+    """Turn :func:`profiled` regions on or off globally."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+class _NoopProfile:
+    """Shared do-nothing scope handed out while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopProfile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_PROFILE = _NoopProfile()
+
+
+def _top_functions(stats: pstats.Stats, top_n: int) -> list[dict]:
+    rows = []
+    for (filename, line, function), (cc, ncalls, tottime, cumtime, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{os.path.basename(filename)}:{line}:{function}",
+                "ncalls": int(ncalls),
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["cumtime_s"], reverse=True)
+    return rows[:top_n]
+
+
+class _Profiled:
+    """A live profiled region; recorded into ``_PROFILES`` on exit."""
+
+    __slots__ = ("name", "top_n", "_owner", "_profiler", "_started_tracing", "_start")
+
+    def __init__(self, name: str, top_n: int) -> None:
+        self.name = name
+        self.top_n = top_n
+        self._owner = False
+
+    def __enter__(self) -> "_Profiled":
+        global _ACTIVE
+        with _LOCK:
+            if _ACTIVE:
+                return self  # an enclosing region owns the process-global instruments
+            _ACTIVE = True
+            self._owner = True
+        self._started_tracing = not tracemalloc.is_tracing()
+        if self._started_tracing:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        self._profiler = cProfile.Profile()
+        self._start = time.perf_counter()
+        try:
+            self._profiler.enable()
+        except Exception:
+            # Another profiler (debugger, coverage tool) already owns the
+            # interpreter hook; degrade to tracemalloc-only.
+            self._profiler = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        if not self._owner:
+            return False
+        duration_ms = (time.perf_counter() - self._start) * 1000.0
+        top: list[dict] = []
+        if self._profiler is not None:
+            self._profiler.disable()
+            top = _top_functions(pstats.Stats(self._profiler), self.top_n)
+        _current, peak = tracemalloc.get_traced_memory()
+        if self._started_tracing:
+            tracemalloc.stop()
+        record = {
+            "duration_ms": duration_ms,
+            "tracemalloc_peak_bytes": int(peak),
+            "top": top,
+        }
+        with _LOCK:
+            _PROFILES[self.name] = record
+            _ACTIVE = False
+        return False
+
+
+def profiled(name: str, top_n: int = DEFAULT_TOP_N):
+    """Context manager profiling one named region (no-op when disabled)."""
+    if not _ENABLED:
+        return NOOP_PROFILE
+    return _Profiled(name, top_n)
+
+
+def profile_snapshot() -> dict[str, dict]:
+    """JSON-able copy of every recorded profile, keyed by region name."""
+    with _LOCK:
+        return {name: dict(record) for name, record in _PROFILES.items()}
+
+
+def clear_profiles() -> None:
+    """Drop every recorded profile."""
+    with _LOCK:
+        _PROFILES.clear()

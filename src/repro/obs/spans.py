@@ -147,6 +147,18 @@ def clear_spans() -> None:
         _RECORDS.clear()
 
 
+def ingest_spans(records) -> None:
+    """Append externally collected records to this process's buffer.
+
+    The merge point for pool-worker telemetry: workers trace into their
+    own per-process buffers, ship the records back as picklable
+    :class:`SpanRecord` sidecars, and the parent folds them into its
+    trace tree here (see :mod:`repro.obs.workers`).
+    """
+    with _RECORDS_LOCK:
+        _RECORDS.extend(records)
+
+
 def export_trace(path=None) -> list[dict]:
     """The flat JSON trace; optionally written to ``path`` as JSON."""
     trace = [record.to_dict() for record in span_records()]

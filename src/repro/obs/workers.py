@@ -1,0 +1,221 @@
+"""Cross-process telemetry for the batch renderer's pool workers.
+
+``ProcessPoolExecutor`` workers are separate processes: their spans,
+metrics and cache counters live in per-process globals and used to
+vanish with the worker, leaving the parent's trace and registry blind
+to where render time actually goes.  This module closes that gap:
+
+- :class:`ObsContext` is the picklable observability state (enabled
+  flag, run id) the parent hands to every worker via the pool
+  *initializer* (:func:`init_worker` in ``runtime/batch.py``);
+- :func:`task_telemetry` runs worker-side around one render task and
+  produces a compact :class:`WorkerSidecar` — the task's wall time, the
+  RIR/dry-render cache hit/miss/eviction deltas it caused, and its
+  completed span records;
+- :func:`merge_sidecars` runs parent-side on task completion and folds
+  every sidecar into the parent's :class:`~repro.obs.metrics.REGISTRY`
+  (``runtime.worker.*`` counters and histograms labelled by worker
+  pid), its trace buffer (worker spans re-threaded as
+  ``worker-<pid>``), and a plain-dict per-worker total readable via
+  :func:`worker_totals` (embedded in audit records and bench reports).
+
+Telemetry rides the task results themselves — no shared memory, no
+extra pipes — so the disabled path is untouched: with observability
+off the pool maps the plain task function and no sidecars exist.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from .control import obs_enabled, set_obs_enabled
+from .metrics import REGISTRY
+from .spans import SpanRecord, clear_spans, ingest_spans, span_records
+
+_RUN_ID: str | None = None
+
+_WORKER_CONTEXT: "ObsContext | None" = None
+
+_TOTALS_LOCK = threading.Lock()
+_WORKER_TOTALS: dict[str, dict] = {}
+_LAST_SIDECARS: list = []
+
+
+@dataclass(frozen=True)
+class ObsContext:
+    """Picklable observability state handed to pool workers at spawn."""
+
+    enabled: bool = False
+    run_id: str | None = None
+
+
+def set_run_id(run_id: str | None) -> None:
+    """Tag this process's telemetry (and its workers') with a run id."""
+    global _RUN_ID
+    _RUN_ID = run_id
+
+
+def current_run_id() -> str | None:
+    """The run id propagated into worker contexts (``None`` when unset)."""
+    return _RUN_ID
+
+
+def current_context() -> ObsContext:
+    """This process's obs state, ready to ship to a worker initializer."""
+    return ObsContext(enabled=obs_enabled(), run_id=_RUN_ID)
+
+
+def init_worker(context: ObsContext) -> None:
+    """Pool-worker initializer: adopt the parent's observability state.
+
+    Runs once per worker process at spawn (``ProcessPoolExecutor``'s
+    ``initializer``).  Enabling here means worker-side instrumentation
+    (cache counters, render spans) is live from the first task.
+    """
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    set_obs_enabled(context.enabled)
+    set_run_id(context.run_id)
+
+
+def worker_context() -> ObsContext:
+    """The context installed by :func:`init_worker` (default when none)."""
+    return _WORKER_CONTEXT if _WORKER_CONTEXT is not None else ObsContext()
+
+
+@dataclass(frozen=True)
+class WorkerSidecar:
+    """Compact per-task telemetry shipped from a worker to the parent.
+
+    ``cache`` holds the hit/miss/eviction *deltas* this task caused in
+    the worker's RIR and dry-render caches — summing sidecars therefore
+    reproduces the worker's cumulative cache behaviour exactly.
+    """
+
+    pid: int
+    run_id: str | None
+    task_ms: float
+    cache: dict
+    spans: tuple[SpanRecord, ...] = ()
+
+
+class _TaskTelemetry:
+    """Worker-side scope measuring one task into a :class:`WorkerSidecar`.
+
+    Forces observability on for the task body (restoring the previous
+    state afterwards) so cache counters and spans record even when the
+    pool was spawned before the parent enabled observability.  The
+    worker's span buffer is cleared at entry, so the sidecar carries
+    exactly this task's spans.
+    """
+
+    __slots__ = ("sidecar", "_before", "_start", "_was_enabled")
+
+    def __enter__(self) -> "_TaskTelemetry":
+        from ..runtime.cache import cache_counts
+
+        self.sidecar = None
+        self._was_enabled = obs_enabled()
+        set_obs_enabled(True)
+        clear_spans()
+        self._before = cache_counts()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        from ..runtime.cache import cache_counts
+
+        task_ms = (time.perf_counter() - self._start) * 1000.0
+        after = cache_counts()
+        deltas = {
+            cache: {
+                event: after[cache][event] - self._before.get(cache, {}).get(event, 0)
+                for event in counters
+            }
+            for cache, counters in after.items()
+        }
+        self.sidecar = WorkerSidecar(
+            pid=os.getpid(),
+            run_id=current_run_id() or worker_context().run_id,
+            task_ms=task_ms,
+            cache=deltas,
+            spans=tuple(span_records()),
+        )
+        clear_spans()
+        set_obs_enabled(self._was_enabled)
+        return False
+
+
+def task_telemetry() -> _TaskTelemetry:
+    """Scope one task's worker-side telemetry (see :class:`_TaskTelemetry`)."""
+    return _TaskTelemetry()
+
+
+def merge_sidecar(sidecar: WorkerSidecar) -> None:
+    """Fold one worker sidecar into this process's registry and trace.
+
+    Records into :data:`~repro.obs.metrics.REGISTRY` unconditionally
+    (not through the guarded helpers): a sidecar only exists because
+    observation was on when the task was dispatched, and its telemetry
+    must not be dropped if the parent toggled the flag since.
+    """
+    pid = str(sidecar.pid)
+    REGISTRY.counter("runtime.worker.tasks", worker=pid).inc()
+    REGISTRY.histogram("runtime.worker.task_ms", worker=pid).observe(sidecar.task_ms)
+    for cache, delta in sidecar.cache.items():
+        for event, amount in delta.items():
+            if amount:
+                REGISTRY.counter(
+                    f"runtime.worker.cache.{event}", cache=cache, worker=pid
+                ).inc(amount)
+    if sidecar.spans:
+        ingest_spans(replace(record, thread=f"worker-{sidecar.pid}") for record in sidecar.spans)
+    with _TOTALS_LOCK:
+        totals = _WORKER_TOTALS.setdefault(pid, {"tasks": 0, "task_ms": 0.0, "cache": {}})
+        totals["tasks"] += 1
+        totals["task_ms"] += sidecar.task_ms
+        for cache, delta in sidecar.cache.items():
+            bucket = totals["cache"].setdefault(cache, {event: 0 for event in delta})
+            for event, amount in delta.items():
+                bucket[event] = bucket.get(event, 0) + amount
+        _LAST_SIDECARS.append(sidecar)
+
+
+def merge_sidecars(sidecars) -> None:
+    """Fold a batch of worker sidecars into parent telemetry, in order."""
+    for sidecar in sidecars:
+        merge_sidecar(sidecar)
+
+
+def worker_totals() -> dict[str, dict]:
+    """Cumulative per-worker telemetry merged so far, keyed by pid.
+
+    Each value: ``{"tasks": n, "task_ms": total, "cache": {"rir":
+    {"hits": ..., "misses": ..., "evictions": ...}, "dry": {...}}}`` —
+    JSON-able, so audit records and bench reports embed it directly.
+    """
+    with _TOTALS_LOCK:
+        return {
+            pid: {
+                "tasks": totals["tasks"],
+                "task_ms": totals["task_ms"],
+                "cache": {cache: dict(counts) for cache, counts in totals["cache"].items()},
+            }
+            for pid, totals in _WORKER_TOTALS.items()
+        }
+
+
+def last_sidecars() -> list[WorkerSidecar]:
+    """Every sidecar merged since the last reset (oldest first)."""
+    with _TOTALS_LOCK:
+        return list(_LAST_SIDECARS)
+
+
+def reset_worker_totals() -> None:
+    """Drop accumulated per-worker totals and the sidecar history."""
+    with _TOTALS_LOCK:
+        _WORKER_TOTALS.clear()
+        _LAST_SIDECARS.clear()

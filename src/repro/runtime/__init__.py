@@ -29,6 +29,7 @@ from .batch import (
 )
 from .cache import (
     CacheStats,
+    cache_counts,
     cache_enabled,
     cache_sizes,
     cache_stats,
@@ -44,6 +45,7 @@ __all__ = [
     "InterferenceSpec",
     "RenderTask",
     "active_pool",
+    "cache_counts",
     "cache_enabled",
     "cache_sizes",
     "cache_stats",

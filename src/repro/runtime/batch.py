@@ -18,6 +18,7 @@ overridden per call or via :func:`worker_pool`.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -34,25 +35,42 @@ from ..acoustics.propagation import (
 )
 from ..acoustics.scene import Scene
 from ..acoustics.sources import SourceRendering
+from ..obs import workers as obs_workers
+from ..obs.control import obs_enabled
 from ..obs.metrics import counter_inc
+from ..obs.profile import profiled
 from ..obs.spans import span
 
 _WORKER_OVERRIDE: int | None = None
 _ACTIVE_POOL: ProcessPoolExecutor | None = None
 _ACTIVE_POOL_WORKERS: int = 0
+_WARNED_BAD_WORKERS = False
 
 
 def default_workers() -> int:
     """Worker count used when ``render_captures`` is not told explicitly.
 
     Resolution order: :func:`worker_pool` override, then the
-    ``REPRO_RENDER_WORKERS`` environment variable, then 1 (serial).
+    ``REPRO_RENDER_WORKERS`` environment variable, then 1 (serial).  A
+    malformed environment value falls back to serial with a one-time
+    :class:`RuntimeWarning` naming the bad value — a typo must not
+    silently discard the requested parallelism.
     """
+    global _WARNED_BAD_WORKERS
     if _WORKER_OVERRIDE is not None:
         return _WORKER_OVERRIDE
+    raw = os.environ.get("REPRO_RENDER_WORKERS", "1")
     try:
-        workers = int(os.environ.get("REPRO_RENDER_WORKERS", "1"))
+        workers = int(raw)
     except ValueError:
+        if not _WARNED_BAD_WORKERS:
+            _WARNED_BAD_WORKERS = True
+            warnings.warn(
+                f"REPRO_RENDER_WORKERS={raw!r} is not an integer; "
+                "falling back to serial rendering",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return 1
     return max(1, workers)
 
@@ -100,7 +118,11 @@ def persistent_pool(workers: int, warmup: bool = True):
     if workers < 2:
         raise ValueError("persistent pool needs workers >= 2")
     previous = (_ACTIVE_POOL, _ACTIVE_POOL_WORKERS)
-    pool = ProcessPoolExecutor(max_workers=workers)
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=obs_workers.init_worker,
+        initargs=(obs_workers.current_context(),),
+    )
     try:
         if warmup:
             with span("runtime.pool_warmup", workers=workers):
@@ -172,6 +194,19 @@ def execute_render_task(task: RenderTask) -> Capture:
         return _execute_render_task(task)
 
 
+def _execute_task_with_sidecar(task: RenderTask) -> tuple[Capture, "obs_workers.WorkerSidecar"]:
+    """Pool-worker task function on the observed path.
+
+    Wraps :func:`execute_render_task` in worker-side telemetry and ships
+    a :class:`~repro.obs.workers.WorkerSidecar` back with the capture.
+    The render itself is untouched — the returned bytes are identical to
+    the plain path for any observability state.
+    """
+    with obs_workers.task_telemetry() as telemetry:
+        capture = execute_render_task(task)
+    return capture, telemetry.sidecar
+
+
 def _execute_render_task(task: RenderTask) -> Capture:
     rng = restore_generator(task.rng_state)
     capture = render_capture(
@@ -230,14 +265,30 @@ def render_captures(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     workers = min(workers, len(tasks))
-    with span("runtime.render_captures", workers=workers, n=len(tasks)):
+    with profiled("runtime.render_captures"), span(
+        "runtime.render_captures", workers=workers, n=len(tasks)
+    ):
         if workers == 1:
             counter_inc("runtime.captures_rendered", amount=len(tasks), mode="serial")
             return [execute_render_task(task) for task in tasks]
         if chunksize is None:
             chunksize = max(1, len(tasks) // (4 * workers))
         counter_inc("runtime.captures_rendered", amount=len(tasks), mode="pool")
+        # With observability on, workers return (capture, sidecar) pairs
+        # and the parent folds the sidecars into its registry and trace
+        # on completion; the disabled path maps the plain task function.
+        observe = obs_enabled()
+        task_fn = _execute_task_with_sidecar if observe else execute_render_task
         if _ACTIVE_POOL is not None and _ACTIVE_POOL_WORKERS >= workers:
-            return list(_ACTIVE_POOL.map(execute_render_task, tasks, chunksize=chunksize))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_render_task, tasks, chunksize=chunksize))
+            results = list(_ACTIVE_POOL.map(task_fn, tasks, chunksize=chunksize))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=obs_workers.init_worker,
+                initargs=(obs_workers.current_context(),),
+            ) as pool:
+                results = list(pool.map(task_fn, tasks, chunksize=chunksize))
+        if not observe:
+            return results
+        obs_workers.merge_sidecars(sidecar for _, sidecar in results)
+        return [capture for capture, _ in results]

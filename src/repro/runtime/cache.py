@@ -145,6 +145,19 @@ def cache_stats() -> dict[str, CacheStats]:
     return {"rir": _RIR_CACHE.stats, "dry": _DRY_CACHE.stats}
 
 
+def cache_counts() -> dict[str, dict[str, int]]:
+    """Per-cache counters as plain dicts (picklable and JSON-able).
+
+    The shape worker-telemetry sidecars and audit records carry:
+    ``{"rir": {"hits": ..., "misses": ..., "evictions": ...}, "dry":
+    {...}}``.
+    """
+    return {
+        name: {"hits": stats.hits, "misses": stats.misses, "evictions": stats.evictions}
+        for name, stats in cache_stats().items()
+    }
+
+
 def cache_sizes() -> dict[str, int]:
     """Current entry counts per cache."""
     return {"rir": len(_RIR_CACHE), "dry": len(_DRY_CACHE)}

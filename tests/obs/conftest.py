@@ -7,14 +7,25 @@ the audit ring, and restores the disabled default afterwards.
 
 import pytest
 
-from repro.obs import REGISTRY, audit_log, clear_spans, set_obs_enabled
+from repro.obs import (
+    REGISTRY,
+    audit_log,
+    clear_profiles,
+    clear_spans,
+    reset_worker_totals,
+    set_obs_enabled,
+    set_profiling_enabled,
+)
 from repro.obs.audit import DEFAULT_CAPACITY
 
 
 def _reset_obs_state():
     set_obs_enabled(False)
+    set_profiling_enabled(False)
     clear_spans()
     REGISTRY.reset()
+    reset_worker_totals()
+    clear_profiles()
     audit_log().clear()
     audit_log().configure(path=None, capacity=DEFAULT_CAPACITY)
 

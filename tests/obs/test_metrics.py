@@ -2,6 +2,7 @@
 
 import json
 import math
+import threading
 
 import numpy as np
 import pytest
@@ -12,7 +13,9 @@ from repro.obs import (
     gauge_set,
     histogram_observe,
     set_obs_enabled,
+    snapshot_to_prometheus,
 )
+from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import Counter, Gauge, Histogram, metric_id
 
 
@@ -133,3 +136,104 @@ class TestGuardedHelpers:
         assert snapshot["c{mode=x}"]["value"] == 2
         assert snapshot["g"]["value"] == 7
         assert snapshot["h"]["count"] == 1
+
+
+class TestThreadSafety:
+    """No lost updates under concurrent instrumentation (satellite 4)."""
+
+    def test_concurrent_counter_increments(self):
+        set_obs_enabled(True)
+        threads_n, increments = 8, 2000
+
+        def hammer():
+            for _ in range(increments):
+                counter_inc("stress.hits", cache="rir")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert REGISTRY.counter("stress.hits", cache="rir").value == threads_n * increments
+
+    def test_concurrent_get_or_create_and_observe(self):
+        """Racing first-use creation must yield one metric per identity."""
+        set_obs_enabled(True)
+        barrier = threading.Barrier(6)
+        seen = []
+
+        def hammer(k):
+            barrier.wait()
+            for i in range(500):
+                histogram_observe("stress.ms", float(i % 7), worker=str(k % 2))
+            seen.append(REGISTRY.histogram("stress.ms", worker=str(k % 2)))
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        summaries = REGISTRY.histograms("stress.ms")
+        assert set(summaries) == {"stress.ms{worker=0}", "stress.ms{worker=1}"}
+        assert sum(s["count"] for s in summaries.values()) == 6 * 500
+        # Each label set resolved to exactly one histogram instance.
+        assert len({id(h) for h in seen}) == 2
+
+
+class TestPrometheusExposition:
+    def test_counter_gauge_and_sanitization(self):
+        set_obs_enabled(True)
+        counter_inc("runtime.cache.hits", amount=3, cache="rir")
+        gauge_set("pool.size", 2)
+        text = REGISTRY.to_prometheus()
+        assert "# TYPE runtime_cache_hits_total counter" in text
+        assert 'runtime_cache_hits_total{cache="rir"} 3' in text
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        snapshot = {
+            "lat.ms{stage=fast}": {
+                "type": "histogram",
+                "bounds": [1.0, 5.0],
+                "counts": [2, 1, 1],
+                "count": 4,
+                "sum": 10.5,
+            }
+        }
+        text = snapshot_to_prometheus(snapshot)
+        assert "# TYPE lat_ms histogram" in text
+        assert 'lat_ms_bucket{stage="fast",le="1"} 2' in text
+        assert 'lat_ms_bucket{stage="fast",le="5"} 3' in text
+        assert 'lat_ms_bucket{stage="fast",le="+Inf"} 4' in text
+        assert 'lat_ms_sum{stage="fast"} 10.5' in text
+        assert 'lat_ms_count{stage="fast"} 4' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert snapshot_to_prometheus({}) == ""
+
+    def test_main_dumps_live_registry(self, capsys):
+        set_obs_enabled(True)
+        counter_inc("dump.me")
+        assert obs_metrics.main([]) == 0
+        out = capsys.readouterr().out
+        assert "dump_me_total 1" in out
+
+    def test_main_converts_snapshot_file(self, tmp_path, capsys):
+        set_obs_enabled(True)
+        counter_inc("saved.counter", amount=4)
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(REGISTRY.snapshot()))
+        REGISTRY.reset()
+        assert obs_metrics.main([str(path)]) == 0
+        assert "saved_counter_total 4" in capsys.readouterr().out
+
+    def test_main_rejects_bad_input(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert obs_metrics.main([str(missing)]) == 1
+        not_object = tmp_path / "list.json"
+        not_object.write_text("[1, 2]")
+        assert obs_metrics.main([str(not_object)]) == 1
+        errors = capsys.readouterr().err
+        assert "nope.json" in errors and "not a snapshot object" in errors

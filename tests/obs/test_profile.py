@@ -1,0 +1,76 @@
+"""Profiling hooks: opt-in capture, no-op default, nesting guard."""
+
+import json
+
+from repro.obs import (
+    clear_profiles,
+    profile_snapshot,
+    profiled,
+    profiling_enabled,
+    set_profiling_enabled,
+)
+from repro.obs.profile import NOOP_PROFILE
+
+
+def _allocate_some():
+    return sum(len(str(n)) for n in range(20_000)) + len([0.0] * 50_000)
+
+
+class TestDisabled:
+    def test_noop_is_shared_and_records_nothing(self):
+        assert profiling_enabled() is False
+        scope = profiled("never")
+        assert scope is NOOP_PROFILE
+        with scope:
+            _allocate_some()
+        assert profile_snapshot() == {}
+
+
+class TestEnabled:
+    def test_captures_peak_and_top_functions(self):
+        set_profiling_enabled(True)
+        with profiled("region.alloc"):
+            _allocate_some()
+        snapshot = profile_snapshot()
+        record = snapshot["region.alloc"]
+        assert record["duration_ms"] > 0
+        assert record["tracemalloc_peak_bytes"] > 0
+        assert record["top"], "cProfile rows expected"
+        assert {"function", "ncalls", "tottime_s", "cumtime_s"} <= set(record["top"][0])
+        # Rows are sorted by cumulative time, descending.
+        cumtimes = [row["cumtime_s"] for row in record["top"]]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        json.dumps(snapshot)
+
+    def test_top_n_bounds_rows(self):
+        set_profiling_enabled(True)
+        with profiled("region.small", top_n=2):
+            _allocate_some()
+        assert len(profile_snapshot()["region.small"]["top"]) <= 2
+
+    def test_nested_regions_outermost_wins(self):
+        set_profiling_enabled(True)
+        with profiled("outer"):
+            with profiled("inner"):
+                _allocate_some()
+        snapshot = profile_snapshot()
+        assert "outer" in snapshot
+        assert "inner" not in snapshot
+        # The guard releases on exit: a later region records normally.
+        with profiled("after"):
+            pass
+        assert "after" in profile_snapshot()
+
+    def test_clear_profiles(self):
+        set_profiling_enabled(True)
+        with profiled("gone"):
+            pass
+        clear_profiles()
+        assert profile_snapshot() == {}
+
+    def test_toggle(self):
+        set_profiling_enabled(True)
+        assert profiling_enabled() is True
+        set_profiling_enabled(False)
+        assert profiling_enabled() is False
+        assert profiled("off") is NOOP_PROFILE

@@ -1,0 +1,178 @@
+"""Run manifests: schema round-trip, validation, wiring, diffing."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import run_with_manifest, write_run_manifest
+from repro.obs.runlog import (
+    SCHEMA,
+    RunManifest,
+    default_manifest_dir,
+    diff_manifests,
+    jsonable,
+    manifest_path,
+    repo_git_sha,
+    validate,
+)
+from repro.reporting import ExperimentResult
+
+
+def _result(experiment_id="E99"):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="Stub experiment",
+        headers=["k", "v"],
+        rows=[{"k": "a", "v": 1.0}],
+        paper="(none)",
+        summary={"total": 1.0},
+    )
+
+
+class TestJsonable:
+    def test_passthrough_and_containers(self):
+        assert jsonable({"a": (1, 2), "b": {3}}) == {"a": [1, 2], "b": [3]}
+        assert jsonable(None) is None
+        assert jsonable("x") == "x"
+
+    def test_numpy_duck_typing(self):
+        assert jsonable(np.float64(1.5)) == 1.5
+        assert jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_dataclass_and_fallback(self):
+        @dataclasses.dataclass
+        class Config:
+            n: int = 3
+
+        assert jsonable(Config()) == {"n": 3}
+        assert jsonable(object()).startswith("<object")
+
+
+class TestRunManifest:
+    def test_write_load_round_trip(self, tmp_path):
+        manifest = RunManifest(
+            "E18", seed=3, config={"scale": "BENCH", "angles": (0.0, 180.0)}, run_id="r1"
+        )
+        manifest.add_stage("liveness", 41.7)
+        manifest.add_stage("orientation", np.float64(136.2))
+        manifest.metrics = {"pipeline.decisions": {"type": "counter", "value": 4.0}}
+        manifest.summary = {"total_ms": 180.2}
+        path = manifest.write(directory=tmp_path)
+        assert path == tmp_path / "RUN_E18.json"
+        loaded = RunManifest.load(path)
+        assert loaded.to_dict() == manifest.to_dict()
+        assert loaded.to_dict() == json.loads(path.read_text())
+        assert loaded.seed == 3
+        assert loaded.stages["orientation"] == pytest.approx(136.2)
+
+    def test_document_shape(self):
+        document = RunManifest("E01").to_dict()
+        assert document["schema"] == SCHEMA
+        assert validate(document) == []
+        # The auto-detected SHA matches the repo (this test runs in it).
+        assert document["git_sha"] == repo_git_sha()
+        assert document["env"]  # fingerprint is populated
+
+    def test_explicit_path_overrides_directory(self, tmp_path):
+        target = tmp_path / "nested" / "custom.json"
+        written = RunManifest("E02").write(path=target)
+        assert written == target and target.exists()
+
+    def test_refuses_invalid(self, tmp_path):
+        manifest = RunManifest("E03")
+        manifest.stages["bad"] = "not-a-number"
+        with pytest.raises(ValueError, match="invalid manifest"):
+            manifest.write(directory=tmp_path)
+
+    def test_manifest_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert default_manifest_dir() == tmp_path
+        assert manifest_path("E18") == tmp_path / "RUN_E18.json"
+
+
+class TestValidate:
+    def test_not_an_object(self):
+        assert validate([]) == ["document is not a JSON object"]
+
+    def test_catches_field_problems(self):
+        document = RunManifest("E01").to_dict()
+        document["schema"] = "repro.obs.runlog/0"
+        document["name"] = ""
+        document["seed"] = "zero"
+        document["stages"] = {"run": "fast"}
+        problems = validate(document)
+        assert any("schema" in p for p in problems)
+        assert any("name" in p for p in problems)
+        assert any("seed" in p for p in problems)
+        assert any("stages['run']" in p for p in problems)
+
+
+class TestExperimentWiring:
+    def test_write_run_manifest(self, tmp_path):
+        path = write_run_manifest(
+            _result(),
+            seed=5,
+            config={"scale": "TINY"},
+            stages={"run": 12.0},
+            manifest_dir=tmp_path,
+        )
+        assert path == tmp_path / "RUN_E99.json"
+        loaded = RunManifest.load(path)
+        assert loaded.seed == 5
+        assert loaded.config == {"scale": "TINY"}
+        assert loaded.stages == {"run": 12.0}
+        assert loaded.summary["title"] == "Stub experiment"
+        assert loaded.summary["rows"] == [{"k": "a", "v": 1.0}]
+
+    def test_run_with_manifest_stub_runner(self, tmp_path):
+        calls = {}
+
+        def runner(scale="TINY", seed=0):
+            calls["kwargs"] = {"scale": scale, "seed": seed}
+            return _result("E42")
+
+        result, path = run_with_manifest(
+            "E42", runner=runner, manifest_dir=tmp_path, scale="BENCH", seed=9
+        )
+        assert calls["kwargs"] == {"scale": "BENCH", "seed": 9}
+        assert result.experiment_id == "E42"
+        loaded = RunManifest.load(path)
+        assert loaded.seed == 9
+        assert loaded.config == {"scale": "BENCH"}
+        assert loaded.stages["run"] > 0
+
+    def test_unknown_experiment_id(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown experiment id"):
+            run_with_manifest("E00", manifest_dir=tmp_path)
+
+
+class TestDiffManifests:
+    def _pair(self):
+        baseline = RunManifest("E18", seed=0, config={"scale": "BENCH"})
+        baseline.stages = {"liveness": 40.0, "orientation": 100.0}
+        baseline.summary = {"total_ms": 140.0}
+        current = RunManifest("E18", seed=0, config={"scale": "BENCH"})
+        current.stages = {"liveness": 40.0, "orientation": 150.0}
+        current.summary = {"total_ms": 190.0}
+        return baseline.to_dict(), current.to_dict()
+
+    def test_identical_runs_diff_empty(self):
+        document = RunManifest("E18", seed=0).to_dict()
+        assert diff_manifests(document, document) == []
+
+    def test_reports_stage_and_summary_changes(self):
+        baseline, current = self._pair()
+        lines = diff_manifests(baseline, current)
+        assert "stage orientation: 100.0 ms -> 150.0 ms (+50%)" in lines
+        assert "summary.total_ms: 140.0 -> 190.0" in lines
+        assert not any(line.startswith("stage liveness") for line in lines)
+
+    def test_reports_identity_changes(self):
+        baseline, current = self._pair()
+        current["seed"] = 1
+        current["git_sha"] = "deadbeef"
+        lines = diff_manifests(baseline, current)
+        assert any(line.startswith("seed:") for line in lines)
+        assert any(line.startswith("git_sha:") for line in lines)

@@ -1,0 +1,219 @@
+"""Cross-process worker telemetry: sidecars, merge, context propagation.
+
+The tentpole invariant: a multi-worker ``render_captures`` run with
+observability on yields a parent metrics snapshot whose per-worker cache
+counters and task counts equal the sum of the per-task sidecars — and
+byte-identical captures either way.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import CollectionSpec
+from repro.datasets.collection import render_tasks
+from repro.obs import (
+    REGISTRY,
+    last_sidecars,
+    obs_enabled,
+    reset_worker_totals,
+    set_obs_enabled,
+    span_records,
+    worker_totals,
+)
+from repro.obs.workers import (
+    ObsContext,
+    WorkerSidecar,
+    current_context,
+    current_run_id,
+    init_worker,
+    merge_sidecar,
+    set_run_id,
+    task_telemetry,
+    worker_context,
+)
+from repro.runtime import clear_caches, execute_render_task, persistent_pool, render_captures
+
+SPEC = CollectionSpec(
+    room="lab",
+    device="D2",
+    wake_word="computer",
+    locations=((1.0, 0.0),),
+    angles=(0.0, 180.0),
+    repetitions=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _tasks():
+    return [task for _, task in render_tasks(SPEC)]
+
+
+class TestObsContext:
+    def test_current_context_mirrors_process_state(self):
+        assert current_context() == ObsContext(enabled=False, run_id=None)
+        set_obs_enabled(True)
+        try:
+            set_run_id("r7")
+            assert current_context() == ObsContext(enabled=True, run_id="r7")
+        finally:
+            set_run_id(None)
+
+    def test_init_worker_adopts_context(self):
+        try:
+            init_worker(ObsContext(enabled=True, run_id="pool-run"))
+            assert obs_enabled() is True
+            assert current_run_id() == "pool-run"
+            assert worker_context().run_id == "pool-run"
+        finally:
+            init_worker(ObsContext())
+            assert obs_enabled() is False
+            assert current_run_id() is None
+
+
+class TestTaskTelemetry:
+    def test_sidecar_captures_task(self):
+        task = _tasks()[0]
+        with task_telemetry() as telemetry:
+            execute_render_task(task)
+        sidecar = telemetry.sidecar
+        assert sidecar.pid == os.getpid()
+        assert sidecar.task_ms > 0
+        assert set(sidecar.cache) == {"rir", "dry"}
+        assert sidecar.cache["dry"]["misses"] == 1
+        assert any(record.name == "runtime.render_task" for record in sidecar.spans)
+        # Telemetry forces observability on for the task body only.
+        assert obs_enabled() is False
+        # The worker-side buffer was cleared after the sidecar took its spans.
+        assert span_records() == []
+
+    def test_cache_deltas_are_per_task(self):
+        task = _tasks()[0]
+        with task_telemetry() as first:
+            execute_render_task(task)
+        with task_telemetry() as second:
+            execute_render_task(task)
+        # The second run hits the dry cache warmed by the first; deltas
+        # carry only this task's lookups, not the cumulative counts.
+        assert first.sidecar.cache["dry"] == {"hits": 0, "misses": 1, "evictions": 0}
+        assert second.sidecar.cache["dry"] == {"hits": 1, "misses": 0, "evictions": 0}
+
+
+class TestMergeSidecar:
+    def _sidecar(self, pid=111, task_ms=2.0, hits=3, misses=1):
+        return WorkerSidecar(
+            pid=pid,
+            run_id=None,
+            task_ms=task_ms,
+            cache={
+                "rir": {"hits": hits, "misses": misses, "evictions": 0},
+                "dry": {"hits": 0, "misses": 0, "evictions": 0},
+            },
+        )
+
+    def test_merge_accumulates_registry_and_totals(self):
+        merge_sidecar(self._sidecar(task_ms=2.0))
+        merge_sidecar(self._sidecar(task_ms=3.0, hits=1))
+        snapshot = REGISTRY.snapshot()
+        assert snapshot["runtime.worker.tasks{worker=111}"]["value"] == 2
+        assert snapshot["runtime.worker.cache.hits{cache=rir,worker=111}"]["value"] == 4
+        assert snapshot["runtime.worker.cache.misses{cache=rir,worker=111}"]["value"] == 2
+        # Zero deltas (the dry cache here) emit no counter at all.
+        assert "runtime.worker.cache.hits{cache=dry,worker=111}" not in snapshot
+        assert snapshot["runtime.worker.task_ms{worker=111}"]["count"] == 2
+        totals = worker_totals()
+        assert totals["111"]["tasks"] == 2
+        assert totals["111"]["task_ms"] == pytest.approx(5.0)
+        assert totals["111"]["cache"]["rir"] == {"hits": 4, "misses": 2, "evictions": 0}
+        assert len(last_sidecars()) == 2
+
+    def test_merge_ingests_worker_spans(self):
+        set_obs_enabled(True)
+        with task_telemetry() as telemetry:
+            execute_render_task(_tasks()[0])
+        merge_sidecar(telemetry.sidecar)
+        threads = {r.thread for r in span_records()}
+        assert f"worker-{os.getpid()}" in threads
+
+    def test_reset_clears_totals(self):
+        merge_sidecar(self._sidecar())
+        reset_worker_totals()
+        assert worker_totals() == {}
+        assert last_sidecars() == []
+
+
+class TestPoolTelemetry:
+    """End-to-end: telemetry rides the pool results back to the parent."""
+
+    def test_parent_snapshot_equals_sidecar_sums(self):
+        tasks = _tasks()
+        serial = render_captures(tasks, workers=1)
+        clear_caches()
+        set_obs_enabled(True)
+        set_run_id("pool-e2e")
+        try:
+            with persistent_pool(2):
+                first = render_captures(tasks, workers=2)
+                second = render_captures(tasks, workers=2)
+        finally:
+            set_run_id(None)
+
+        # Captures stay byte-identical to serial on the observed path.
+        for a, b, c in zip(serial, first, second):
+            assert np.array_equal(a.channels, b.channels)
+            assert np.array_equal(a.channels, c.channels)
+
+        sidecars = last_sidecars()
+        assert len(sidecars) == 2 * len(tasks)
+        assert all(s.run_id == "pool-e2e" for s in sidecars)
+
+        snapshot = REGISTRY.snapshot()
+        totals = worker_totals()
+        # Parent counters equal the sum of per-task sidecar deltas, per
+        # worker and per cache/event.
+        for pid in totals:
+            expected_tasks = sum(1 for s in sidecars if str(s.pid) == pid)
+            assert snapshot[f"runtime.worker.tasks{{worker={pid}}}"]["value"] == expected_tasks
+            assert totals[pid]["tasks"] == expected_tasks
+            for cache in ("rir", "dry"):
+                for event in ("hits", "misses", "evictions"):
+                    expected = sum(s.cache[cache][event] for s in sidecars if str(s.pid) == pid)
+                    assert totals[pid]["cache"][cache][event] == expected
+                    metric = f"runtime.worker.cache.{event}{{cache={cache},worker={pid}}}"
+                    if expected:
+                        assert snapshot[metric]["value"] == expected
+                    else:
+                        assert metric not in snapshot
+        # Per-task render timings all land in the parent histograms.
+        histogram_count = sum(
+            summary["count"] for summary in REGISTRY.histograms("runtime.worker.task_ms").values()
+        )
+        assert histogram_count == len(sidecars)
+        # Worker spans are re-threaded into the parent trace.
+        worker_threads = {r.thread for r in span_records() if r.thread.startswith("worker-")}
+        assert worker_threads == {f"worker-{pid}" for pid in totals}
+        # Every task missed the dry cache once or hit it once — totals
+        # over all workers must account for every render.
+        dry_lookups = sum(
+            totals[pid]["cache"]["dry"]["hits"] + totals[pid]["cache"]["dry"]["misses"]
+            for pid in totals
+        )
+        assert dry_lookups == 2 * len(tasks)
+
+    def test_disabled_path_is_plain(self):
+        tasks = _tasks()
+        serial = render_captures(tasks, workers=1)
+        clear_caches()
+        parallel = render_captures(tasks, workers=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.channels, b.channels)
+        assert REGISTRY.snapshot() == {}
+        assert last_sidecars() == []
+        assert worker_totals() == {}

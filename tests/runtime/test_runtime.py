@@ -97,6 +97,20 @@ class TestSerialParallelEquivalence:
             assert default_workers() == 3
         assert default_workers() == 1
 
+    def test_malformed_env_warns_once_and_falls_back(self, monkeypatch):
+        import warnings
+
+        from repro.runtime import batch
+
+        monkeypatch.setenv("REPRO_RENDER_WORKERS", "two")
+        monkeypatch.setattr(batch, "_WARNED_BAD_WORKERS", False)
+        with pytest.warns(RuntimeWarning, match="REPRO_RENDER_WORKERS='two'"):
+            assert batch.default_workers() == 1
+        # The warning is one-time: later calls stay silent (and serial).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert batch.default_workers() == 1
+
     def test_empty_and_invalid(self):
         assert render_captures([]) == []
         with pytest.raises(ValueError, match="workers"):
