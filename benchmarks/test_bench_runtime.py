@@ -41,6 +41,7 @@ from repro.obs import (
 from repro.obs import bench as obs_bench
 from repro.obs import runlog as obs_runlog
 from repro.obs.bench import BenchReport
+from repro.obs.monitor import monitor_snapshot, reset_monitor
 from repro.reporting import ExperimentResult
 from repro.runtime import cache_stats, clear_caches, persistent_pool, render_captures
 
@@ -53,6 +54,7 @@ _REPORT = BenchReport("runtime")
 
 def test_bench_runtime(benchmark, record_result):
     REGISTRY.reset()
+    reset_monitor()
     with observed():
         result = benchmark.pedantic(
             exp_runtime.run, kwargs={"scale": BENCH, "n_trials": 20}, rounds=1, iterations=1
@@ -236,6 +238,10 @@ def test_bench_report_written(tmp_path):
     RESULTS_DIR.mkdir(exist_ok=True)
     current_path = RESULTS_DIR / "BENCH_runtime.json"
     _REPORT.add_profiles(profile_snapshot())
+    # The observed E18 run fed the quality monitor (labelled decisions on
+    # the facing capture); its snapshot rides along informationally —
+    # QUALITY_*.json owns the enforcement.
+    _REPORT.add_quality(monitor_snapshot())
     _REPORT.write(current_path)
     assert obs_bench.validate(json.loads(current_path.read_text())) == []
 

@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..acoustics.propagation import Capture
+from ..obs import audit_record
 from .pipeline import Decision, HeadTalkPipeline
 
 
@@ -136,8 +137,20 @@ class VoiceAssistantController:
         )
         return deleted
 
-    def on_wake_word(self, capture: Capture, now: float = 0.0) -> AuditEvent:
-        """Handle a detected wake-word capture according to the mode."""
+    def on_wake_word(
+        self,
+        capture: Capture,
+        now: float = 0.0,
+        truth: bool | None = None,
+        slices: dict | None = None,
+    ) -> AuditEvent:
+        """Handle a detected wake-word capture according to the mode.
+
+        ``truth`` / ``slices`` (known only in simulations and dataset
+        replays) are forwarded to the pipeline so gate decisions made on
+        the controller's behalf feed the decision-quality monitor with
+        labels; both default to ``None`` and change nothing otherwise.
+        """
         if self.mode is Mode.MUTE:
             return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
         if self.mode is Mode.NORMAL:
@@ -148,7 +161,10 @@ class VoiceAssistantController:
             return self._log(
                 now, EventKind.SESSION_COMMAND, "within facing-verified session"
             )
-        decision = self.pipeline.evaluate(capture)
+        if truth is not None or slices is not None:
+            decision = self.pipeline.evaluate(capture, truth=truth, slices=slices)
+        else:
+            decision = self.pipeline.evaluate(capture)
         if decision.accepted:
             self._session_expiry = now + self.pipeline.config.session_seconds
             return self._log(
@@ -195,4 +211,15 @@ class VoiceAssistantController:
         if kind in (EventKind.UPLOADED, EventKind.SESSION_COMMAND):
             # Mirror what the manufacturer's cloud now retains.
             self.cloud_recordings.append(CloudRecording(time=now, detail=detail))
+        # Mirror the event into the obs audit JSONL (no-op when obs is
+        # off) so offline replays see gate context around decisions.
+        audit_record(
+            "gate",
+            kind=kind.value,
+            mode=self.mode.value,
+            detail=detail,
+            t=now,
+            accepted=None if decision is None else decision.accepted,
+            reason=None if decision is None else decision.reason,
+        )
         return event

@@ -164,8 +164,14 @@ class HeadTalkPipeline:
         decision: Decision,
         batch_size: int | None = None,
         batch_index: int | None = None,
+        truth: bool | None = None,
+        slices: dict | None = None,
     ) -> None:
         """Metrics + audit record for one decision (observability on only)."""
+        # Lazy like worker_totals: keeps ``python -m repro.obs.monitor``
+        # clean of runpy's already-imported warning (repro's eager core
+        # import would otherwise pull the monitor in first).
+        from ..obs.monitor import monitor_record
         from ..obs.workers import worker_totals
         from ..runtime.cache import cache_counts
 
@@ -194,21 +200,42 @@ class HeadTalkPipeline:
         if batch_size is not None:
             record["batch_size"] = batch_size
             record["batch_index"] = batch_index
+        # Ground truth + slice labels ride along when the caller knows
+        # them (experiments, dataset replays, scripted sessions), so the
+        # quality monitor — live here, or offline replaying the JSONL —
+        # can maintain sliced FAR/FRR and calibration state.
+        if truth is not None:
+            record["truth"] = bool(truth)
+        if slices:
+            record["slices"] = {str(axis): str(label) for axis, label in slices.items()}
         audit_record("decision", **record)
+        monitor_record(record)
 
-    def evaluate(self, capture: Capture, check_liveness: bool = True) -> Decision:
+    def evaluate(
+        self,
+        capture: Capture,
+        check_liveness: bool = True,
+        *,
+        truth: bool | None = None,
+        slices: dict | None = None,
+    ) -> Decision:
         """Run the full gate for one capture.
 
         With observability enabled (:mod:`repro.obs`) the call is traced
         as a ``pipeline.evaluate`` span with one child span per stage,
         the stage latencies land in the ``pipeline.stage_ms`` histograms
-        and the outcome is appended to the decision audit log.
+        and the outcome is appended to the decision audit log.  ``truth``
+        (the ground-truth should-accept bit, when the caller knows it)
+        and ``slices`` (scene labels, e.g. from
+        :func:`repro.obs.monitor.slices_from_meta`) annotate the audit
+        record and feed the decision-quality monitor; both are ignored
+        while observability is off.
         """
         self._check_capture(capture)
         with span("pipeline.evaluate"):
             decision = self._evaluate_one(capture, check_liveness)
         if obs_enabled():
-            self._observe_decision("evaluate", capture, decision)
+            self._observe_decision("evaluate", capture, decision, truth=truth, slices=slices)
         return decision
 
     def _evaluate_one(self, capture: Capture, check_liveness: bool) -> Decision:
@@ -262,7 +289,12 @@ class HeadTalkPipeline:
         )
 
     def evaluate_batch(
-        self, captures: list[Capture], check_liveness: bool = True
+        self,
+        captures: list[Capture],
+        check_liveness: bool = True,
+        *,
+        truths: list | None = None,
+        slices: list | None = None,
     ) -> BatchEvaluation:
         """Run the gate over many captures with shared, batched DSP.
 
@@ -273,9 +305,18 @@ class HeadTalkPipeline:
         per-model calls are kept per-row precisely so no batched matmul
         can perturb a single float).  Timings are whole-batch per stage;
         each returned ``Decision`` carries its stage's per-capture share.
+
+        ``truths`` / ``slices`` optionally carry one ground-truth label /
+        slice-label dict per capture (``None`` entries allowed) for the
+        decision-quality monitor; like the other observability hooks
+        they cost nothing while observability is off.
         """
         if not captures:
             raise ValueError("captures must be non-empty")
+        if truths is not None and len(truths) != len(captures):
+            raise ValueError("truths must align with captures")
+        if slices is not None and len(slices) != len(captures):
+            raise ValueError("slices must align with captures")
         for capture in captures:
             self._check_capture(capture)
         with profiled("pipeline.evaluate_batch"), span(
@@ -295,6 +336,8 @@ class HeadTalkPipeline:
                     decision,
                     batch_size=len(captures),
                     batch_index=index,
+                    truth=None if truths is None else truths[index],
+                    slices=None if slices is None else slices[index],
                 )
         return evaluation
 

@@ -183,11 +183,13 @@ def write_run_manifest(
 
     Builds a :class:`repro.obs.runlog.RunManifest` named after
     ``result.experiment_id`` (environment fingerprint and git SHA are
-    auto-detected), snapshots the live metrics registry and any captured
-    profiles into it, and writes ``RUN_<id>.json`` under ``manifest_dir``
+    auto-detected), snapshots the live metrics registry, any captured
+    profiles and the decision-quality monitor into it, and writes
+    ``RUN_<id>.json`` under ``manifest_dir``
     (default ``benchmarks/manifests/``).  Returns the written path.
     """
     from ..obs.metrics import REGISTRY
+    from ..obs.monitor import monitor_snapshot
     from ..obs.profile import profile_snapshot
     from ..obs.runlog import RunManifest
 
@@ -200,6 +202,7 @@ def write_run_manifest(
     manifest.stages.update(stages or {})
     manifest.metrics = REGISTRY.snapshot()
     manifest.profile = profile_snapshot()
+    manifest.quality = monitor_snapshot()
     manifest.summary = {
         "title": result.title,
         "paper": result.paper,

@@ -19,6 +19,7 @@ from ..core.liveness import LIVE_HUMAN, MECHANICAL, LivenessDetector
 from ..core.pipeline import HeadTalkPipeline
 from ..core.preprocessing import preprocess
 from ..arrays.devices import default_channel_subset, get_device
+from ..obs.monitor import slices_from_meta
 from ..obs.profile import profiled
 from ..reporting import ExperimentResult
 from .common import default_dataset, fit_detector
@@ -59,7 +60,14 @@ def run(
     liveness.fit(waveforms, np.asarray(labels), array.sample_rate)
 
     pipeline = HeadTalkPipeline(array=array, liveness=liveness, orientation=detector)
-    _, capture = next(iter(collect(CollectionSpec(**{**spec.__dict__, "source": "human"}), seed + 1)))
+    capture_meta, capture = next(
+        iter(collect(CollectionSpec(**{**spec.__dict__, "source": "human"}), seed + 1))
+    )
+    # The measured capture is a facing (0°) live human, so the decisions
+    # carry ground truth + scene slices into the quality monitor when
+    # observability is on (the BENCH report embeds the snapshot).
+    truth = True
+    capture_slices = slices_from_meta(capture_meta)
 
     for _ in range(max(0, warmup)):
         pipeline.evaluate(capture)
@@ -71,7 +79,7 @@ def run(
     preprocess_ms, liveness_ms, orientation_ms = [], [], []
     with profiled("e18.stages"):
         for _ in range(n_trials):
-            with_liveness = pipeline.evaluate(capture)
+            with_liveness = pipeline.evaluate(capture, truth=truth, slices=capture_slices)
             preprocess_ms.append(with_liveness.preprocess_ms)
             liveness_ms.append(with_liveness.liveness_ms)
             # Time the orientation stage unconditionally (a rejected
@@ -79,7 +87,11 @@ def run(
             orientation_only = pipeline.evaluate(capture, check_liveness=False)
             orientation_ms.append(orientation_only.orientation_ms)
 
-    batch = pipeline.evaluate_batch([capture] * n_trials)
+    batch = pipeline.evaluate_batch(
+        [capture] * n_trials,
+        truths=[truth] * n_trials,
+        slices=[capture_slices] * n_trials,
+    )
     batch_matches_serial = all(
         decision.fingerprint() == with_liveness.fingerprint() for decision in batch
     )

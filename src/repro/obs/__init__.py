@@ -24,7 +24,14 @@ is a function call and a dict/global lookup.  Enable per process with
   reports and the ``python -m repro.obs.bench --compare`` CI gate
   (imported explicitly, not re-exported here, so the ``-m`` entry
   point stays clean; ``python -m repro.obs.metrics`` likewise dumps
-  Prometheus text).
+  Prometheus text);
+- :mod:`repro.obs.monitor` — online decision-quality monitoring:
+  sliced FAR/FRR/acceptance counters, PSI / KS / Page–Hinkley score
+  drift detectors raising :class:`DriftAlarm` records, rolling
+  calibration (ECE), and the ``python -m repro.obs.monitor replay``
+  CLI that rebuilds monitor state from an audit JSONL and emits
+  gateable ``QUALITY_<name>.json`` reports (like bench, imported
+  explicitly to keep its ``-m`` entry point clean).
 
 See ``docs/OBSERVABILITY.md``.
 """

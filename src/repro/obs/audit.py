@@ -23,17 +23,36 @@ DEFAULT_CAPACITY = 4096
 
 
 class AuditLog:
-    """Bounded in-memory record ring with an optional JSONL file sink."""
+    """Bounded in-memory record ring with an optional JSONL file sink.
+
+    The sink is a persistent line-buffered append handle, opened lazily
+    on the first write and kept open across records (re-opening the file
+    per record while holding the lock dominated sink cost at audit
+    rates).  ``line.write() + "\\n"`` happens as one string so concurrent
+    writers never interleave partial lines; :meth:`configure` closes and
+    re-points the handle, :meth:`flush`/:meth:`close` expose explicit
+    durability control.
+    """
 
     def __init__(self, path=None, capacity: int = DEFAULT_CAPACITY) -> None:
         self._records: deque = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._path = str(path) if path else None
+        self._handle = None
 
     @property
     def path(self) -> str | None:
         """The JSONL sink path (``None`` keeps records in memory only)."""
         return self._path
+
+    def _sink(self):
+        """The open sink handle (lazily opened; caller holds the lock)."""
+        if self._handle is None and self._path:
+            parent = os.path.dirname(self._path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self._path, "a", encoding="utf-8", buffering=1)
+        return self._handle
 
     def log(self, record: dict) -> dict:
         """Append one record (a ``ts`` epoch field is added if missing)."""
@@ -43,8 +62,7 @@ class AuditLog:
         with self._lock:
             self._records.append(record)
             if self._path:
-                with open(self._path, "a", encoding="utf-8") as handle:
-                    handle.write(line + "\n")
+                self._sink().write(line + "\n")
         return record
 
     def records(self) -> list[dict]:
@@ -57,9 +75,32 @@ class AuditLog:
         with self._lock:
             self._records.clear()
 
-    def configure(self, path=None, capacity: int | None = None) -> None:
-        """Re-point the file sink and/or resize the ring."""
+    def flush(self) -> None:
+        """Flush the sink handle to disk (no-op without an open sink)."""
         with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        """Close the sink handle; the next :meth:`log` re-opens it."""
+        with self._lock:
+            self._close_handle()
+
+    def _close_handle(self) -> None:
+        """Close the open handle if any (caller holds the lock)."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def configure(self, path=None, capacity: int | None = None) -> None:
+        """Re-point the file sink and/or resize the ring.
+
+        Closes any open handle; the new sink opens on the next write.
+        """
+        with self._lock:
+            self._close_handle()
             self._path = str(path) if path else None
             if capacity is not None:
                 self._records = deque(self._records, maxlen=capacity)

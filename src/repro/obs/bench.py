@@ -82,6 +82,7 @@ class BenchReport:
         self.metrics: dict[str, dict] = {}
         self.histograms: dict[str, dict] = {}
         self.profiles: dict[str, dict] = {}
+        self.quality: dict = {}
 
     def add_metric(
         self,
@@ -130,6 +131,17 @@ class BenchReport:
         for name, record in profiles.items():
             self.profiles[name] = dict(record)
 
+    def add_quality(self, snapshot: dict) -> None:
+        """Embed a decision-quality monitor snapshot (see
+        ``repro.obs.monitor``).
+
+        Like profiles, the quality section is informational here (the
+        dedicated ``QUALITY_*.json`` gate owns enforcement) and is
+        omitted entirely when empty, keeping unmonitored reports
+        byte-identical to pre-monitor ones.
+        """
+        self.quality = dict(snapshot)
+
     def to_dict(self) -> dict:
         """The schema-versioned JSON document."""
         document = {
@@ -142,6 +154,8 @@ class BenchReport:
         }
         if self.profiles:
             document["profiles"] = self.profiles
+        if self.quality:
+            document["quality"] = self.quality
         return document
 
     def write(self, path) -> dict:
@@ -169,6 +183,7 @@ class BenchReport:
         report.profiles = {
             name: dict(record) for name, record in document.get("profiles", {}).items()
         }
+        report.quality = dict(document.get("quality", {}))
         return report
 
 
@@ -221,6 +236,8 @@ def validate(document) -> list[str]:
         for name, record in profiles.items():
             if not isinstance(record, dict):
                 problems.append(f"profiles[{name!r}] is not an object")
+    if not isinstance(document.get("quality", {}), dict):
+        problems.append("quality must be an object")
     return problems
 
 

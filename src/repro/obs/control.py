@@ -12,9 +12,33 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-_TRUTHY = ("1", "true", "True", "yes", "on")
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "false", "no", "off", ""})
 
-_ENABLED = os.environ.get("REPRO_OBS", "0") in _TRUTHY
+
+def truthy(value, default: bool = False) -> bool:
+    """Case-insensitive boolean parse of an env-style switch value.
+
+    ``"1"/"true"/"yes"/"on"`` (any case, surrounding whitespace ignored)
+    are true; ``"0"/"false"/"no"/"off"/""`` are false; ``None`` and any
+    unrecognized spelling fall back to ``default``.
+    """
+    if value is None:
+        return default
+    text = str(value).strip().lower()
+    if text in _TRUTHY:
+        return True
+    if text in _FALSY:
+        return False
+    return default
+
+
+def env_truthy(name: str, default: bool = False) -> bool:
+    """:func:`truthy` applied to ``os.environ[name]`` (missing → default)."""
+    return truthy(os.environ.get(name), default)
+
+
+_ENABLED = env_truthy("REPRO_OBS")
 
 
 def obs_enabled() -> bool:

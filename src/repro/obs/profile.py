@@ -25,9 +25,9 @@ import threading
 import time
 import tracemalloc
 
-_TRUTHY = ("1", "true", "True", "yes", "on")
+from .control import env_truthy
 
-_ENABLED = os.environ.get("REPRO_PROFILE", "0") in _TRUTHY
+_ENABLED = env_truthy("REPRO_PROFILE")
 _ACTIVE = False
 _LOCK = threading.Lock()
 _PROFILES: dict[str, dict] = {}

@@ -133,14 +133,19 @@ class RunManifest:
         self.metrics: dict = {}
         self.summary: dict = {}
         self.profile: dict = {}
+        self.quality: dict = {}
 
     def add_stage(self, name: str, duration_ms: float) -> None:
         """Record one named stage's wall-clock milliseconds."""
         self.stages[name] = float(duration_ms)
 
     def to_dict(self) -> dict:
-        """The schema-versioned JSON document."""
-        return {
+        """The schema-versioned JSON document.
+
+        The decision-quality section is omitted when empty so manifests
+        written before the monitor existed round-trip byte-identically.
+        """
+        document = {
             "schema": SCHEMA,
             "name": self.name,
             "created": self.created,
@@ -154,6 +159,9 @@ class RunManifest:
             "summary": jsonable(self.summary),
             "profile": self.profile,
         }
+        if self.quality:
+            document["quality"] = self.quality
+        return document
 
     def write(self, path=None, directory=None) -> Path:
         """Validate and write the manifest; returns the path written.
@@ -192,6 +200,7 @@ class RunManifest:
         manifest.metrics = dict(document.get("metrics", {}))
         manifest.summary = dict(document.get("summary", {}))
         manifest.profile = dict(document.get("profile", {}))
+        manifest.quality = dict(document.get("quality", {}))
         return manifest
 
     @classmethod
@@ -218,7 +227,7 @@ def validate(document) -> list[str]:
         problems.append("git_sha must be a string or null")
     if document.get("run_id") is not None and not isinstance(document["run_id"], str):
         problems.append("run_id must be a string or null")
-    for section in ("config", "env", "stages", "metrics", "summary", "profile"):
+    for section in ("config", "env", "stages", "metrics", "summary", "profile", "quality"):
         if not isinstance(document.get(section, {}), dict):
             problems.append(f"{section} must be an object")
     stages = document.get("stages", {})

@@ -200,3 +200,71 @@ class TestAuditLog:
         event = controller.on_wake_word(capture(), now=1.0)
         assert event.decision is not None
         assert event.decision.reason == "non-facing"
+
+
+class TestScriptedSessionAudit:
+    """A full NORMAL → HEADTALK → MUTE session, event by event.
+
+    Pins the exact audit-event sequence (and the obs mirror of it) for
+    the canonical walkthrough: normal-mode upload, HeadTalk entry, an
+    accepted wake word opening a session, two in-session commands that
+    must NOT re-run the pipeline, session expiry soft-muting a follow-up,
+    then hard mute swallowing everything.
+    """
+
+    def script(self, controller):
+        controller.on_wake_word(capture(), now=0.0)  # NORMAL: uploaded
+        controller.voice_command(ENTER_HEADTALK, now=1.0)
+        controller.on_wake_word(capture(), now=2.0)  # evaluated: session opens
+        controller.on_wake_word(capture(), now=3.0)  # in session: no re-check
+        controller.on_followup_audio(now=4.0)  # in session: no re-check
+        controller.on_followup_audio(now=70.0)  # session expired (60 s)
+        controller.press_mute_button(now=71.0)
+        controller.on_wake_word(capture(), now=72.0)  # hard muted
+        controller.voice_command(ENTER_HEADTALK, now=73.0)  # ignored while muted
+
+    def test_exact_event_sequence(self):
+        stub = StubPipeline(True)
+        controller = VoiceAssistantController(pipeline=stub)
+        self.script(controller)
+        assert [event.kind for event in controller.audit_log] == [
+            EventKind.UPLOADED,
+            EventKind.MODE_CHANGE,
+            EventKind.UPLOADED,
+            EventKind.SESSION_COMMAND,
+            EventKind.SESSION_COMMAND,
+            EventKind.SOFT_MUTED,
+            EventKind.MODE_CHANGE,
+            EventKind.HARD_MUTED,
+            EventKind.HARD_MUTED,
+        ]
+        # The pipeline ran exactly once: the wake word that opened the
+        # session.  In-session commands, normal mode and mute never
+        # consult it ("the user does not need to continuously face the
+        # device for the remaining session").
+        assert stub.calls == 1
+        # Two UPLOADED + two SESSION_COMMAND events reached the cloud.
+        assert controller.uploaded_count() == 4
+
+    def test_obs_mirror_carries_kind_mode_and_decision(self):
+        from repro.obs import audit_log, observed
+
+        stub = StubPipeline(True)
+        controller = VoiceAssistantController(pipeline=stub)
+        # The global ring may already hold records (instrumented CI runs
+        # the whole suite with REPRO_OBS=1); only this script's tail is
+        # under test.
+        before = len(audit_log().records())
+        with observed():
+            self.script(controller)
+        records = [
+            r for r in audit_log().records()[before:] if r["event"] == "gate"
+        ]
+        assert [r["kind"] for r in records] == [
+            e.kind.value for e in controller.audit_log
+        ]
+        opened = records[2]
+        assert opened["mode"] == "headtalk"
+        assert opened["accepted"] is True
+        assert opened["reason"] == "accepted"
+        assert records[3]["accepted"] is None  # session command: no decision

@@ -1,9 +1,12 @@
 """Shared observability-test plumbing.
 
 Observability state is process-global (that is the point of the layer),
-so every test here runs inside a fixture that clears spans, metrics and
-the audit ring, and restores the disabled default afterwards.
+so every test here runs inside a fixture that clears spans, metrics,
+the audit ring and the decision-quality monitor, and restores the
+disabled default afterwards.
 """
+
+import os
 
 import pytest
 
@@ -17,6 +20,7 @@ from repro.obs import (
     set_profiling_enabled,
 )
 from repro.obs.audit import DEFAULT_CAPACITY
+from repro.obs.monitor import reset_monitor, set_monitor_enabled
 
 
 def _reset_obs_state():
@@ -27,7 +31,15 @@ def _reset_obs_state():
     reset_worker_totals()
     clear_profiles()
     audit_log().clear()
-    audit_log().configure(path=None, capacity=DEFAULT_CAPACITY)
+    # Restore the env-derived sink, not None: the instrumented CI leg
+    # runs the whole suite with REPRO_AUDIT_LOG pointing at the JSONL
+    # the quality gate later replays, and a reset must not disconnect
+    # every test after the first obs test from it.
+    audit_log().configure(
+        path=os.environ.get("REPRO_AUDIT_LOG") or None, capacity=DEFAULT_CAPACITY
+    )
+    reset_monitor()
+    set_monitor_enabled(True)
 
 
 @pytest.fixture(autouse=True)

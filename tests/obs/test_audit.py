@@ -1,5 +1,8 @@
 """Audit log: in-memory ring, JSONL sink round-trip, no-op mode."""
 
+import json
+import threading
+
 from repro.obs import (
     audit_log,
     audit_record,
@@ -66,6 +69,77 @@ class TestJsonlSink:
         path = tmp_path / "audit.jsonl"
         path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
         assert [r["event"] for r in read_jsonl(path)] == ["a", "b"]
+
+
+class TestPersistentHandle:
+    def test_handle_opened_once_and_reused(self, tmp_path):
+        log = AuditLog(path=tmp_path / "audit.jsonl")
+        assert log._handle is None  # lazy: nothing opened before a write
+        log.log({"event": "a"})
+        handle = log._handle
+        assert handle is not None
+        log.log({"event": "b"})
+        assert log._handle is handle
+        assert len(read_jsonl(log.path)) == 2
+
+    def test_close_then_log_reopens(self, tmp_path):
+        log = AuditLog(path=tmp_path / "audit.jsonl")
+        log.log({"event": "a"})
+        log.close()
+        assert log._handle is None
+        log.log({"event": "b"})  # appends, never truncates
+        assert [r["event"] for r in read_jsonl(log.path)] == ["a", "b"]
+
+    def test_flush_without_sink_is_noop(self):
+        AuditLog().flush()  # memory-only log: must not raise
+
+    def test_configure_closes_old_handle_and_repoints(self, tmp_path):
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        log = AuditLog(path=first)
+        log.log({"event": "a"})
+        old_handle = log._handle
+        log.configure(path=second)
+        assert old_handle.closed
+        assert log._handle is None
+        log.log({"event": "b"})
+        assert [r["event"] for r in read_jsonl(first)] == ["a"]
+        assert [r["event"] for r in read_jsonl(second)] == ["b"]
+
+    def test_configure_to_memory_only_closes_sink(self, tmp_path):
+        log = AuditLog(path=tmp_path / "audit.jsonl")
+        log.log({"event": "a"})
+        log.configure(path=None)
+        assert log._handle is None and log.path is None
+        log.log({"event": "b"})  # memory only now
+        assert len(read_jsonl(tmp_path / "audit.jsonl")) == 1
+
+    def test_interleaved_writers_never_interleave_lines(self, tmp_path):
+        """Concurrent writers share one line-buffered handle: every line
+        in the sink must parse as exactly one record."""
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path=path)
+        n_threads, n_records = 8, 50
+        payload = "x" * 500  # long enough that torn writes would show
+
+        def writer(thread_id):
+            for k in range(n_records):
+                log.log({"event": f"t{thread_id}-{k}", "payload": payload})
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.flush()
+        lines = path.read_text().splitlines()
+        assert len(lines) == n_threads * n_records
+        events = set()
+        for line in lines:
+            record = json.loads(line)  # raises on a torn/interleaved line
+            assert record["payload"] == payload
+            events.add(record["event"])
+        assert len(events) == n_threads * n_records  # nothing lost or doubled
 
 
 class TestGlobalLog:

@@ -1,0 +1,54 @@
+"""Truthy-env parsing and the observability master switch."""
+
+import pytest
+
+from repro.obs import observed, obs_enabled, set_obs_enabled
+from repro.obs.control import env_truthy, truthy
+
+
+class TestTruthy:
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", "Yes", " on ", "On"])
+    def test_truthy_spellings(self, value):
+        assert truthy(value) is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "FALSE", "No", " off ", ""])
+    def test_falsy_spellings(self, value):
+        assert truthy(value, default=True) is False
+
+    @pytest.mark.parametrize("default", [False, True])
+    def test_unrecognized_falls_back_to_default(self, default):
+        assert truthy("maybe", default=default) is default
+        assert truthy(None, default=default) is default
+
+    def test_non_string_values_coerced(self):
+        assert truthy(1) is True
+        assert truthy(0, default=True) is False
+
+
+class TestEnvTruthy:
+    def test_missing_variable_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_truthy("REPRO_TEST_FLAG") is False
+        assert env_truthy("REPRO_TEST_FLAG", default=True) is True
+
+    def test_set_variable_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", "On")
+        assert env_truthy("REPRO_TEST_FLAG") is True
+        monkeypatch.setenv("REPRO_TEST_FLAG", "off")
+        assert env_truthy("REPRO_TEST_FLAG", default=True) is False
+
+
+class TestMasterSwitch:
+    def test_set_obs_enabled(self):
+        assert obs_enabled() is False
+        set_obs_enabled(True)
+        assert obs_enabled() is True
+
+    def test_observed_scope_restores(self):
+        with observed():
+            assert obs_enabled() is True
+        assert obs_enabled() is False
+        set_obs_enabled(True)
+        with observed(False):
+            assert obs_enabled() is False
+        assert obs_enabled() is True
