@@ -47,6 +47,7 @@ DESCRIPTIONS = {
     "E25": "extension: multi-VA disambiguation",
     "E26": "extension: operating-point sweep",
     "E27": "ablation: feature-block contributions",
+    "E28": "robustness: hardware-fault tolerance sweep",
 }
 
 

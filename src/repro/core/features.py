@@ -107,15 +107,57 @@ class OrientationFeatureExtractor:
                 gcc = pairwise_gcc(channels, self.pairs, self.max_lag)
             return self._finalize(audio, gcc)
 
-    def _finalize(self, audio: DenoisedAudio, gcc: np.ndarray) -> np.ndarray:
+    def extract_masked(
+        self, audio: DenoisedAudio, healthy_channels: list[int] | tuple[int, ...]
+    ) -> np.ndarray:
+        """Feature vector computed from the surviving microphone pairs.
+
+        The degraded-hardware path: correlations are computed only for
+        pairs whose *both* channels are in ``healthy_channels``; dead
+        pairs contribute a zero correlation window and a zero TDoA, so
+        the vector keeps the full trained dimensionality while carrying
+        no corrupted evidence.  The pooled GCC statistics summarize the
+        surviving rows only.  With every channel healthy this is
+        bit-identical to :meth:`extract`.
+        """
+        healthy = sorted({int(c) for c in healthy_channels})
+        for c in healthy:
+            if not 0 <= c < self.array.n_mics:
+                raise ValueError(f"healthy channel {c} out of range for {self.array.name}")
+        if len(healthy) < 2:
+            raise ValueError("need at least two healthy channels for correlation")
+        with span("features.extract_masked"):
+            channels = self._validated_channels(audio)
+            pairs = self.pairs
+            alive = set(healthy)
+            alive_rows = [r for r, (i, j) in enumerate(pairs) if i in alive and j in alive]
+            if not alive_rows:
+                raise ValueError("no surviving microphone pair")
+            gcc = np.zeros((len(pairs), 2 * self.max_lag + 1))
+            with span("features.gcc", n_pairs=len(alive_rows)):
+                gcc[alive_rows] = pairwise_gcc(
+                    channels, [pairs[r] for r in alive_rows], self.max_lag
+                )
+            return self._finalize(audio, gcc, alive_rows=alive_rows)
+
+    def _finalize(
+        self,
+        audio: DenoisedAudio,
+        gcc: np.ndarray,
+        alive_rows: list[int] | None = None,
+    ) -> np.ndarray:
         """Assemble the feature vector from precomputed GCC windows."""
         tdoa_samples = np.argmax(gcc, axis=1) - self.max_lag
+        if alive_rows is not None:
+            alive_mask = np.zeros(gcc.shape[0], dtype=bool)
+            alive_mask[alive_rows] = True
+            tdoa_samples = np.where(alive_mask, tdoa_samples, 0)
         tdoas = tdoa_samples / self.array.sample_rate
 
         srp = gcc.sum(axis=0)
         srp_peaks = top_k_peaks(srp, N_SRP_PEAKS)
         srp_stats = summary_vector(srp)
-        gcc_stats = summary_vector(gcc)
+        gcc_stats = summary_vector(gcc if alive_rows is None else gcc[alive_rows])
 
         freqs, power = mean_power_spectrum(audio.reference, audio.sample_rate)
         hlbr = high_low_band_ratio(freqs, power)

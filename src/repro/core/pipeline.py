@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -33,12 +33,30 @@ from .config import HeadTalkConfig
 from .features import OrientationFeatureExtractor
 from .liveness import LivenessDetector
 from .orientation import OrientationDetector
-from .preprocessing import DenoisedAudio, preprocess
+from .preprocessing import ChannelHealth, DenoisedAudio, preprocess
 
 REJECT_NO_SPEECH = "no-speech"
 REJECT_MECHANICAL = "mechanical-source"
 REJECT_NON_FACING = "non-facing"
+REJECT_DEGRADED_INPUT = "degraded-input"
 ACCEPT = "accepted"
+
+# Exceptions the degraded-input guard may convert into a fail-closed
+# decision.  Anything else (untrained models, programming errors) still
+# raises: fail closed is for *input* trouble, not for misconfiguration.
+_FEATURE_ERRORS = (ValueError, FloatingPointError, ZeroDivisionError)
+
+
+def _describe_health(health: ChannelHealth) -> str:
+    """Compact audit detail for a degraded channel-health report."""
+    parts = []
+    if health.dead:
+        parts.append("dead=" + ",".join(str(k) for k in health.dead))
+    if health.clipped:
+        parts.append("clipped=" + ",".join(str(k) for k in health.clipped))
+    if health.non_finite:
+        parts.append("non-finite=" + ",".join(str(k) for k in health.non_finite))
+    return ";".join(parts)
 
 
 def capture_key(capture: Capture) -> str:
@@ -57,7 +75,14 @@ def capture_key(capture: Capture) -> str:
 
 @dataclass(frozen=True)
 class Decision:
-    """Outcome of evaluating one wake-word capture."""
+    """Outcome of evaluating one wake-word capture.
+
+    ``degraded`` marks decisions made on screened (partially faulty)
+    input — including normal verdicts computed from the surviving
+    microphone pairs; ``detail`` carries the fail-closed cause or the
+    channel-health summary, and ``health`` the full screening report
+    when one was taken.
+    """
 
     accepted: bool
     reason: str
@@ -66,6 +91,9 @@ class Decision:
     liveness_ms: float
     orientation_ms: float
     preprocess_ms: float = 0.0
+    degraded: bool = False
+    detail: str = ""
+    health: ChannelHealth | None = field(default=None, compare=False)
 
     @property
     def total_ms(self) -> float:
@@ -90,6 +118,8 @@ class Decision:
             self.reason,
             self.liveness_score,
             self.facing_probability,
+            self.degraded,
+            self.detail,
         )
 
 
@@ -145,11 +175,49 @@ class HeadTalkPipeline:
         if self.extractor is None:
             self.extractor = OrientationFeatureExtractor(self.array)
 
-    def _check_capture(self, capture: Capture) -> None:
+    def _capture_problem(self, capture: Capture) -> str | None:
+        """Up-front structural validation against the array geometry.
+
+        Returns a short cause string (``None`` when the capture is
+        well-formed).  The pipeline maps causes to fail-closed
+        :data:`REJECT_DEGRADED_INPUT` decisions instead of raising — a
+        privacy gate that crashes on a malformed capture is a gate that
+        stopped gating.
+        """
         if capture.n_mics != self.array.n_mics:
-            raise ValueError(
-                f"capture has {capture.n_mics} channels, array has {self.array.n_mics}"
+            return (
+                f"channel-count:capture={capture.n_mics},array={self.array.n_mics}"
             )
+        if capture.sample_rate != self.array.sample_rate:
+            return (
+                f"sample-rate:capture={capture.sample_rate},"
+                f"array={self.array.sample_rate}"
+            )
+        if capture.n_samples == 0:
+            return "empty-capture"
+        return None
+
+    def _degraded_decision(
+        self,
+        detail: str,
+        preprocess_ms: float = 0.0,
+        liveness_score: float = 0.0,
+        liveness_ms: float = 0.0,
+        health: ChannelHealth | None = None,
+    ) -> Decision:
+        """Fail-closed decision for input the gate cannot safely judge."""
+        return Decision(
+            accepted=False,
+            reason=REJECT_DEGRADED_INPUT,
+            liveness_score=liveness_score,
+            facing_probability=0.0,
+            liveness_ms=liveness_ms,
+            orientation_ms=0.0,
+            preprocess_ms=preprocess_ms,
+            degraded=True,
+            detail=detail,
+            health=health,
+        )
 
     def _liveness_score(self, audio: DenoisedAudio) -> float:
         return float(self.liveness.scores([audio.reference], audio.sample_rate)[0])
@@ -176,6 +244,11 @@ class HeadTalkPipeline:
         from ..runtime.cache import cache_counts
 
         counter_inc("pipeline.decisions", call=call, reason=decision.reason)
+        if decision.degraded:
+            counter_inc("faults.degraded_decisions", reason=decision.reason)
+        if decision.reason == REJECT_DEGRADED_INPUT:
+            cause = decision.detail.split(":", 1)[0].split(";", 1)[0] or "unknown"
+            counter_inc("faults.fail_closed", cause=cause)
         if call == "evaluate":
             histogram_observe("pipeline.stage_ms", decision.preprocess_ms, stage="preprocess")
             histogram_observe("pipeline.stage_ms", decision.liveness_ms, stage="liveness")
@@ -197,6 +270,12 @@ class HeadTalkPipeline:
             # sidecar totals are the only view of worker-side behaviour.
             "worker_cache": worker_totals(),
         }
+        if decision.degraded:
+            record["degraded"] = True
+        if decision.detail:
+            record["detail"] = decision.detail
+        if decision.health is not None and decision.health.is_degraded:
+            record["health"] = decision.health.to_dict()
         if batch_size is not None:
             record["batch_size"] = batch_size
             record["batch_index"] = batch_index
@@ -231,7 +310,6 @@ class HeadTalkPipeline:
         record and feed the decision-quality monitor; both are ignored
         while observability is off.
         """
-        self._check_capture(capture)
         with span("pipeline.evaluate"):
             decision = self._evaluate_one(capture, check_liveness)
         if obs_enabled():
@@ -239,10 +317,23 @@ class HeadTalkPipeline:
         return decision
 
     def _evaluate_one(self, capture: Capture, check_liveness: bool) -> Decision:
+        problem = self._capture_problem(capture)
+        if problem is not None:
+            return self._degraded_decision(problem)
         with span("pipeline.preprocess"):
             start = time.perf_counter()
             audio = preprocess(capture)
             preprocess_ms = (time.perf_counter() - start) * 1000.0
+
+        health = audio.health
+        degraded = health is not None and health.is_degraded
+        health_detail = _describe_health(health) if degraded else ""
+        healthy = health.healthy if health is not None else tuple(range(capture.n_mics))
+        if degraded and len(healthy) < 2:
+            return self._degraded_decision(
+                f"no-healthy-pair;{health_detail}", preprocess_ms, health=health
+            )
+
         if not audio.had_speech:
             return Decision(
                 accepted=False,
@@ -252,6 +343,9 @@ class HeadTalkPipeline:
                 liveness_ms=0.0,
                 orientation_ms=0.0,
                 preprocess_ms=preprocess_ms,
+                degraded=degraded,
+                detail=health_detail,
+                health=health,
             )
 
         liveness_score = 1.0
@@ -261,6 +355,13 @@ class HeadTalkPipeline:
                 start = time.perf_counter()
                 liveness_score = self._liveness_score(audio)
                 liveness_ms = (time.perf_counter() - start) * 1000.0
+            if not np.isfinite(liveness_score):
+                return self._degraded_decision(
+                    "non-finite-liveness-score",
+                    preprocess_ms,
+                    liveness_ms=liveness_ms,
+                    health=health,
+                )
             if liveness_score < self.config.liveness_threshold:
                 return Decision(
                     accepted=False,
@@ -270,12 +371,31 @@ class HeadTalkPipeline:
                     liveness_ms=liveness_ms,
                     orientation_ms=0.0,
                     preprocess_ms=preprocess_ms,
+                    degraded=degraded,
+                    detail=health_detail,
+                    health=health,
                 )
 
         with span("pipeline.orientation"):
             start = time.perf_counter()
-            features = self.extractor.extract(audio)
-            facing_probability = self._facing_probability(features)
+            try:
+                if degraded:
+                    features = self.extractor.extract_masked(audio, healthy)
+                else:
+                    features = self.extractor.extract(audio)
+                facing_probability = self._orientation_probability(features)
+            except _FEATURE_ERRORS as error:
+                orientation_ms = (time.perf_counter() - start) * 1000.0
+                return replace(
+                    self._degraded_decision(
+                        f"feature-error:{error}",
+                        preprocess_ms,
+                        liveness_score=liveness_score,
+                        liveness_ms=liveness_ms,
+                        health=health,
+                    ),
+                    orientation_ms=orientation_ms,
+                )
             orientation_ms = (time.perf_counter() - start) * 1000.0
         accepted = facing_probability >= self.config.facing_threshold
         return Decision(
@@ -286,7 +406,21 @@ class HeadTalkPipeline:
             liveness_ms=liveness_ms,
             orientation_ms=orientation_ms,
             preprocess_ms=preprocess_ms,
+            degraded=degraded,
+            detail=health_detail,
+            health=health,
         )
+
+    def _orientation_probability(self, features: np.ndarray) -> float:
+        """Facing probability with the non-finite feature guard applied.
+
+        NaN/Inf escaping the extractor must never reach the SVM or the
+        liveness models — it maps to a :data:`REJECT_DEGRADED_INPUT`
+        decision at the pipeline boundary via :data:`_FEATURE_ERRORS`.
+        """
+        if not np.all(np.isfinite(features)):
+            raise ValueError("non-finite-features")
+        return self._facing_probability(features)
 
     def evaluate_batch(
         self,
@@ -317,8 +451,6 @@ class HeadTalkPipeline:
             raise ValueError("truths must align with captures")
         if slices is not None and len(slices) != len(captures):
             raise ValueError("slices must align with captures")
-        for capture in captures:
-            self._check_capture(capture)
         with profiled("pipeline.evaluate_batch"), span(
             "pipeline.evaluate_batch", n=len(captures)
         ):
@@ -341,24 +473,69 @@ class HeadTalkPipeline:
                 )
         return evaluation
 
-    def _evaluate_batch(self, captures: list[Capture], check_liveness: bool) -> BatchEvaluation:
-        with span("pipeline.preprocess", n=len(captures)):
-            start = time.perf_counter()
-            audios = [preprocess(capture) for capture in captures]
-            preprocess_total = (time.perf_counter() - start) * 1000.0
-        preprocess_share = preprocess_total / len(captures)
+    def _try_orientation(
+        self, audio: DenoisedAudio, healthy: tuple[int, ...] | None
+    ) -> tuple[float | None, str]:
+        """Facing probability, or ``(None, cause)`` for a fail-closed reject.
 
+        ``healthy`` selects the masked (surviving-pair) extraction; the
+        non-finite guard and the :data:`_FEATURE_ERRORS` boundary apply
+        on both paths, so a single corrupt utterance degrades only its
+        own decision.
+        """
+        try:
+            if healthy is not None:
+                features = self.extractor.extract_masked(audio, healthy)
+            else:
+                features = self.extractor.extract(audio)
+            return self._orientation_probability(features), ""
+        except _FEATURE_ERRORS as error:
+            return None, f"feature-error:{error}"
+
+    def _evaluate_batch(self, captures: list[Capture], check_liveness: bool) -> BatchEvaluation:
         n = len(captures)
-        reasons: list[str | None] = [None] * n
+        decisions: list[Decision | None] = [None] * n
+        for k, capture in enumerate(captures):
+            problem = self._capture_problem(capture)
+            if problem is not None:
+                decisions[k] = self._degraded_decision(problem)
+        render_idx = [k for k in range(n) if decisions[k] is None]
+
+        with span("pipeline.preprocess", n=len(render_idx)):
+            start = time.perf_counter()
+            audios = {k: preprocess(captures[k]) for k in render_idx}
+            preprocess_total = (time.perf_counter() - start) * 1000.0
+        preprocess_share = preprocess_total / len(render_idx) if render_idx else 0.0
+
+        healths: dict[int, ChannelHealth | None] = {}
+        details: dict[int, str] = {}
+        masked: dict[int, tuple[int, ...]] = {}
+        for k in render_idx:
+            health = audios[k].health
+            healths[k] = health
+            if health is None or not health.is_degraded:
+                details[k] = ""
+                continue
+            details[k] = _describe_health(health)
+            if len(health.healthy) < 2:
+                decisions[k] = self._degraded_decision(
+                    f"no-healthy-pair;{details[k]}", preprocess_share, health=health
+                )
+            else:
+                masked[k] = health.healthy
+
+        reasons: dict[int, str] = {}
         liveness_scores = [0.0] * n
         facing = [0.0] * n
-        speech_idx = [k for k, audio in enumerate(audios) if audio.had_speech]
-        for k in range(n):
-            if k not in speech_idx:
+        speech_idx = [
+            k for k in render_idx if decisions[k] is None and audios[k].had_speech
+        ]
+        for k in render_idx:
+            if decisions[k] is None and not audios[k].had_speech:
                 reasons[k] = REJECT_NO_SPEECH
 
         liveness_total = 0.0
-        live_idx = speech_idx
+        live_idx = list(speech_idx)
         if check_liveness and speech_idx:
             with span("pipeline.liveness", n=len(speech_idx)):
                 start = time.perf_counter()
@@ -366,7 +543,14 @@ class HeadTalkPipeline:
                 for k in speech_idx:
                     score = self._liveness_score(audios[k])
                     liveness_scores[k] = score
-                    if score < self.config.liveness_threshold:
+                    if not np.isfinite(score):
+                        decisions[k] = self._degraded_decision(
+                            "non-finite-liveness-score",
+                            preprocess_share,
+                            health=healths[k],
+                        )
+                        liveness_scores[k] = 0.0
+                    elif score < self.config.liveness_threshold:
                         reasons[k] = REJECT_MECHANICAL
                     else:
                         live_idx.append(k)
@@ -379,32 +563,64 @@ class HeadTalkPipeline:
         if live_idx:
             with span("pipeline.orientation", n=len(live_idx)):
                 start = time.perf_counter()
-                feature_rows = self.extractor.extract_batch([audios[k] for k in live_idx])
-                for k, row in zip(live_idx, feature_rows):
-                    probability = self._facing_probability(row)
-                    facing[k] = probability
-                    reasons[k] = (
-                        ACCEPT
-                        if probability >= self.config.facing_threshold
-                        else REJECT_NON_FACING
-                    )
+                batch_idx = [k for k in live_idx if k not in masked]
+                rows: dict[int, np.ndarray] = {}
+                if batch_idx:
+                    try:
+                        stacked = self.extractor.extract_batch(
+                            [audios[k] for k in batch_idx]
+                        )
+                        rows = dict(zip(batch_idx, stacked))
+                    except _FEATURE_ERRORS:
+                        # One bad utterance must not poison the whole
+                        # batch: fall back to per-capture extraction
+                        # (bit-identical to the batch path) so only the
+                        # offender degrades.
+                        rows = {}
+                for k in live_idx:
+                    if k in rows:
+                        try:
+                            probability, cause = self._orientation_probability(rows[k]), ""
+                        except _FEATURE_ERRORS as error:
+                            probability, cause = None, f"feature-error:{error}"
+                    else:
+                        probability, cause = self._try_orientation(
+                            audios[k], masked.get(k)
+                        )
+                    if probability is None:
+                        decisions[k] = self._degraded_decision(
+                            cause,
+                            preprocess_share,
+                            liveness_score=liveness_scores[k],
+                            health=healths[k],
+                        )
+                    else:
+                        facing[k] = probability
+                        reasons[k] = (
+                            ACCEPT
+                            if probability >= self.config.facing_threshold
+                            else REJECT_NON_FACING
+                        )
                 orientation_total = (time.perf_counter() - start) * 1000.0
 
         liveness_share = liveness_total / len(speech_idx) if speech_idx else 0.0
         orientation_share = orientation_total / len(live_idx) if live_idx else 0.0
-        decisions = []
         for k in range(n):
+            if decisions[k] is not None:
+                continue
             reason = reasons[k]
-            decisions.append(
-                Decision(
-                    accepted=reason == ACCEPT,
-                    reason=reason,
-                    liveness_score=liveness_scores[k],
-                    facing_probability=facing[k],
-                    liveness_ms=liveness_share if k in speech_idx and check_liveness else 0.0,
-                    orientation_ms=orientation_share if k in live_idx else 0.0,
-                    preprocess_ms=preprocess_share,
-                )
+            health = healths.get(k)
+            decisions[k] = Decision(
+                accepted=reason == ACCEPT,
+                reason=reason,
+                liveness_score=liveness_scores[k],
+                facing_probability=facing[k],
+                liveness_ms=liveness_share if k in speech_idx and check_liveness else 0.0,
+                orientation_ms=orientation_share if k in live_idx else 0.0,
+                preprocess_ms=preprocess_share,
+                degraded=health is not None and health.is_degraded,
+                detail=details.get(k, ""),
+                health=health,
             )
         timings = BatchStageTimings(
             n_captures=n,

@@ -4,6 +4,13 @@ Captures the wake command, removes out-of-band noise with the paper's
 fifth-order Butterworth band-pass (100 Hz - 16 kHz), trims to the active
 speech region and normalizes amplitude — producing the *denoised audio*
 consumed by both feature extractors.
+
+The front-end is also where hardware degradation is first *seen*:
+:func:`screen_channels` inspects the raw capture for dead, clipped and
+non-finite channels and attaches a :class:`ChannelHealth` report to the
+:class:`DenoisedAudio`, so the pipeline can fail closed (or fall back to
+the surviving microphone pairs) instead of feeding corrupted channels
+into the feature extractors.
 """
 
 from __future__ import annotations
@@ -17,6 +24,112 @@ from ..dsp.filters import headtalk_bandpass
 from ..dsp.vad import detect_activity
 from ..obs.spans import span
 
+DEAD_RMS_RATIO = 1e-3
+"""A channel whose RMS is this far below the loudest channel is dead."""
+
+CLIP_FRACTION_THRESHOLD = 0.01
+"""A channel with this fraction of samples pinned at the rail is clipped."""
+
+_CLIP_RAIL_RATIO = 0.995
+"""Samples at or above this fraction of the capture peak count as railed."""
+
+
+@dataclass(frozen=True)
+class ChannelHealth:
+    """Per-channel screening report for one raw capture.
+
+    ``dead`` / ``clipped`` / ``non_finite`` are index tuples of the
+    channels each test flagged (a channel can appear in several).
+    ``rms`` and ``clip_fraction`` carry the raw evidence so audit
+    records can be sliced by *how* degraded the input was, not just
+    whether.
+    """
+
+    n_channels: int
+    dead: tuple[int, ...] = ()
+    clipped: tuple[int, ...] = ()
+    non_finite: tuple[int, ...] = ()
+    rms: tuple[float, ...] = ()
+    clip_fraction: tuple[float, ...] = ()
+
+    @property
+    def unhealthy(self) -> tuple[int, ...]:
+        """Channels excluded from feature extraction (any flag raised)."""
+        return tuple(sorted(set(self.dead) | set(self.clipped) | set(self.non_finite)))
+
+    @property
+    def healthy(self) -> tuple[int, ...]:
+        """Channels safe to extract features from."""
+        bad = set(self.unhealthy)
+        return tuple(k for k in range(self.n_channels) if k not in bad)
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether any channel failed screening."""
+        return bool(self.unhealthy)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for audit records."""
+        return {
+            "n_channels": self.n_channels,
+            "dead": list(self.dead),
+            "clipped": list(self.clipped),
+            "non_finite": list(self.non_finite),
+            "healthy": list(self.healthy),
+            "rms": [float(v) for v in self.rms],
+            "clip_fraction": [float(v) for v in self.clip_fraction],
+        }
+
+
+def screen_channels(
+    channels: np.ndarray,
+    dead_rms_ratio: float = DEAD_RMS_RATIO,
+    clip_fraction_threshold: float = CLIP_FRACTION_THRESHOLD,
+) -> ChannelHealth:
+    """Screen a raw ``(n_mics, n_samples)`` matrix for hardware faults.
+
+    - *non-finite*: any NaN/Inf sample (ADC or driver corruption);
+    - *dead*: channel RMS more than ``dead_rms_ratio`` below the
+      loudest finite channel (a silent capture flags nothing — silence
+      is the VAD's job, not a hardware fault);
+    - *clipped*: more than ``clip_fraction_threshold`` of samples
+      pinned at the capture's absolute peak (ADC saturation plateaus;
+      ordinary audio touches its peak a handful of times).
+    """
+    x = np.asarray(channels, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"channels must be 2-D (n_mics, n_samples), got {x.shape}")
+    n_channels = x.shape[0]
+    finite_mask = np.isfinite(x)
+    non_finite = tuple(int(k) for k in np.nonzero(~finite_mask.all(axis=1))[0])
+
+    safe = np.where(finite_mask, x, 0.0)
+    rms = np.sqrt(np.mean(np.square(safe), axis=1))
+    loudest = float(rms.max(initial=0.0))
+    dead: tuple[int, ...] = ()
+    if loudest > 0.0:
+        dead = tuple(
+            int(k) for k in np.nonzero(rms < dead_rms_ratio * loudest)[0]
+        )
+
+    peak = float(np.abs(safe).max(initial=0.0))
+    if peak > 0.0:
+        railed = np.abs(safe) >= _CLIP_RAIL_RATIO * peak
+        clip_fraction = railed.mean(axis=1)
+    else:
+        clip_fraction = np.zeros(n_channels)
+    clipped = tuple(
+        int(k) for k in np.nonzero(clip_fraction > clip_fraction_threshold)[0]
+    )
+    return ChannelHealth(
+        n_channels=n_channels,
+        dead=dead,
+        clipped=clipped,
+        non_finite=non_finite,
+        rms=tuple(float(v) for v in rms),
+        clip_fraction=tuple(float(v) for v in clip_fraction),
+    )
+
 
 @dataclass(frozen=True)
 class DenoisedAudio:
@@ -25,17 +138,32 @@ class DenoisedAudio:
     channels: np.ndarray
     sample_rate: int
     had_speech: bool
+    health: ChannelHealth | None = None
+
+    @property
+    def reference_channel(self) -> int:
+        """Index of the channel used for single-channel analyses.
+
+        The first channel normally; the first *healthy* channel when
+        screening flagged channel 0 (a dead reference mic must not
+        silence the VAD or the liveness detector).
+        """
+        if self.health is not None and self.health.healthy:
+            if 0 not in self.health.healthy:
+                return self.health.healthy[0]
+        return 0
 
     @property
     def reference(self) -> np.ndarray:
-        """The first channel (used for single-channel liveness input)."""
-        return self.channels[0]
+        """The reference channel (used for single-channel liveness input)."""
+        return self.channels[self.reference_channel]
 
 
 def preprocess(
     capture: Capture,
     vad_threshold: float = 0.05,
     normalize: bool = True,
+    screen: bool = True,
 ) -> DenoisedAudio:
     """Denoise, trim and normalize a capture.
 
@@ -43,12 +171,31 @@ def preprocess(
     paper normalizes audio between -1 and 1), which removes raw loudness
     as a trivial cue while keeping every inter-channel and spectral
     relationship intact.
+
+    With ``screen`` (the default) the raw channels pass through
+    :func:`screen_channels` first; non-finite samples are zeroed before
+    filtering so one corrupt channel cannot poison the band-pass or the
+    normalization, and the voice-activity decision uses the first
+    *healthy* channel.  Healthy captures take exactly the historical
+    path — screening changes no bit of their output.
     """
+    channels = capture.channels
+    health: ChannelHealth | None = None
+    if screen:
+        with span("preprocess.screen"):
+            health = screen_channels(channels)
+        if health.non_finite:
+            channels = np.where(np.isfinite(channels), channels, 0.0)
     with span("preprocess.bandpass"):
         bandpass = headtalk_bandpass(capture.sample_rate)
-        filtered = bandpass.apply(capture.channels)
+        filtered = bandpass.apply(channels)
+    reference_channel = 0
+    if health is not None and health.healthy and 0 not in health.healthy:
+        reference_channel = health.healthy[0]
     with span("preprocess.vad"):
-        activity = detect_activity(filtered[0], capture.sample_rate, vad_threshold)
+        activity = detect_activity(
+            filtered[reference_channel], capture.sample_rate, vad_threshold
+        )
     had_speech = activity.is_speech
     if had_speech:
         filtered = filtered[:, activity.start : activity.end]
@@ -57,5 +204,8 @@ def preprocess(
         if peak > 0:
             filtered = filtered / peak
     return DenoisedAudio(
-        channels=filtered, sample_rate=capture.sample_rate, had_speech=had_speech
+        channels=filtered,
+        sample_rate=capture.sample_rate,
+        had_speech=had_speech,
+        health=health,
     )

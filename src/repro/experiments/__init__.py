@@ -19,6 +19,7 @@ from . import (
     exp_distance,
     exp_dov_comparison,
     exp_environment,
+    exp_fault_tolerance,
     exp_feature_ablation,
     exp_liveness,
     exp_loudness,
@@ -79,6 +80,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E25": exp_multi_va.run,
     "E26": exp_operating_point.run,
     "E27": exp_feature_ablation.run,
+    "E28": exp_fault_tolerance.run,
 }
 
 

@@ -1,0 +1,126 @@
+"""E28 — extension: decision quality under injected hardware faults.
+
+The paper's system is a privacy *gate*: its failure policy matters as
+much as its accuracy.  This sweep corrupts held-out captures with each
+:mod:`repro.faults` preset scenario at increasing severity and verifies
+the fail-closed contract — the pipeline must finish every batch without
+raising, flag what it cannot trust (``REJECT_DEGRADED_INPUT``) rather
+than guessing, and keep its accuracy on the captures it still decides.
+
+Columns per (scenario, severity) cell:
+
+- ``degraded_pct`` — captures whose screening flagged at least one
+  channel (decision carries the health report);
+- ``fail_closed_pct`` — captures rejected as ``degraded-input`` (no
+  surviving mic pair / non-finite features);
+- ``decided_accuracy_pct`` — facing/non-facing accuracy over the
+  captures the gate still decided (accepted or rejected on the merits).
+"""
+
+from __future__ import annotations
+
+from ..arrays.devices import default_channel_subset, get_device
+from ..core.config import DEFAULT_DEFINITION, FACING, ground_truth_label
+from ..core.liveness import LivenessDetector
+from ..core.pipeline import HeadTalkPipeline, REJECT_DEGRADED_INPUT
+from ..datasets.catalog import BENCH, Scale
+from ..datasets.collection import CollectionSpec, collect
+from ..faults.scenario import preset_scenario
+from ..reporting import ExperimentResult
+from .common import default_dataset, fit_detector
+
+SCENARIOS = (
+    "dead-channel",
+    "dropouts",
+    "gain-drift",
+    "clock-skew",
+    "clipping",
+    "burst-noise",
+    "kitchen-sink",
+)
+
+
+def run(
+    scale: Scale = BENCH,
+    seed: int = 0,
+    severities: tuple[float, ...] = (0.5, 1.0, 2.0),
+    scenarios: tuple[str, ...] = SCENARIOS,
+) -> ExperimentResult:
+    """Fail-closed decision quality per fault scenario and severity."""
+    train = default_dataset(scale, seed)
+    detector = fit_detector(train, DEFAULT_DEFINITION)
+    device = get_device("D2")
+    array = device.subset(default_channel_subset(device))
+    # Liveness is orthogonal to hardware-fault handling and expensive to
+    # train; the sweep runs the speech + orientation gates only.
+    pipeline = HeadTalkPipeline(
+        array=array, liveness=LivenessDetector(), orientation=detector
+    )
+
+    spec = CollectionSpec(
+        room="lab",
+        device="D2",
+        wake_word="computer",
+        locations=scale.locations,
+        repetitions=scale.repetitions,
+        session=scale.sessions,  # held-out session
+    )
+    clean = list(collect(spec, seed))
+    truths = [ground_truth_label(meta.angle_deg) == FACING for meta, _ in clean]
+
+    rows = []
+    for name in scenarios:
+        for severity in severities:
+            scenario = preset_scenario(name, severity=severity, seed=seed)
+            corrupted = [scenario.apply(capture) for _, capture in clean]
+            evaluation = pipeline.evaluate_batch(corrupted, check_liveness=False)
+            decisions = evaluation.decisions
+            n = len(decisions)
+            degraded = sum(1 for d in decisions if d.degraded)
+            fail_closed = sum(
+                1 for d in decisions if d.reason == REJECT_DEGRADED_INPUT
+            )
+            decided = [
+                (d, truth)
+                for d, truth in zip(decisions, truths)
+                if d.reason != REJECT_DEGRADED_INPUT
+            ]
+            correct = sum(1 for d, truth in decided if d.accepted == truth)
+            rows.append(
+                {
+                    "scenario": name,
+                    "severity": severity,
+                    "n": n,
+                    "degraded_pct": 100.0 * degraded / n,
+                    "fail_closed_pct": 100.0 * fail_closed / n,
+                    "decided_accuracy_pct": (
+                        100.0 * correct / len(decided) if decided else float("nan")
+                    ),
+                }
+            )
+    worst = min(
+        (r for r in rows if r["decided_accuracy_pct"] == r["decided_accuracy_pct"]),
+        key=lambda r: r["decided_accuracy_pct"],
+    )
+    return ExperimentResult(
+        experiment_id="E28",
+        title="Fault tolerance: fail-closed decisions under hardware faults",
+        headers=[
+            "scenario",
+            "severity",
+            "n",
+            "degraded_pct",
+            "fail_closed_pct",
+            "decided_accuracy_pct",
+        ],
+        rows=rows,
+        paper=(
+            "extension beyond the paper: the gate must degrade by refusing, "
+            "not by guessing — no batch may crash, and surviving decisions "
+            "keep their accuracy"
+        ),
+        summary={
+            "worst_scenario": f"{worst['scenario']}@{worst['severity']:g}",
+            "worst_decided_accuracy_pct": worst["decided_accuracy_pct"],
+        },
+    )

@@ -1,0 +1,71 @@
+"""Worker-fault simulation: transient task failures and worker crashes.
+
+Two deterministic chaos hooks exercised by the pool-dispatch path of
+:func:`repro.runtime.batch.render_captures` (never by the serial path,
+which models the in-process fallback and must stay pure):
+
+- :func:`maybe_fail` raises :class:`TransientWorkerFault` on a task's
+  *first* dispatch — the retry layer must absorb it and the re-dispatch
+  succeeds, so results stay byte-identical to serial;
+- :func:`maybe_crash` hard-kills the worker process
+  (``os._exit``), breaking the pool — the recovery layer must rebuild
+  the pool or fall back to serial, again byte-identically.
+
+Which tasks are hit is a pure function of the task key and
+``REPRO_FAULTS_CHAOS_SEED``, so a chaos run is reproducible.  Rates are
+fractions in ``[0, 1]`` read from ``REPRO_FAULTS_TRANSIENT_RATE`` /
+``REPRO_FAULTS_CRASH_RATE``; both default to 0 and both require the
+faults layer to be enabled (``REPRO_FAULTS=1``), which child worker
+processes inherit through the environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from .control import _env_float, faults_enabled
+
+__all__ = ["TransientWorkerFault", "chaos_unit", "maybe_crash", "maybe_fail"]
+
+_CRASH_EXIT_CODE = 78
+
+
+class TransientWorkerFault(RuntimeError):
+    """A simulated recoverable worker failure (retry must absorb it)."""
+
+
+def chaos_unit(key: str, salt: str) -> float:
+    """Deterministic uniform value in ``[0, 1)`` for one task key."""
+    material = hashlib.blake2b(digest_size=8)
+    material.update(str(os.environ.get("REPRO_FAULTS_CHAOS_SEED", "0")).encode())
+    material.update(salt.encode())
+    material.update(key.encode())
+    return int.from_bytes(material.digest(), "little") / 2.0**64
+
+
+def maybe_fail(key: str, attempt: int) -> None:
+    """Raise :class:`TransientWorkerFault` for a deterministic task subset.
+
+    Only first dispatches (``attempt == 0``) fail: the fault is
+    transient by construction, so a retrying caller always converges to
+    the serial result.
+    """
+    if attempt > 0 or not faults_enabled():
+        return
+    rate = _env_float("REPRO_FAULTS_TRANSIENT_RATE", 0.0)
+    if rate > 0.0 and chaos_unit(key, "transient") < rate:
+        raise TransientWorkerFault(f"injected transient fault for task {key}")
+
+
+def maybe_crash(key: str, attempt: int) -> None:
+    """Hard-exit the worker process for a deterministic task subset.
+
+    Like :func:`maybe_fail` this only fires on first dispatch, so pool
+    rebuild + re-dispatch always completes the batch.
+    """
+    if attempt > 0 or not faults_enabled():
+        return
+    rate = _env_float("REPRO_FAULTS_CRASH_RATE", 0.0)
+    if rate > 0.0 and chaos_unit(key, "crash") < rate:
+        os._exit(_CRASH_EXIT_CODE)

@@ -1,0 +1,217 @@
+"""Hardware-fault models for multi-channel captures.
+
+Each fault is a small frozen dataclass that corrupts a ``(n_mics,
+n_samples)`` channel matrix the way real capture hardware does:
+
+- :class:`DeadChannel` — a mic that stopped producing signal (connector
+  failure, blown element), leaving zeros or a faint electronic noise
+  floor;
+- :class:`ChannelDropout` — an intermittent contact: short bursts where
+  one channel's samples vanish;
+- :class:`GainDrift` — a slowly failing preamp whose gain ramps away
+  from nominal over the utterance;
+- :class:`ClockSkew` — a sample-clock running fast/slow relative to the
+  rest of the array (per-channel resampling by parts-per-million);
+- :class:`Clipping` — ADC saturation at a rail below the signal peak,
+  with optional coarse re-quantization;
+- :class:`BurstNoise` — electrical interference bursts added on top of
+  one or all channels.
+
+Every ``apply`` is a pure function of ``(channels, sample_rate, rng)``:
+all randomness comes from the generator handed in by
+:class:`~repro.faults.scenario.FaultScenario`, which derives it
+deterministically from the scenario seed and the capture content — the
+same capture under the same scenario is corrupted identically in any
+process, in any order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BurstNoise",
+    "ChannelDropout",
+    "Clipping",
+    "ClockSkew",
+    "DeadChannel",
+    "Fault",
+    "GainDrift",
+]
+
+
+def _validate_channel(channel: int, n_mics: int, fault: str) -> int:
+    if not 0 <= channel < n_mics:
+        raise ValueError(f"{fault}: channel {channel} out of range for {n_mics} mics")
+    return channel
+
+
+@dataclass(frozen=True)
+class DeadChannel:
+    """One mic producing no signal — zeros plus an optional noise floor.
+
+    ``noise_floor`` is the RMS of the residual electronic noise relative
+    to the RMS of the loudest surviving channel (0 leaves pure zeros).
+    """
+
+    channel: int
+    noise_floor: float = 0.0
+
+    def apply(self, channels: np.ndarray, sample_rate: int, rng: np.random.Generator) -> np.ndarray:
+        _validate_channel(self.channel, channels.shape[0], "DeadChannel")
+        out = channels.copy()
+        out[self.channel] = 0.0
+        if self.noise_floor > 0.0:
+            others = [k for k in range(out.shape[0]) if k != self.channel]
+            reference = np.sqrt(np.mean(np.square(out[others]))) if others else 1.0
+            out[self.channel] = (
+                self.noise_floor * reference * rng.standard_normal(out.shape[1])
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class ChannelDropout:
+    """Intermittent dropouts: bursts where one channel's samples vanish.
+
+    ``rate_hz`` is the expected number of dropout bursts per second,
+    ``mean_ms`` the mean burst length (exponentially distributed),
+    ``depth`` the attenuation inside a burst (1.0 = samples fully
+    zeroed).
+    """
+
+    channel: int
+    rate_hz: float = 2.0
+    mean_ms: float = 40.0
+    depth: float = 1.0
+
+    def apply(self, channels: np.ndarray, sample_rate: int, rng: np.random.Generator) -> np.ndarray:
+        _validate_channel(self.channel, channels.shape[0], "ChannelDropout")
+        out = channels.copy()
+        n = out.shape[1]
+        duration = n / float(sample_rate)
+        n_bursts = int(rng.poisson(max(0.0, self.rate_hz) * duration))
+        if n_bursts == 0:
+            return out
+        starts = rng.integers(0, n, size=n_bursts)
+        lengths = rng.exponential(self.mean_ms / 1000.0 * sample_rate, size=n_bursts)
+        gain = 1.0 - float(np.clip(self.depth, 0.0, 1.0))
+        for start, length in zip(starts, lengths):
+            stop = min(n, int(start) + max(1, int(length)))
+            out[self.channel, int(start) : stop] *= gain
+        return out
+
+
+@dataclass(frozen=True)
+class GainDrift:
+    """A preamp whose gain ramps linearly (in dB) over the utterance."""
+
+    channel: int
+    start_db: float = 0.0
+    end_db: float = -6.0
+
+    def apply(self, channels: np.ndarray, sample_rate: int, rng: np.random.Generator) -> np.ndarray:
+        _validate_channel(self.channel, channels.shape[0], "GainDrift")
+        out = channels.copy()
+        ramp_db = np.linspace(self.start_db, self.end_db, out.shape[1])
+        out[self.channel] *= 10.0 ** (ramp_db / 20.0)
+        return out
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """One channel's sample clock running fast or slow by ``ppm``.
+
+    The channel is resampled by ``1 + ppm * 1e-6`` with linear
+    interpolation, clamped at the final sample so the length is
+    unchanged — exactly the progressive inter-channel misalignment a
+    skewed ADC clock produces.
+    """
+
+    channel: int
+    ppm: float = 200.0
+
+    def apply(self, channels: np.ndarray, sample_rate: int, rng: np.random.Generator) -> np.ndarray:
+        _validate_channel(self.channel, channels.shape[0], "ClockSkew")
+        out = channels.copy()
+        n = out.shape[1]
+        positions = np.arange(n) * (1.0 + self.ppm * 1e-6)
+        np.clip(positions, 0.0, n - 1.0, out=positions)
+        out[self.channel] = np.interp(positions, np.arange(n), out[self.channel])
+        return out
+
+
+@dataclass(frozen=True)
+class Clipping:
+    """ADC saturation: samples clipped at a rail below the signal peak.
+
+    ``level`` is the rail as a fraction of the capture's absolute peak
+    (0.5 clips everything above half the peak).  ``bits``, when set,
+    additionally quantizes the clipped waveform to that many bits of
+    full scale — the coarse staircase of a degraded converter.  Applies
+    to every channel (saturation happens at the shared ADC).
+    """
+
+    level: float = 0.5
+    bits: int | None = None
+
+    def apply(self, channels: np.ndarray, sample_rate: int, rng: np.random.Generator) -> np.ndarray:
+        if not 0.0 < self.level:
+            raise ValueError("Clipping.level must be positive")
+        peak = float(np.max(np.abs(channels)))
+        if peak == 0.0:
+            return channels.copy()
+        rail = self.level * peak
+        out = np.clip(channels, -rail, rail)
+        if self.bits is not None:
+            if self.bits < 2:
+                raise ValueError("Clipping.bits must be >= 2")
+            step = 2.0 * rail / (2**self.bits - 1)
+            out = np.round(out / step) * step
+        return out
+
+
+@dataclass(frozen=True)
+class BurstNoise:
+    """Electrical interference bursts added on top of the signal.
+
+    ``snr_db`` sets the in-burst signal-to-noise ratio against the
+    capture RMS; ``rate_hz``/``mean_ms`` shape burst arrivals like
+    :class:`ChannelDropout`.  ``channel`` limits the noise to one mic
+    (``None`` hits all channels with independent noise).
+    """
+
+    snr_db: float = 0.0
+    rate_hz: float = 3.0
+    mean_ms: float = 30.0
+    channel: int | None = None
+
+    def apply(self, channels: np.ndarray, sample_rate: int, rng: np.random.Generator) -> np.ndarray:
+        out = channels.copy()
+        n = out.shape[1]
+        rows = (
+            range(out.shape[0])
+            if self.channel is None
+            else [_validate_channel(self.channel, out.shape[0], "BurstNoise")]
+        )
+        signal_rms = float(np.sqrt(np.mean(np.square(channels))))
+        if signal_rms == 0.0:
+            return out
+        noise_rms = signal_rms / (10.0 ** (self.snr_db / 20.0))
+        duration = n / float(sample_rate)
+        for row in rows:
+            n_bursts = int(rng.poisson(max(0.0, self.rate_hz) * duration))
+            starts = rng.integers(0, n, size=n_bursts)
+            lengths = rng.exponential(self.mean_ms / 1000.0 * sample_rate, size=n_bursts)
+            for start, length in zip(starts, lengths):
+                stop = min(n, int(start) + max(1, int(length)))
+                out[row, int(start) : stop] += noise_rms * rng.standard_normal(
+                    stop - int(start)
+                )
+        return out
+
+
+Fault = DeadChannel | ChannelDropout | GainDrift | ClockSkew | Clipping | BurstNoise
+"""Union of every fault model a scenario can carry."""

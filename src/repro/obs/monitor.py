@@ -81,12 +81,14 @@ _REASON_ACCEPT = "accepted"
 _REASON_NO_SPEECH = "no-speech"
 _REASON_MECHANICAL = "mechanical-source"
 _REASON_NON_FACING = "non-facing"
+_REASON_DEGRADED = "degraded-input"
 
 _STAGE_OF_REASON = {
     _REASON_NO_SPEECH: "preprocess",
     _REASON_MECHANICAL: "liveness",
     _REASON_NON_FACING: "orientation",
     _REASON_ACCEPT: "orientation",
+    _REASON_DEGRADED: "screening",
 }
 
 _WARNED: set[str] = set()

@@ -17,7 +17,9 @@ byte-identical captures.  See DESIGN.md ("Runtime layer").
 
 from .batch import (
     InterferenceSpec,
+    RenderDispatchError,
     RenderTask,
+    RetryPolicy,
     active_pool,
     default_workers,
     execute_render_task,
@@ -25,6 +27,8 @@ from .batch import (
     persistent_pool,
     render_captures,
     restore_generator,
+    retry_policy,
+    task_key,
     worker_pool,
 )
 from .cache import (
@@ -43,7 +47,9 @@ from .cache import (
 __all__ = [
     "CacheStats",
     "InterferenceSpec",
+    "RenderDispatchError",
     "RenderTask",
+    "RetryPolicy",
     "active_pool",
     "cache_counts",
     "cache_enabled",
@@ -58,7 +64,9 @@ __all__ = [
     "persistent_pool",
     "render_captures",
     "restore_generator",
+    "retry_policy",
     "rir_key",
     "set_cache_enabled",
+    "task_key",
     "worker_pool",
 ]

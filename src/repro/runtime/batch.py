@@ -17,11 +17,15 @@ overridden per call or via :func:`worker_pool`.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -35,6 +39,9 @@ from ..acoustics.propagation import (
 )
 from ..acoustics.scene import Scene
 from ..acoustics.sources import SourceRendering
+from ..faults import chaos as faults_chaos
+from ..faults.control import active_scenario
+from ..faults.scenario import FaultScenario
 from ..obs import workers as obs_workers
 from ..obs.control import obs_enabled
 from ..obs.metrics import counter_inc
@@ -45,6 +52,11 @@ _WORKER_OVERRIDE: int | None = None
 _ACTIVE_POOL: ProcessPoolExecutor | None = None
 _ACTIVE_POOL_WORKERS: int = 0
 _WARNED_BAD_WORKERS = False
+_WARNED_BAD_ENV: set[str] = set()
+
+
+class RenderDispatchError(RuntimeError):
+    """A render task kept failing after every configured retry."""
 
 
 def default_workers() -> int:
@@ -75,6 +87,76 @@ def default_workers() -> int:
     return max(1, workers)
 
 
+def _warned_env(name: str, raw: str, default) -> None:
+    if name in _WARNED_BAD_ENV:
+        return
+    _WARNED_BAD_ENV.add(name)
+    warnings.warn(
+        f"{name}={raw!r} is not a valid value; using {default}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _env_number(name: str, default: float, cast=float):
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return cast(raw)
+    except ValueError:
+        _warned_env(name, raw, default)
+        return default
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance knobs for pool dispatch (see ``docs/ROBUSTNESS.md``).
+
+    - ``retries`` — re-dispatches allowed per task after its first
+      failure before :class:`RenderDispatchError` is raised;
+    - ``backoff_s`` / ``backoff_cap_s`` — capped exponential sleep
+      between retry rounds (transient faults get a beat to clear);
+    - ``timeout_s`` — wall-clock budget for any single dispatch round;
+      a hung worker trips it and is treated like a broken pool
+      (``None``/0 disables);
+    - ``pool_rebuilds`` — broken-pool rebuilds attempted before the
+      remaining tasks fall back to in-process serial rendering.
+    """
+
+    retries: int = 2
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    timeout_s: float | None = None
+    pool_rebuilds: int = 1
+
+    def backoff_for(self, round_index: int) -> float:
+        """Sleep before retry round ``round_index`` (0 = first retry)."""
+        if self.backoff_s <= 0.0:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_s * (2.0**round_index))
+
+
+def retry_policy() -> RetryPolicy:
+    """The :class:`RetryPolicy` described by the environment.
+
+    ``REPRO_RENDER_RETRIES``, ``REPRO_RENDER_BACKOFF_S``,
+    ``REPRO_RENDER_TIMEOUT_S`` (0 or unset disables) and
+    ``REPRO_RENDER_POOL_REBUILDS`` override the defaults; malformed
+    values warn once and keep the default (the render must not lose its
+    fault tolerance to a typo).
+    """
+    timeout = _env_number("REPRO_RENDER_TIMEOUT_S", 0.0)
+    return RetryPolicy(
+        retries=max(0, int(_env_number("REPRO_RENDER_RETRIES", 2, cast=int))),
+        backoff_s=max(0.0, _env_number("REPRO_RENDER_BACKOFF_S", 0.05)),
+        timeout_s=timeout if timeout > 0.0 else None,
+        pool_rebuilds=max(
+            0, int(_env_number("REPRO_RENDER_POOL_REBUILDS", 1, cast=int))
+        ),
+    )
+
+
 @contextmanager
 def worker_pool(workers: int | None):
     """Scoped default worker count (``None`` leaves the default alone)."""
@@ -94,9 +176,46 @@ def _worker_pid(_: int) -> int:
     return os.getpid()
 
 
+def _pool_is_broken(pool: ProcessPoolExecutor) -> bool:
+    """Whether an executor can no longer accept work.
+
+    ``ProcessPoolExecutor`` flips a private ``_broken`` flag when a
+    worker dies; stdlib has kept it stable across 3.8-3.13 and there is
+    no public probe short of submitting a doomed task.
+    """
+    return bool(getattr(pool, "_broken", False))
+
+
+def _new_pool(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=obs_workers.init_worker,
+        initargs=(obs_workers.current_context(),),
+    )
+
+
 def active_pool() -> ProcessPoolExecutor | None:
-    """The executor a :func:`persistent_pool` scope has open, if any."""
-    return _ACTIVE_POOL
+    """The executor a :func:`persistent_pool` scope has open, if any.
+
+    Never hands out a broken executor: if the registered pool has lost
+    a worker process since the last check, it is shut down and
+    unregistered here, and the caller sees ``None`` (the next render
+    builds a fresh pool).
+    """
+    global _ACTIVE_POOL, _ACTIVE_POOL_WORKERS
+    pool = _ACTIVE_POOL
+    if pool is not None and _pool_is_broken(pool):
+        counter_inc("runtime.retry.broken_pool_cleared")
+        _ACTIVE_POOL, _ACTIVE_POOL_WORKERS = None, 0
+        pool.shutdown(wait=False, cancel_futures=True)
+        return None
+    return pool
+
+
+def _register_active_pool(pool: ProcessPoolExecutor | None, workers: int) -> None:
+    """Swap the scope-registered pool (used after an in-scope rebuild)."""
+    global _ACTIVE_POOL, _ACTIVE_POOL_WORKERS
+    _ACTIVE_POOL, _ACTIVE_POOL_WORKERS = pool, workers
 
 
 @contextmanager
@@ -113,25 +232,29 @@ def persistent_pool(workers: int, warmup: bool = True):
     pool size reuses it, and the scope also sets the default worker
     count (like :func:`worker_pool`) so ``workers=None`` callers fan
     out too.
+
+    If the pool breaks inside the scope (a worker crashed), the next
+    render's recovery path rebuilds it and re-registers the
+    replacement; the scope's exit shuts down whichever pool is current,
+    so a broken executor is never left registered.
     """
-    global _ACTIVE_POOL, _ACTIVE_POOL_WORKERS
     if workers < 2:
         raise ValueError("persistent pool needs workers >= 2")
     previous = (_ACTIVE_POOL, _ACTIVE_POOL_WORKERS)
-    pool = ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=obs_workers.init_worker,
-        initargs=(obs_workers.current_context(),),
-    )
+    pool = _new_pool(workers)
     try:
         if warmup:
             with span("runtime.pool_warmup", workers=workers):
                 list(pool.map(_worker_pid, range(2 * workers), chunksize=1))
-        _ACTIVE_POOL, _ACTIVE_POOL_WORKERS = pool, workers
+        _register_active_pool(pool, workers)
         with worker_pool(workers):
             yield pool
     finally:
-        _ACTIVE_POOL, _ACTIVE_POOL_WORKERS = previous
+        current = _ACTIVE_POOL
+        _register_active_pool(previous[0], previous[1])
+        if current is not None and current is not pool:
+            # A recovery rebuilt the scope's pool; reap the replacement.
+            current.shutdown(wait=False, cancel_futures=True)
         pool.shutdown()
 
 
@@ -176,6 +299,7 @@ class RenderTask:
     n_bands: int = DEFAULT_N_BANDS
     self_noise_db_spl: float | None = None
     interference: tuple[InterferenceSpec, ...] = ()
+    faults: FaultScenario | None = None
 
     @classmethod
     def from_rng(cls, scene: Scene, rendering: SourceRendering, rng: np.random.Generator, **kwargs) -> "RenderTask":
@@ -189,7 +313,17 @@ def execute_render_task(task: RenderTask) -> Capture:
     The restored generator is threaded through the capture render and
     then each interference layer in order, reproducing the sequential
     random stream of the original in-line code path.
+
+    A task that carries no :class:`FaultScenario` of its own picks up
+    the ambient one (:func:`repro.faults.control.active_scenario`) here;
+    pool dispatch pre-attaches the parent's scenario to every task, so
+    in-memory overrides survive the process boundary and the corruption
+    is applied exactly once on every path.
     """
+    if task.faults is None:
+        scenario = active_scenario()
+        if scenario is not None:
+            task = replace(task, faults=scenario)
     with span("runtime.render_task"):
         return _execute_render_task(task)
 
@@ -205,6 +339,24 @@ def _execute_task_with_sidecar(task: RenderTask) -> tuple[Capture, "obs_workers.
     with obs_workers.task_telemetry() as telemetry:
         capture = execute_render_task(task)
     return capture, telemetry.sidecar
+
+
+def _pool_chunk(tasks: tuple[RenderTask, ...], attempts: tuple[int, ...], observe: bool) -> list:
+    """Worker-side execution of one dispatched chunk of tasks.
+
+    The chaos hooks (:mod:`repro.faults.chaos`) run here — and only
+    here: simulated worker faults exercise the pool retry/rebuild
+    machinery, never the in-process serial path it falls back to.
+    """
+    results = []
+    for task, attempt in zip(tasks, attempts):
+        key = task_key(task)
+        faults_chaos.maybe_crash(key, attempt)
+        faults_chaos.maybe_fail(key, attempt)
+        results.append(
+            _execute_task_with_sidecar(task) if observe else execute_render_task(task)
+        )
+    return results
 
 
 def _execute_render_task(task: RenderTask) -> Capture:
@@ -232,7 +384,27 @@ def _execute_render_task(task: RenderTask) -> Capture:
                 task.rir_config,
             )
         capture = Capture(channels=channels, sample_rate=capture.sample_rate)
+    if task.faults is not None:
+        # Post-render corruption: the fault stream is derived from the
+        # scenario seed and the clean capture's content, so the result
+        # is byte-identical wherever (and in whatever order) the task
+        # runs — see repro.faults.scenario.
+        capture = task.faults.apply(capture)
     return capture
+
+
+def task_key(task: RenderTask) -> str:
+    """Short stable digest identifying one render task.
+
+    The per-task handle for retry bookkeeping and the deterministic
+    chaos hooks: the frozen ``rng_state`` uniquely positions the task
+    in its batch's random stream, so its repr is a cheap content key
+    (no rendering required).
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(repr(task.rng_state).encode())
+    digest.update(str(task.loudness_db_spl).encode())
+    return digest.hexdigest()
 
 
 def render_captures(
@@ -265,6 +437,15 @@ def render_captures(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     workers = min(workers, len(tasks))
+    scenario = active_scenario()
+    if scenario is not None:
+        # Attach the ambient fault scenario before the serial/pool split,
+        # so both execution paths corrupt identically.  Tasks that carry
+        # their own scenario keep it.
+        tasks = [
+            task if task.faults is not None else replace(task, faults=scenario)
+            for task in tasks
+        ]
     with profiled("runtime.render_captures"), span(
         "runtime.render_captures", workers=workers, n=len(tasks)
     ):
@@ -276,19 +457,141 @@ def render_captures(
         counter_inc("runtime.captures_rendered", amount=len(tasks), mode="pool")
         # With observability on, workers return (capture, sidecar) pairs
         # and the parent folds the sidecars into its registry and trace
-        # on completion; the disabled path maps the plain task function.
+        # on completion; the disabled path ships plain captures.
         observe = obs_enabled()
-        task_fn = _execute_task_with_sidecar if observe else execute_render_task
-        if _ACTIVE_POOL is not None and _ACTIVE_POOL_WORKERS >= workers:
-            results = list(_ACTIVE_POOL.map(task_fn, tasks, chunksize=chunksize))
-        else:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=obs_workers.init_worker,
-                initargs=(obs_workers.current_context(),),
-            ) as pool:
-                results = list(pool.map(task_fn, tasks, chunksize=chunksize))
+        results = _render_with_pool(tasks, workers, chunksize, observe)
         if not observe:
             return results
-        obs_workers.merge_sidecars(sidecar for _, sidecar in results)
+        obs_workers.merge_sidecars(
+            sidecar for _, sidecar in results if sidecar is not None
+        )
         return [capture for capture, _ in results]
+
+
+def _render_with_pool(
+    tasks: list[RenderTask], workers: int, chunksize: int, observe: bool
+) -> list:
+    """Dispatch tasks over a process pool with fail-closed recovery.
+
+    Each round submits the still-unresolved tasks as chunks and collects
+    results under the :func:`retry_policy` in effect:
+
+    - an ordinary chunk failure re-dispatches its tasks as singletons,
+      so one poisoned task cannot take its chunk-mates down with it; a
+      *singleton* failure charges that task an attempt, and a task past
+      ``retries`` attempts raises :class:`RenderDispatchError`;
+    - a broken pool (worker killed) or a round past ``timeout_s`` (a
+      hung worker) tears the executor down and rebuilds it, up to
+      ``pool_rebuilds`` times — a rebuilt :func:`persistent_pool`
+      executor is re-registered so the scope keeps working;
+    - past the rebuild budget, the remaining tasks fall back to
+      in-process serial rendering, which cannot lose a worker.
+
+    Results are byte-identical to the serial path in every case: tasks
+    are pure functions of their frozen state, so re-execution anywhere
+    reproduces the same capture.
+    """
+    policy = retry_policy()
+    n = len(tasks)
+    results: list = [None] * n
+    attempts = [0] * n
+    pool = active_pool()
+    owned = pool is None or _ACTIVE_POOL_WORKERS < workers
+    if owned:
+        pool = _new_pool(workers)
+    rebuilds = 0
+    retry_round = 0
+    pending = list(range(n))
+    single = False  # retry rounds dispatch singletons to isolate blame
+    try:
+        while pending:
+            size = 1 if single else chunksize
+            chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
+            pool_failed = False
+            retry_next: list[int] = []
+            futures: dict = {}
+            try:
+                for chunk in chunks:
+                    future = pool.submit(
+                        _pool_chunk,
+                        tuple(tasks[k] for k in chunk),
+                        tuple(attempts[k] for k in chunk),
+                        observe,
+                    )
+                    futures[future] = chunk
+            except BrokenProcessPool:
+                pool_failed = True
+            deadline = (
+                None
+                if policy.timeout_s is None
+                else time.monotonic() + policy.timeout_s
+            )
+            for future, chunk in futures.items():
+                if pool_failed:
+                    future.cancel()
+                    continue
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                try:
+                    chunk_results = future.result(timeout=remaining)
+                except FuturesTimeoutError:
+                    counter_inc("runtime.retry.timeouts")
+                    pool_failed = True
+                except BrokenProcessPool:
+                    counter_inc("runtime.retry.pool_broken")
+                    pool_failed = True
+                except Exception as error:
+                    counter_inc("runtime.retry.task_failures", amount=len(chunk))
+                    if len(chunk) == 1:
+                        k = chunk[0]
+                        attempts[k] += 1
+                        if attempts[k] > policy.retries:
+                            raise RenderDispatchError(
+                                f"render task {task_key(tasks[k])} failed after "
+                                f"{attempts[k]} dispatches: {error!r}"
+                            ) from error
+                    retry_next.extend(chunk)
+                else:
+                    for k, result in zip(chunk, chunk_results):
+                        results[k] = result
+            if pool_failed:
+                pool.shutdown(wait=False, cancel_futures=True)
+                if _ACTIVE_POOL is pool:
+                    _register_active_pool(None, 0)
+                unresolved = [k for k in range(n) if results[k] is None]
+                # The dispatch died under every in-flight task; charging
+                # each one an attempt keeps the deterministic chaos hooks
+                # from re-killing the rebuilt pool with the same task.
+                for k in unresolved:
+                    attempts[k] += 1
+                if rebuilds >= policy.pool_rebuilds:
+                    counter_inc(
+                        "runtime.retry.serial_fallbacks", amount=len(unresolved)
+                    )
+                    for k in unresolved:
+                        capture = execute_render_task(tasks[k])
+                        results[k] = (capture, None) if observe else capture
+                    pool = None
+                    break
+                rebuilds += 1
+                counter_inc("runtime.retry.pool_rebuilds")
+                replacement = _new_pool(workers)
+                if not owned:
+                    # Keep the persistent_pool scope serviced: register
+                    # the replacement so later renders (and the scope's
+                    # exit) see a live executor, never the broken one.
+                    _register_active_pool(replacement, workers)
+                pool = replacement
+                pending = unresolved
+                continue
+            pending = retry_next
+            if pending:
+                single = True
+                counter_inc("runtime.retry.attempts", amount=len(pending))
+                time.sleep(policy.backoff_for(retry_round))
+                retry_round += 1
+    finally:
+        if owned and pool is not None:
+            pool.shutdown()
+    return results

@@ -11,6 +11,7 @@ from repro.core import (
     LIVE_HUMAN,
     LivenessDetector,
     MECHANICAL,
+    REJECT_DEGRADED_INPUT,
     REJECT_MECHANICAL,
     REJECT_NO_SPEECH,
     REJECT_NON_FACING,
@@ -131,5 +132,15 @@ class TestDecisions:
 
     def test_channel_mismatch_rejected(self, pipeline):
         bad = Capture(channels=np.zeros((2, FS // 4)), sample_rate=FS)
-        with pytest.raises(ValueError, match="channels"):
-            pipeline.evaluate(bad)
+        decision = pipeline.evaluate(bad)
+        assert not decision.accepted
+        assert decision.reason == REJECT_DEGRADED_INPUT
+        assert decision.degraded
+        assert decision.detail.startswith("channel-count:")
+
+    def test_sample_rate_mismatch_rejected(self, pipeline, forward_capture):
+        bad = Capture(channels=forward_capture.channels, sample_rate=FS // 2)
+        decision = pipeline.evaluate(bad)
+        assert not decision.accepted
+        assert decision.reason == REJECT_DEGRADED_INPUT
+        assert decision.detail.startswith("sample-rate:")

@@ -147,6 +147,27 @@ class TestPersistentPool:
             with persistent_pool(1):
                 pass
 
+    def test_broken_pool_never_handed_out(self):
+        """A pool that breaks inside the scope is cleared, not re-served."""
+        import os
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime import active_pool, persistent_pool
+
+        tasks = _tasks()
+        serial = render_captures(tasks, workers=1)
+        with persistent_pool(2) as pool:
+            assert active_pool() is pool
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(os._exit, 1).result()
+            assert active_pool() is None
+            # Renders keep working: a fresh pool is built transparently.
+            pooled = render_captures(tasks)
+            for s, p in zip(serial, pooled):
+                assert np.array_equal(s.channels, p.channels)
+        assert active_pool() is None
+
 
 class TestColdWarmEquivalence:
     def test_warm_cache_bytes_identical(self):

@@ -49,7 +49,7 @@ class TestExampleScripts:
             timeout=120,
         )
         assert result.returncode == 0
-        assert "E01" in result.stdout and "E27" in result.stdout
+        assert "E01" in result.stdout and "E28" in result.stdout
 
     def test_run_experiment_rejects_unknown_id(self):
         result = subprocess.run(

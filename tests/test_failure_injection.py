@@ -14,6 +14,7 @@ from repro.core import (
     preprocess,
 )
 from repro.core.preprocessing import DenoisedAudio
+from repro.faults import PRESET_NAMES
 
 FS = 48_000
 
@@ -87,3 +88,46 @@ class TestHostileModelInputs:
         )
         with pytest.raises(ValueError, match="channels"):
             extractor.extract(audio)
+
+
+class TestInjectedHardwareFaults:
+    """The repro.faults models driven through the full gate.
+
+    Whatever a preset scenario does to a capture, the pipeline must
+    return a typed decision — decided from the surviving microphone
+    pairs when possible, fail-closed otherwise, never an exception.
+    """
+
+    @pytest.fixture()
+    def pipeline(self, d2_subset, trained_detector):
+        from repro.core import HeadTalkPipeline, LivenessDetector
+
+        return HeadTalkPipeline(
+            array=d2_subset,
+            liveness=LivenessDetector(),  # untrained: liveness is skipped
+            orientation=trained_detector,
+        )
+
+    @pytest.mark.parametrize("name", sorted(PRESET_NAMES))
+    def test_every_preset_yields_typed_decision(self, pipeline, forward_capture, name):
+        from repro.core import ACCEPT, REJECT_DEGRADED_INPUT, REJECT_NON_FACING
+        from repro.faults import preset_scenario
+
+        corrupted = preset_scenario(name, severity=2.0, seed=1).apply(forward_capture)
+        decision = pipeline.evaluate(corrupted, check_liveness=False)
+        assert decision.reason in {
+            ACCEPT,
+            REJECT_NON_FACING,
+            REJECT_NO_SPEECH,
+            REJECT_DEGRADED_INPUT,
+        }
+
+    def test_dead_channel_decided_from_survivors(self, pipeline, forward_capture):
+        from repro.core import ACCEPT, REJECT_NON_FACING
+        from repro.faults import DeadChannel, FaultScenario
+
+        scenario = FaultScenario(name="dead2", faults=(DeadChannel(channel=2),), seed=0)
+        decision = pipeline.evaluate(scenario.apply(forward_capture), check_liveness=False)
+        assert decision.degraded
+        assert decision.health is not None and 2 in decision.health.dead
+        assert decision.reason in (ACCEPT, REJECT_NON_FACING)
