@@ -25,15 +25,35 @@ import numpy as np
 
 from ..arrays.geometry import MicArray
 from ..dsp.gcc import pairwise_gcc, pairwise_gcc_batch
+from ..dsp.precision import resolve_dtype
 from ..dsp.spectral import high_low_band_ratio, low_band_chunk_stats
-from ..dsp.srp import srp_max_lag_for
 from ..dsp.stats import summary_vector, top_k_peaks
 from ..dsp.stft import mean_power_spectrum
 from ..obs.spans import span
+from ..runtime.plan import plan_for
 from .preprocessing import DenoisedAudio
 
 N_SRP_PEAKS = 3
 N_LOW_BAND_CHUNKS = 20
+
+
+def _validated_channels(audio: DenoisedAudio, array: MicArray, max_lag: int) -> np.ndarray:
+    """Validate a denoised capture against one array geometry.
+
+    Shared by both extractors (the GCC-only baseline historically
+    skipped it and silently produced misshapen vectors from bad
+    captures): the channel matrix must be 2-D with the array's mic
+    count, and long enough for correlation analysis.  Returns the
+    channels cast to the resolved decision dtype.
+    """
+    channels = np.asarray(audio.channels, dtype=resolve_dtype(None))
+    if channels.ndim != 2 or channels.shape[0] != array.n_mics:
+        raise ValueError(
+            f"expected {array.n_mics} channels, got shape {channels.shape}"
+        )
+    if channels.shape[1] < 4 * (max_lag + 1):
+        raise ValueError("utterance too short for correlation analysis")
+    return channels
 
 
 @dataclass(frozen=True)
@@ -52,12 +72,12 @@ class OrientationFeatureExtractor:
     @property
     def max_lag(self) -> int:
         """Half-window of correlation lags (12/13/10 for D1/D2/D3)."""
-        return srp_max_lag_for(self.array)
+        return plan_for(self.array).max_lag
 
     @property
     def pairs(self) -> list[tuple[int, int]]:
         """Microphone pairs used for cross-correlation."""
-        return self.array.pairs()
+        return plan_for(self.array).pair_list
 
     @property
     def n_features(self) -> int:
@@ -90,21 +110,15 @@ class OrientationFeatureExtractor:
         }
 
     def _validated_channels(self, audio: DenoisedAudio) -> np.ndarray:
-        channels = np.asarray(audio.channels, dtype=float)
-        if channels.ndim != 2 or channels.shape[0] != self.array.n_mics:
-            raise ValueError(
-                f"expected {self.array.n_mics} channels, got shape {channels.shape}"
-            )
-        if channels.shape[1] < 4 * (self.max_lag + 1):
-            raise ValueError("utterance too short for correlation analysis")
-        return channels
+        return _validated_channels(audio, self.array, self.max_lag)
 
     def extract(self, audio: DenoisedAudio) -> np.ndarray:
         """Feature vector for one denoised utterance."""
         with span("features.extract"):
-            channels = self._validated_channels(audio)
+            plan = plan_for(self.array)
+            channels = _validated_channels(audio, self.array, plan.max_lag)
             with span("features.gcc"):
-                gcc = pairwise_gcc(channels, self.pairs, self.max_lag)
+                gcc = pairwise_gcc(channels, plan.pair_list, plan.max_lag)
             return self._finalize(audio, gcc)
 
     def extract_masked(
@@ -127,16 +141,17 @@ class OrientationFeatureExtractor:
         if len(healthy) < 2:
             raise ValueError("need at least two healthy channels for correlation")
         with span("features.extract_masked"):
-            channels = self._validated_channels(audio)
-            pairs = self.pairs
+            plan = plan_for(self.array)
+            channels = _validated_channels(audio, self.array, plan.max_lag)
+            pairs = plan.pair_list
             alive = set(healthy)
             alive_rows = [r for r, (i, j) in enumerate(pairs) if i in alive and j in alive]
             if not alive_rows:
                 raise ValueError("no surviving microphone pair")
-            gcc = np.zeros((len(pairs), 2 * self.max_lag + 1))
+            gcc = np.zeros((len(pairs), plan.window), dtype=channels.dtype)
             with span("features.gcc", n_pairs=len(alive_rows)):
                 gcc[alive_rows] = pairwise_gcc(
-                    channels, [pairs[r] for r in alive_rows], self.max_lag
+                    channels, [pairs[r] for r in alive_rows], plan.max_lag
                 )
             return self._finalize(audio, gcc, alive_rows=alive_rows)
 
@@ -178,7 +193,9 @@ class OrientationFeatureExtractor:
             raise AssertionError(
                 f"feature size {features.size} != declared {self.n_features}"
             )
-        return features
+        # Stats blocks run in float64; keep the vector in the decision
+        # dtype (a no-op on the float64 default).
+        return features.astype(resolve_dtype(None), copy=False)
 
     def extract_batch(self, audios: list[DenoisedAudio]) -> np.ndarray:
         """Feature matrix ``(n_utterances, n_features)``.
@@ -191,9 +208,10 @@ class OrientationFeatureExtractor:
         if not audios:
             raise ValueError("no utterances given")
         with span("features.extract_batch", n=len(audios)):
-            batch = [self._validated_channels(a) for a in audios]
+            plan = plan_for(self.array)
+            batch = [_validated_channels(a, self.array, plan.max_lag) for a in audios]
             with span("features.gcc", n=len(audios)):
-                gccs = pairwise_gcc_batch(batch, self.pairs, self.max_lag)
+                gccs = pairwise_gcc_batch(batch, plan.pair_list, plan.max_lag)
             return np.stack(
                 [self._finalize(a, gcc) for a, gcc in zip(audios, gccs)]
             )
@@ -213,29 +231,31 @@ class GccOnlyFeatureExtractor:
     @property
     def max_lag(self) -> int:
         """Half-window of correlation lags."""
-        return srp_max_lag_for(self.array)
+        return plan_for(self.array).max_lag
 
     @property
     def n_features(self) -> int:
         """Dimensionality of the baseline feature vector."""
-        n_pairs = len(self.array.pairs())
-        return n_pairs * (2 * self.max_lag + 1) + n_pairs
+        plan = plan_for(self.array)
+        return len(plan.pairs) * plan.window + len(plan.pairs)
 
     def extract(self, audio: DenoisedAudio) -> np.ndarray:
         """GCC windows + TDoAs for one utterance."""
-        channels = np.asarray(audio.channels, dtype=float)
-        gcc = pairwise_gcc(channels, self.array.pairs(), self.max_lag)
+        plan = plan_for(self.array)
+        channels = _validated_channels(audio, self.array, plan.max_lag)
+        gcc = pairwise_gcc(channels, plan.pair_list, plan.max_lag)
         return self._finalize(gcc)
 
     def _finalize(self, gcc: np.ndarray) -> np.ndarray:
         tdoa_samples = np.argmax(gcc, axis=1) - self.max_lag
         tdoas = tdoa_samples / self.array.sample_rate
-        return np.concatenate([gcc.ravel(), tdoas])
+        return np.concatenate([gcc.ravel(), tdoas]).astype(resolve_dtype(None), copy=False)
 
     def extract_batch(self, audios: list[DenoisedAudio]) -> np.ndarray:
         """Feature matrix ``(n_utterances, n_features)`` via one stacked FFT."""
         if not audios:
             raise ValueError("no utterances given")
-        batch = [np.asarray(a.channels, dtype=float) for a in audios]
-        gccs = pairwise_gcc_batch(batch, self.array.pairs(), self.max_lag)
+        plan = plan_for(self.array)
+        batch = [_validated_channels(a, self.array, plan.max_lag) for a in audios]
+        gccs = pairwise_gcc_batch(batch, plan.pair_list, plan.max_lag)
         return np.stack([self._finalize(gcc) for gcc in gccs])

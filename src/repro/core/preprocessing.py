@@ -21,6 +21,7 @@ import numpy as np
 
 from ..acoustics.propagation import Capture
 from ..dsp.filters import headtalk_bandpass
+from ..dsp.precision import resolve_dtype
 from ..dsp.vad import detect_activity
 from ..obs.spans import span
 
@@ -164,6 +165,7 @@ def preprocess(
     vad_threshold: float = 0.05,
     normalize: bool = True,
     screen: bool = True,
+    dtype=None,
 ) -> DenoisedAudio:
     """Denoise, trim and normalize a capture.
 
@@ -178,6 +180,12 @@ def preprocess(
     normalization, and the voice-activity decision uses the first
     *healthy* channel.  Healthy captures take exactly the historical
     path — screening changes no bit of their output.
+
+    The output channels are cast to the resolved decision dtype (see
+    :mod:`repro.dsp.precision`) — a no-op on the float64 default.  The
+    fifth-order Butterworth itself always filters in float64:
+    ``sosfiltfilt`` on an order-5 band-pass is numerically fragile in
+    single precision, and the filter is not the hot cost.
     """
     channels = capture.channels
     health: ChannelHealth | None = None
@@ -204,7 +212,7 @@ def preprocess(
         if peak > 0:
             filtered = filtered / peak
     return DenoisedAudio(
-        channels=filtered,
+        channels=filtered.astype(resolve_dtype(dtype), copy=False),
         sample_rate=capture.sample_rate,
         had_speech=had_speech,
         health=health,

@@ -13,6 +13,18 @@ Sign convention (shared by every function here and by
 reached ``signal_b`` first and ``signal_a`` lags behind it
 (``a(t) ~= b(t - lag)``).  ``tests/dsp/test_gcc.py`` pins this with
 synthetic integer shifts and against array geometry.
+
+Every public function accepts ``dtype=`` (or defers to the process
+dtype, see :mod:`repro.dsp.precision`): float64 is the byte-identical
+default, float32 runs the transforms in single precision for the raw
+hot path.  Granularities, coarse to fine:
+
+- :func:`gcc_phat` — one pair of one capture;
+- :func:`pairwise_gcc` — all pairs of one capture, one FFT per channel;
+- :func:`pairwise_gcc_batch` — all pairs of *many captures* in stacked
+  FFTs;
+- :func:`pairwise_gcc_frames` — all *frames* x pairs of one capture in
+  one batched rfft/irfft (the API the streaming gateway consumes).
 """
 
 from __future__ import annotations
@@ -20,6 +32,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+
+from .precision import fft_api, resolve_dtype
 
 _PHAT_REGULARIZATION = 1e-12
 
@@ -48,11 +62,20 @@ def _lag_window(corr: np.ndarray, max_lag: int) -> np.ndarray:
     return np.concatenate([corr[..., -max_lag:], corr[..., : max_lag + 1]], axis=-1)
 
 
+def _phat_correlate(spectra_a: np.ndarray, spectra_b: np.ndarray, n_fft: int, max_lag: int, fft) -> np.ndarray:
+    """Whitened cross-spectrum -> lag window, over any batch shape."""
+    cross = spectra_a * np.conj(spectra_b)
+    cross /= np.abs(cross) + _PHAT_REGULARIZATION
+    corr = fft.irfft(cross, n_fft, axis=-1)
+    return _lag_window(corr, max_lag)
+
+
 def gcc_phat(
     signal_a: np.ndarray,
     signal_b: np.ndarray,
     max_lag: int,
     regularization: float = _PHAT_REGULARIZATION,
+    dtype=None,
 ) -> np.ndarray:
     """Windowed GCC-PHAT between two signals.
 
@@ -63,18 +86,20 @@ def gcc_phat(
     ``signal_a`` lags ``signal_b`` (``a(t) ~= b(t - lag)``); the peak lag
     estimates the arrival-time difference ``t_a - t_b``.
     """
-    a = np.asarray(signal_a, dtype=float).ravel()
-    b = np.asarray(signal_b, dtype=float).ravel()
+    dtype = resolve_dtype(dtype)
+    a = np.asarray(signal_a, dtype=dtype).ravel()
+    b = np.asarray(signal_b, dtype=dtype).ravel()
     if a.size == 0 or b.size == 0:
         raise ValueError("signals must be non-empty")
     if max_lag < 0:
         raise ValueError("max_lag must be >= 0")
     n_fft = _fft_length(a.size + b.size, max_lag)
-    spec_a = np.fft.rfft(a, n_fft)
-    spec_b = np.fft.rfft(b, n_fft)
+    fft = fft_api(dtype)
+    spec_a = fft.rfft(a, n_fft)
+    spec_b = fft.rfft(b, n_fft)
     cross = spec_a * np.conj(spec_b)
     cross /= np.abs(cross) + regularization
-    corr = np.fft.irfft(cross, n_fft)
+    corr = fft.irfft(cross, n_fft)
     return _lag_window(corr, max_lag)
 
 
@@ -101,8 +126,8 @@ def estimate_tdoa(
     return (best - max_lag) / float(sample_rate)
 
 
-def _validate_channels(channels: np.ndarray) -> np.ndarray:
-    x = np.asarray(channels, dtype=float)
+def _validate_channels(channels: np.ndarray, dtype=None) -> np.ndarray:
+    x = np.asarray(channels, dtype=resolve_dtype(dtype))
     if x.ndim != 2:
         raise ValueError(f"channels must be (n_mics, n_samples), got {x.shape}")
     if x.shape[1] == 0:
@@ -110,7 +135,7 @@ def _validate_channels(channels: np.ndarray) -> np.ndarray:
     return x
 
 
-def _validate_pairs(pairs: list[tuple[int, int]], n_mics: int) -> None:
+def _validate_pairs(pairs: Sequence[tuple[int, int]], n_mics: int) -> None:
     if not pairs:
         raise ValueError("pairs must be non-empty")
     for i, j in pairs:
@@ -122,6 +147,7 @@ def pairwise_gcc(
     channels: np.ndarray,
     pairs: list[tuple[int, int]],
     max_lag: int,
+    dtype=None,
 ) -> np.ndarray:
     """GCC-PHAT windows for several microphone pairs.
 
@@ -141,18 +167,20 @@ def pairwise_gcc(
     ``(len(pairs), 2 * max_lag + 1)`` array of correlation windows — the
     window length always honours the request (the FFT is sized to fit).
     """
-    x = _validate_channels(channels)
+    dtype = resolve_dtype(dtype)
+    x = _validate_channels(channels, dtype)
     if max_lag < 0:
         raise ValueError("max_lag must be >= 0")
     _validate_pairs(pairs, x.shape[0])
     # One FFT per channel, reused across all pairs.
     n_fft = _fft_length(2 * x.shape[1], max_lag)
-    spectra = np.fft.rfft(x, n_fft, axis=1)
-    rows = np.empty((len(pairs), 2 * max_lag + 1))
+    fft = fft_api(dtype)
+    spectra = fft.rfft(x, n_fft, axis=1)
+    rows = np.empty((len(pairs), 2 * max_lag + 1), dtype=dtype)
     for row, (i, j) in enumerate(pairs):
         cross = spectra[i] * np.conj(spectra[j])
         cross /= np.abs(cross) + _PHAT_REGULARIZATION
-        corr = np.fft.irfft(cross, n_fft)
+        corr = fft.irfft(cross, n_fft)
         rows[row] = _lag_window(corr, max_lag)
     return rows
 
@@ -161,6 +189,7 @@ def pairwise_gcc_batch(
     batch: Sequence[np.ndarray],
     pairs: list[tuple[int, int]],
     max_lag: int,
+    dtype=None,
 ) -> np.ndarray:
     """Vectorized :func:`pairwise_gcc` over a batch of captures.
 
@@ -181,11 +210,12 @@ def pairwise_gcc_batch(
     -------
     ``(len(batch), len(pairs), 2 * max_lag + 1)`` array.
     """
+    dtype = resolve_dtype(dtype)
     if len(batch) == 0:
         raise ValueError("batch must be non-empty")
     if max_lag < 0:
         raise ValueError("max_lag must be >= 0")
-    arrays = [_validate_channels(c) for c in batch]
+    arrays = [_validate_channels(c, dtype) for c in batch]
     n_mics = arrays[0].shape[0]
     for a in arrays:
         if a.shape[0] != n_mics:
@@ -194,7 +224,8 @@ def pairwise_gcc_batch(
 
     i_idx = np.array([i for i, _ in pairs])
     j_idx = np.array([j for _, j in pairs])
-    out = np.empty((len(arrays), len(pairs), 2 * max_lag + 1))
+    out = np.empty((len(arrays), len(pairs), 2 * max_lag + 1), dtype=dtype)
+    fft = fft_api(dtype)
 
     groups: dict[int, list[int]] = {}
     for k, a in enumerate(arrays):
@@ -202,14 +233,103 @@ def pairwise_gcc_batch(
 
     for n_fft, members in groups.items():
         longest = max(arrays[k].shape[1] for k in members)
-        stacked = np.zeros((len(members), n_mics, longest))
+        stacked = np.zeros((len(members), n_mics, longest), dtype=dtype)
         for slot, k in enumerate(members):
             stacked[slot, :, : arrays[k].shape[1]] = arrays[k]
-        spectra = np.fft.rfft(stacked, n_fft, axis=-1)  # (g, n_mics, nf)
-        cross = spectra[:, i_idx] * np.conj(spectra[:, j_idx])  # (g, n_pairs, nf)
-        cross /= np.abs(cross) + _PHAT_REGULARIZATION
-        corr = np.fft.irfft(cross, n_fft, axis=-1)
-        windows = _lag_window(corr, max_lag)
+        spectra = fft.rfft(stacked, n_fft, axis=-1)  # (g, n_mics, nf)
+        windows = _phat_correlate(spectra[:, i_idx], spectra[:, j_idx], n_fft, max_lag, fft)
         for slot, k in enumerate(members):
             out[k] = windows[slot]
     return out
+
+
+def extract_frames(
+    channels: np.ndarray,
+    frame_length: int,
+    hop_length: int,
+    pad: bool = True,
+    dtype=None,
+) -> np.ndarray:
+    """Slice a multi-channel capture into overlapping analysis frames.
+
+    The frame-granular view the streaming gateway consumes: every
+    channel is sliced with the *same* frame boundaries, so frame ``t``
+    of all microphones covers one synchronized time slice.
+
+    Parameters
+    ----------
+    channels:
+        ``(n_mics, n_samples)`` capture.
+    frame_length, hop_length:
+        Frame size and hop, in samples.
+    pad:
+        Zero-pad the tail so no samples are dropped (default); with
+        ``pad=False`` only complete frames are returned (and a capture
+        shorter than one frame yields zero frames).
+
+    Returns
+    -------
+    ``(n_frames, n_mics, frame_length)`` array.
+    """
+    dtype = resolve_dtype(dtype)
+    x = _validate_channels(channels, dtype)
+    if frame_length < 1 or hop_length < 1:
+        raise ValueError("frame_length and hop_length must be >= 1")
+    n_samples = x.shape[1]
+    if pad:
+        n_frames = max(1, int(np.ceil(max(n_samples - frame_length, 0) / hop_length)) + 1)
+        needed = (n_frames - 1) * hop_length + frame_length
+        if needed > n_samples:
+            x = np.concatenate(
+                [x, np.zeros((x.shape[0], needed - n_samples), dtype=dtype)], axis=1
+            )
+    else:
+        if n_samples < frame_length:
+            return np.zeros((0, x.shape[0], frame_length), dtype=dtype)
+        n_frames = 1 + (n_samples - frame_length) // hop_length
+    idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
+    # (n_mics, n_frames, frame_length) -> (n_frames, n_mics, frame_length)
+    return np.ascontiguousarray(x[:, idx].transpose(1, 0, 2))
+
+
+def pairwise_gcc_frames(
+    channels: np.ndarray,
+    pairs: list[tuple[int, int]],
+    max_lag: int,
+    frame_length: int,
+    hop_length: int,
+    pad: bool = True,
+    dtype=None,
+) -> np.ndarray:
+    """Per-frame GCC-PHAT windows for all microphone pairs of a capture.
+
+    Every frame x channel spectrum is computed in one batched ``rfft``
+    and every frame x pair whitened cross-spectrum inverted in one
+    batched ``irfft`` — frame-granular :func:`pairwise_gcc_batch`.
+    Results match calling :func:`pairwise_gcc` on each frame of
+    :func:`extract_frames` separately to within a unit in the last
+    place: the transforms are re-grouped, not changed, but numpy's
+    elementwise kernels may round the whitening differently across
+    batch shapes.
+
+    This is the hot call of the incremental (streaming) decision path:
+    orientation evidence per short frame, early-exit capable, instead of
+    one whole-utterance correlation.
+
+    Returns
+    -------
+    ``(n_frames, len(pairs), 2 * max_lag + 1)`` array.
+    """
+    dtype = resolve_dtype(dtype)
+    if max_lag < 0:
+        raise ValueError("max_lag must be >= 0")
+    frames = extract_frames(channels, frame_length, hop_length, pad=pad, dtype=dtype)
+    _validate_pairs(pairs, frames.shape[1])
+    n_fft = _fft_length(2 * frame_length, max_lag)
+    if frames.shape[0] == 0:
+        return np.zeros((0, len(pairs), 2 * max_lag + 1), dtype=dtype)
+    i_idx = np.array([i for i, _ in pairs])
+    j_idx = np.array([j for _, j in pairs])
+    fft = fft_api(dtype)
+    spectra = fft.rfft(frames, n_fft, axis=-1)  # (n_frames, n_mics, nf)
+    return _phat_correlate(spectra[:, i_idx], spectra[:, j_idx], n_fft, max_lag, fft)

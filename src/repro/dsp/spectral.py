@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .precision import resolve_dtype
 from .stft import mean_power_spectrum
 
 LOW_BAND = (100.0, 400.0)
@@ -65,18 +66,20 @@ def low_band_chunk_stats(
     power: np.ndarray,
     low_band: tuple[float, float] = LOW_BAND,
     n_chunks: int = 20,
+    dtype=None,
 ) -> np.ndarray:
     """Per-chunk ``(mean, RMS, std)`` of magnitude over the low band.
 
     The low band is divided into ``n_chunks`` equal frequency chunks
-    (paper: 20), producing a ``3 * n_chunks`` feature vector.
+    (paper: 20), producing a ``3 * n_chunks`` feature vector in the
+    resolved decision dtype.
     """
     if n_chunks < 1:
         raise ValueError("n_chunks must be >= 1")
     lo, hi = low_band
     edges = np.linspace(lo, hi, n_chunks + 1)
     magnitude = np.sqrt(np.maximum(power, 0.0))
-    stats = np.zeros(3 * n_chunks)
+    stats = np.zeros(3 * n_chunks, dtype=resolve_dtype(dtype))
     for c in range(n_chunks):
         mask = band_mask(freqs, (edges[c], edges[c + 1]))
         chunk = magnitude[mask]

@@ -20,6 +20,7 @@ def srp_phat_lag_curve(
     channels: np.ndarray,
     pairs: list[tuple[int, int]],
     max_lag: int,
+    dtype=None,
 ) -> np.ndarray:
     """Lag-domain SRP: the sum of pairwise GCC-PHAT windows.
 
@@ -27,7 +28,7 @@ def srp_phat_lag_curve(
     an array of length ``2 * max_lag + 1`` whose peak structure encodes
     the direct path and the strongest reflections.
     """
-    gcc = pairwise_gcc(channels, pairs, max_lag)
+    gcc = pairwise_gcc(channels, pairs, max_lag, dtype=dtype)
     return gcc.sum(axis=0)
 
 
@@ -36,14 +37,26 @@ def srp_phat_at_delays(
     pairs: list[tuple[int, int]],
     pair_lags: np.ndarray,
     max_lag: int,
+    gcc: np.ndarray | None = None,
+    dtype=None,
 ) -> float:
     """SRP evaluated for one steering hypothesis.
 
     ``pair_lags`` gives, per pair, the integer lag (samples) implied by
     the hypothesized source position; the SRP is the sum of the pairwise
     GCCs at those lags (lags outside the window contribute zero).
+
+    ``gcc`` optionally supplies the precomputed
+    ``pairwise_gcc(channels, pairs, max_lag)`` matrix so a steering
+    sweep pays for the FFT stack once, not once per hypothesis; when
+    absent it is computed here, bit-identically.
     """
-    gcc = pairwise_gcc(channels, pairs, max_lag)
+    if gcc is None:
+        gcc = pairwise_gcc(channels, pairs, max_lag, dtype=dtype)
+    elif gcc.shape != (len(pairs), 2 * max_lag + 1):
+        raise ValueError(
+            f"precomputed gcc must be {(len(pairs), 2 * max_lag + 1)}, got {gcc.shape}"
+        )
     total = 0.0
     for row, lag in zip(gcc, np.asarray(pair_lags, dtype=int)):
         if -max_lag <= lag <= max_lag:
@@ -79,24 +92,25 @@ def srp_phat_map(
     pairs: list[tuple[int, int]] | None = None,
     max_lag: int | None = None,
     array_position: np.ndarray | None = None,
+    dtype=None,
 ) -> np.ndarray:
     """Steered power for a grid of candidate source positions.
 
     Used for classic localization and by the propagation-insight
-    experiment (steered power toward 0, 90 and 180 degrees).
+    experiment (steered power toward 0, 90 and 180 degrees).  The GCC
+    stack is computed once and shared by every hypothesis via
+    :func:`srp_phat_at_delays`.
     """
     cands = np.asarray(candidate_positions, dtype=float)
     if cands.ndim != 2 or cands.shape[1] != 3:
         raise ValueError(f"candidate_positions must be (n, 3), got {cands.shape}")
     pairs = pairs if pairs is not None else array.pairs()
     max_lag = max_lag if max_lag is not None else array.max_delay_samples() + 1
-    gcc = pairwise_gcc(channels, pairs, max_lag)
+    gcc = pairwise_gcc(channels, pairs, max_lag, dtype=dtype)
     powers = np.zeros(cands.shape[0])
     for c, position in enumerate(cands):
         lags = steering_pair_lags(array, position, pairs, array_position)
-        for row, lag in zip(gcc, lags):
-            if -max_lag <= lag <= max_lag:
-                powers[c] += row[lag + max_lag]
+        powers[c] = srp_phat_at_delays(channels, pairs, lags, max_lag, gcc=gcc)
     return powers
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .precision import fft_api, resolve_dtype
 from .windows import frame_signal, get_window
 
 
@@ -12,15 +13,18 @@ def stft(
     frame_length: int = 1024,
     hop_length: int = 512,
     window: str = "hann",
+    dtype=None,
 ) -> np.ndarray:
     """Short-time Fourier transform.
 
     Returns a complex array of shape ``(n_frames, frame_length // 2 + 1)``
-    (one-sided spectrum per frame).
+    (one-sided spectrum per frame); complex64 when the resolved decision
+    dtype is float32, complex128 for float64.
     """
-    frames = frame_signal(signal, frame_length, hop_length)
-    win = get_window(window, frame_length)
-    return np.fft.rfft(frames * win, axis=1)
+    dtype = resolve_dtype(dtype)
+    frames = frame_signal(signal, frame_length, hop_length, dtype=dtype)
+    win = get_window(window, frame_length).astype(dtype, copy=False)
+    return fft_api(dtype).rfft(frames * win, axis=1)
 
 
 def power_spectrogram(
@@ -28,9 +32,10 @@ def power_spectrogram(
     frame_length: int = 1024,
     hop_length: int = 512,
     window: str = "hann",
+    dtype=None,
 ) -> np.ndarray:
     """Magnitude-squared STFT, shape ``(n_frames, n_bins)``."""
-    spectrum = stft(signal, frame_length, hop_length, window)
+    spectrum = stft(signal, frame_length, hop_length, window, dtype=dtype)
     return np.abs(spectrum) ** 2
 
 
@@ -40,13 +45,14 @@ def mean_power_spectrum(
     frame_length: int = 1024,
     hop_length: int = 512,
     window: str = "hann",
+    dtype=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Time-averaged one-sided power spectrum.
 
     Returns ``(freqs_hz, power)`` where both arrays have
     ``frame_length // 2 + 1`` entries.
     """
-    power = power_spectrogram(signal, frame_length, hop_length, window)
+    power = power_spectrogram(signal, frame_length, hop_length, window, dtype=dtype)
     if power.shape[0] == 0:
         raise ValueError("signal too short for a single frame")
     freqs = np.fft.rfftfreq(frame_length, d=1.0 / sample_rate)
@@ -68,14 +74,15 @@ def log_mel_like_features(
     as the input representation of the liveness network.  It is not an
     exact mel scale; band centers are geometrically spaced between ``fmin``
     and ``fmax``, which preserves the high/low-frequency contrast the
-    liveness detector relies on.
+    liveness detector relies on.  Always float64: the liveness network is
+    trained outside the decision hot path.
     """
     if n_bands < 2:
         raise ValueError("n_bands must be >= 2")
     fmax = fmax or sample_rate / 2.0
     if not 0 < fmin < fmax <= sample_rate / 2.0:
         raise ValueError(f"need 0 < fmin < fmax <= Nyquist, got {fmin}, {fmax}")
-    power = power_spectrogram(signal, frame_length, hop_length)
+    power = power_spectrogram(signal, frame_length, hop_length, dtype=np.float64)
     freqs = np.fft.rfftfreq(frame_length, d=1.0 / sample_rate)
     centers = np.geomspace(fmin, fmax, n_bands + 2)
     bank = np.zeros((n_bands, freqs.size))

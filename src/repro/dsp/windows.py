@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .precision import resolve_dtype
+
 
 def hann(length: int) -> np.ndarray:
     """Periodic Hann window of the given length (suitable for STFT)."""
@@ -34,29 +36,31 @@ def get_window(name: str, length: int) -> np.ndarray:
 
 
 def frame_signal(
-    signal: np.ndarray, frame_length: int, hop_length: int, pad: bool = True
+    signal: np.ndarray, frame_length: int, hop_length: int, pad: bool = True, dtype=None
 ) -> np.ndarray:
     """Slice a 1-D signal into overlapping frames.
 
-    Returns an array of shape ``(n_frames, frame_length)``.  When ``pad``
-    is true the tail is zero-padded so no samples are dropped; otherwise
-    only complete frames are returned.
+    Returns an array of shape ``(n_frames, frame_length)`` in the
+    resolved decision dtype.  When ``pad`` is true the tail is
+    zero-padded so no samples are dropped; otherwise only complete
+    frames are returned.
     """
-    x = np.asarray(signal, dtype=float)
+    dtype = resolve_dtype(dtype)
+    x = np.asarray(signal, dtype=dtype)
     if x.ndim != 1:
         raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
     if frame_length < 1 or hop_length < 1:
         raise ValueError("frame_length and hop_length must be >= 1")
     if x.size == 0:
-        return np.zeros((0, frame_length))
+        return np.zeros((0, frame_length), dtype=dtype)
     if pad:
         n_frames = max(1, int(np.ceil(max(x.size - frame_length, 0) / hop_length)) + 1)
         needed = (n_frames - 1) * hop_length + frame_length
         if needed > x.size:
-            x = np.concatenate([x, np.zeros(needed - x.size)])
+            x = np.concatenate([x, np.zeros(needed - x.size, dtype=dtype)])
     else:
         n_frames = 1 + (x.size - frame_length) // hop_length if x.size >= frame_length else 0
         if n_frames <= 0:
-            return np.zeros((0, frame_length))
+            return np.zeros((0, frame_length), dtype=dtype)
     idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
     return x[idx]

@@ -9,7 +9,10 @@ speed without changing a single output byte:
   skip the image-source model and the large convolution FFTs;
 - :mod:`repro.runtime.batch` fans :class:`RenderTask` lists out over a
   process pool with deterministic per-task random-stream state, falling
-  back to serial (and in-process cache reuse) at ``workers=1``.
+  back to serial (and in-process cache reuse) at ``workers=1``; large
+  waveforms travel through shared memory, not pickles (``REPRO_SHM``);
+- :mod:`repro.runtime.plan` memoizes per-``(geometry, fs)`` decision
+  plans: pair lists, lag windows, FFT sizing and steering lags.
 
 Invariant: serial, parallel, cold-cache and warm-cache paths all produce
 byte-identical captures.  See DESIGN.md ("Runtime layer").
@@ -43,10 +46,19 @@ from .cache import (
     rir_key,
     set_cache_enabled,
 )
+from .plan import ArrayPlan, clear_plans, plan_for, plan_stats
+from .shm import ShmArrayRef, set_shm_enabled, shm_enabled
 
 __all__ = [
+    "ArrayPlan",
     "CacheStats",
     "InterferenceSpec",
+    "ShmArrayRef",
+    "clear_plans",
+    "plan_for",
+    "plan_stats",
+    "set_shm_enabled",
+    "shm_enabled",
     "RenderDispatchError",
     "RenderTask",
     "RetryPolicy",

@@ -13,6 +13,10 @@ Worker processes are plain ``ProcessPoolExecutor`` workers; each holds
 its own render cache (:mod:`repro.runtime.cache`).  The default worker
 count comes from ``REPRO_RENDER_WORKERS`` (serial when unset) and can be
 overridden per call or via :func:`worker_pool`.
+
+Large arrays (emission waveforms out, rendered channels back) travel
+through shared memory, not pickles — see :mod:`repro.runtime.shm`.
+Disable with ``REPRO_SHM=0``; outputs are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from ..obs.control import obs_enabled
 from ..obs.metrics import counter_inc
 from ..obs.profile import profiled
 from ..obs.spans import span
+from . import shm as shm_mod
 
 _WORKER_OVERRIDE: int | None = None
 _ACTIVE_POOL: ProcessPoolExecutor | None = None
@@ -359,6 +364,120 @@ def _pool_chunk(tasks: tuple[RenderTask, ...], attempts: tuple[int, ...], observ
     return results
 
 
+_EMPTY_WAVEFORM = np.zeros(0)
+"""Placeholder for waveforms traveling through shared memory instead."""
+
+
+@dataclass(frozen=True)
+class _ShmChunkResult:
+    """A chunk's captures shipped by reference instead of by pickle.
+
+    ``items`` holds ``(ref, sample_rate, sidecar_or_None)`` per task of
+    the chunk, in dispatch order; ``segment`` names the worker-created
+    shared-memory block holding the channel arrays.  The parent copies
+    the arrays out and unlinks the segment.
+    """
+
+    segment: str
+    items: tuple
+
+
+def _pool_chunk_shm(
+    segment_name: str,
+    tasks: tuple[RenderTask, ...],
+    refs: tuple[shm_mod.ShmArrayRef, ...],
+    attempts: tuple[int, ...],
+    observe: bool,
+) -> object:
+    """Shared-memory variant of :func:`_pool_chunk`.
+
+    Tasks arrive with placeholder waveforms and are rehydrated from
+    read-only views of the parent's arena (``task_key`` ignores the
+    waveform, so the chaos hooks fire identically on both paths).  An
+    attach failure raises — the dispatch machinery retries and finally
+    falls back to serial execution of the *original* tasks, which still
+    carry their waveforms.
+    """
+    segment = shm_mod.attach(segment_name)
+    try:
+        results = []
+        for task, ref, attempt in zip(tasks, refs, attempts):
+            key = task_key(task)
+            faults_chaos.maybe_crash(key, attempt)
+            faults_chaos.maybe_fail(key, attempt)
+            waveform = shm_mod.read_array(segment, ref)
+            task = replace(task, rendering=replace(task.rendering, waveform=waveform))
+            results.append(
+                _execute_task_with_sidecar(task) if observe else execute_render_task(task)
+            )
+    finally:
+        segment.close()
+    return _pack_chunk_results(results, observe)
+
+
+def _pack_chunk_results(results: list, observe: bool) -> object:
+    """Move a chunk's rendered channels into a transferable segment.
+
+    Falls back to returning the plain (pickled) results if the segment
+    cannot be created; the parent accepts both shapes.
+    """
+    captures = [r[0] for r in results] if observe else results
+    try:
+        segment, refs = shm_mod.pack_arrays([c.channels for c in captures])
+    except Exception:
+        return results
+    items = tuple(
+        (ref, capture.sample_rate, (results[i][1] if observe else None))
+        for i, (ref, capture) in enumerate(zip(refs, captures))
+    )
+    name = segment.name
+    segment.close()
+    return _ShmChunkResult(segment=name, items=items)
+
+
+def _unpack_chunk(chunk_results: object, observe: bool) -> list:
+    """Parent-side inverse of :func:`_pack_chunk_results`.
+
+    Copies each capture's channels out of the worker's segment and
+    unlinks it; plain (non-shm) chunk results pass through untouched.
+    """
+    if not isinstance(chunk_results, _ShmChunkResult):
+        return chunk_results
+    segment = shm_mod.attach(chunk_results.segment)
+    try:
+        out = []
+        for ref, sample_rate, sidecar in chunk_results.items:
+            capture = Capture(
+                channels=np.array(shm_mod.read_array(segment, ref)),
+                sample_rate=sample_rate,
+            )
+            out.append((capture, sidecar) if observe else capture)
+    finally:
+        shm_mod.dispose(segment)
+    return out
+
+
+def _discard_chunk_segment(future) -> None:
+    """Unlink the result segment of a completed-but-unread future.
+
+    When a broken pool aborts a round, futures that finished before the
+    break would otherwise leak their worker-created segments (their
+    results are deliberately dropped to keep recovery semantics
+    unchanged).
+    """
+    if not future.done():
+        return
+    try:
+        result = future.result(timeout=0)
+    except Exception:
+        return
+    if isinstance(result, _ShmChunkResult):
+        try:
+            shm_mod.dispose(shm_mod.attach(result.segment))
+        except Exception:
+            pass
+
+
 def _execute_render_task(task: RenderTask) -> Capture:
     rng = restore_generator(task.rng_state)
     capture = render_capture(
@@ -503,6 +622,26 @@ def _render_with_pool(
     retry_round = 0
     pending = list(range(n))
     single = False  # retry rounds dispatch singletons to isolate blame
+    # Outbound zero-copy: pack every task's waveform into one parent-
+    # owned arena and dispatch placeholder tasks + references.  Any
+    # failure here degrades to plain pickled dispatch.
+    arena = None
+    arena_refs: list = []
+    light_tasks: list = []
+    if shm_mod.shm_enabled():
+        try:
+            arena, arena_refs = shm_mod.pack_arrays(
+                [task.rendering.waveform for task in tasks]
+            )
+            light_tasks = [
+                replace(task, rendering=replace(task.rendering, waveform=_EMPTY_WAVEFORM))
+                for task in tasks
+            ]
+        except Exception:
+            counter_inc("runtime.shm.fallbacks")
+            if arena is not None:
+                shm_mod.dispose(arena)
+            arena = None
     try:
         while pending:
             size = 1 if single else chunksize
@@ -512,12 +651,22 @@ def _render_with_pool(
             futures: dict = {}
             try:
                 for chunk in chunks:
-                    future = pool.submit(
-                        _pool_chunk,
-                        tuple(tasks[k] for k in chunk),
-                        tuple(attempts[k] for k in chunk),
-                        observe,
-                    )
+                    if arena is not None:
+                        future = pool.submit(
+                            _pool_chunk_shm,
+                            arena.name,
+                            tuple(light_tasks[k] for k in chunk),
+                            tuple(arena_refs[k] for k in chunk),
+                            tuple(attempts[k] for k in chunk),
+                            observe,
+                        )
+                    else:
+                        future = pool.submit(
+                            _pool_chunk,
+                            tuple(tasks[k] for k in chunk),
+                            tuple(attempts[k] for k in chunk),
+                            observe,
+                        )
                     futures[future] = chunk
             except BrokenProcessPool:
                 pool_failed = True
@@ -528,13 +677,16 @@ def _render_with_pool(
             )
             for future, chunk in futures.items():
                 if pool_failed:
-                    future.cancel()
+                    if not future.cancel():
+                        _discard_chunk_segment(future)
                     continue
                 remaining = (
                     None if deadline is None else max(0.0, deadline - time.monotonic())
                 )
                 try:
-                    chunk_results = future.result(timeout=remaining)
+                    chunk_results = _unpack_chunk(
+                        future.result(timeout=remaining), observe
+                    )
                 except FuturesTimeoutError:
                     counter_inc("runtime.retry.timeouts")
                     pool_failed = True
@@ -594,4 +746,6 @@ def _render_with_pool(
     finally:
         if owned and pool is not None:
             pool.shutdown()
+        if arena is not None:
+            shm_mod.dispose(arena)
     return results

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from threading import Lock
@@ -46,10 +47,29 @@ DEFAULT_RIR_ENTRIES = 64
 DEFAULT_DRY_ENTRIES = 128
 
 
+_WARNED_ENV: set[str] = set()
+
+
 def _env_entries(name: str, default: int) -> int:
+    """Cache size from the environment; malformed values warn once.
+
+    Matches the convention of the other ``REPRO_*`` knobs
+    (``obs.control``, ``faults.control``, ``REPRO_RENDER_WORKERS``):
+    a typo must not silently resize a cache.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
     try:
-        value = int(os.environ.get(name, default))
+        value = int(raw)
     except ValueError:
+        if name not in _WARNED_ENV:
+            _WARNED_ENV.add(name)
+            warnings.warn(
+                f"{name}={raw!r} is not an integer; using default {default}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return default
     return max(0, value)
 

@@ -1,0 +1,125 @@
+"""Zero-copy shipment of waveforms between the parent and pool workers.
+
+``render_captures`` historically pickled every task's emission waveform
+into the worker and every rendered multi-channel capture back out —
+megabytes of ``float64`` serialized per capture, dominating dispatch
+cost for cache-warm renders.  This module moves the arrays through
+``multiprocessing.shared_memory`` instead: the parent packs all outbound
+waveforms into one arena segment and ships only ``(offset, shape,
+dtype)`` references; each worker packs its chunk's rendered channels
+into one result segment the parent copies out and unlinks.  The bytes
+an array carries are copied verbatim, so serial and pool renders stay
+byte-identical — the existing ``tests/faults`` determinism suite runs
+with the shm path active.
+
+Disable with ``REPRO_SHM=0`` (or :func:`set_shm_enabled`); any failure
+to create, attach or read a segment falls back to plain pickling for
+the affected chunk, never failing the render.
+
+Lifetime protocol (POSIX, CPython >= 3.9): ``SharedMemory.__init__``
+registers the segment with the ``resource_tracker`` even on *attach*
+(bpo-38119), and pool workers forked from the parent share the parent's
+tracker process, whose per-type cache is a *set* — repeated
+registrations of one name are idempotent, and the single entry is
+removed by the one ``unlink()`` call.  So the rule here is simply:
+exactly one process ``unlink()``s each segment (the parent — its own
+arena in the dispatch ``finally``, and each worker-created result
+segment right after copying the channels out), and nobody ever calls
+``resource_tracker.unregister`` by hand.  If a segment is orphaned by a
+crash, the shared tracker reaps it at interpreter exit — that is the
+tracker doing its job, not a leak.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+_ENABLED = os.environ.get("REPRO_SHM", "1") != "0"
+
+
+def shm_enabled() -> bool:
+    """Whether pool dispatch ships arrays through shared memory."""
+    return _ENABLED
+
+
+def set_shm_enabled(enabled: bool) -> None:
+    """Globally enable/disable shared-memory dispatch (e.g. for A/B)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Location of one ndarray inside a shared-memory segment."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the referenced array in bytes."""
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def pack_arrays(
+    arrays: list[np.ndarray],
+) -> tuple[shared_memory.SharedMemory, list[ShmArrayRef]]:
+    """Copy arrays into one freshly created segment.
+
+    Returns the open segment (caller owns it: close + unlink, or hand
+    the name to another process) and one :class:`ShmArrayRef` per input
+    array, in order.  The copies are bit-exact.
+    """
+    contiguous = [np.ascontiguousarray(a) for a in arrays]
+    total = sum(a.nbytes for a in contiguous)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    refs: list[ShmArrayRef] = []
+    offset = 0
+    for a in contiguous:
+        ref = ShmArrayRef(offset=offset, shape=a.shape, dtype=a.dtype.str)
+        view = np.ndarray(a.shape, dtype=a.dtype, buffer=segment.buf, offset=offset)
+        view[...] = a
+        refs.append(ref)
+        offset += a.nbytes
+    return segment, refs
+
+
+def read_array(segment: shared_memory.SharedMemory, ref: ShmArrayRef) -> np.ndarray:
+    """Read-only ndarray view of a packed array (no copy).
+
+    The view borrows the segment's buffer: it must not outlive the
+    segment. Copy (``np.array(view)``) before closing to keep the data.
+    """
+    view = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf, offset=ref.offset
+    )
+    view.setflags(write=False)
+    return view
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.
+
+    The attach-side tracker registration is harmless (idempotent
+    set-add in the shared tracker — see module docstring); the caller
+    must ``close()`` the returned handle, and whoever owns the segment
+    eventually ``unlink()``s it, clearing the single tracker entry.
+    """
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+def dispose(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment, tolerating an already-gone file."""
+    try:
+        segment.close()
+    except Exception:
+        pass
+    try:
+        segment.unlink()
+    except Exception:
+        pass

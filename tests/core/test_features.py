@@ -99,3 +99,43 @@ class TestExtraction:
         full = extractor.extract(audio)
         base = GccOnlyFeatureExtractor(d2_subset).extract(audio)
         assert np.allclose(full[: base.size], base)
+
+
+class TestSharedValidation:
+    """Both extractors run the same channel validation (regression:
+    GccOnlyFeatureExtractor used to accept malformed input silently)."""
+
+    def test_gcc_only_rejects_wrong_channel_count(self, d2_subset):
+        baseline = GccOnlyFeatureExtractor(d2_subset)
+        audio = DenoisedAudio(
+            channels=np.random.default_rng(0).standard_normal((2, 4800)),
+            sample_rate=48_000,
+            had_speech=True,
+        )
+        with pytest.raises(ValueError, match="channels"):
+            baseline.extract(audio)
+
+    def test_gcc_only_rejects_too_short_utterance(self, d2_subset):
+        baseline = GccOnlyFeatureExtractor(d2_subset)
+        audio = DenoisedAudio(
+            channels=np.zeros((4, 16)), sample_rate=48_000, had_speech=True
+        )
+        with pytest.raises(ValueError, match="too short"):
+            baseline.extract(audio)
+
+    def test_gcc_only_batch_rejects_malformed(self, d2_subset, forward_capture):
+        baseline = GccOnlyFeatureExtractor(d2_subset)
+        good = preprocess(forward_capture)
+        bad = DenoisedAudio(
+            channels=np.zeros((3, 4800)), sample_rate=48_000, had_speech=True
+        )
+        with pytest.raises(ValueError, match="channels"):
+            baseline.extract_batch([good, bad])
+
+    def test_gcc_only_rejects_1d_input(self, d2_subset):
+        baseline = GccOnlyFeatureExtractor(d2_subset)
+        audio = DenoisedAudio(
+            channels=np.zeros(4800), sample_rate=48_000, had_speech=True
+        )
+        with pytest.raises(ValueError, match="channels"):
+            baseline.extract(audio)

@@ -7,10 +7,13 @@ from hypothesis import strategies as st
 
 from repro.dsp import (
     estimate_tdoa,
+    extract_frames,
     gcc_phat,
     lag_axis,
     pairwise_gcc,
     pairwise_gcc_batch,
+    pairwise_gcc_frames,
+    precision,
 )
 
 
@@ -205,3 +208,110 @@ class TestPairwiseGccBatch:
             pairwise_gcc_batch([], [(0, 1)], 4)
         with pytest.raises(ValueError, match="n_mics"):
             pairwise_gcc_batch([np.zeros((2, 64)), np.zeros((3, 64))], [(0, 2)], 4)
+
+
+class TestExtractFrames:
+    def test_shape_and_synchronized_slices(self):
+        rng = np.random.default_rng(0)
+        channels = rng.standard_normal((3, 1000))
+        frames = extract_frames(channels, frame_length=256, hop_length=128)
+        assert frames.shape[1:] == (3, 256)
+        # Frame t of every mic covers the same time slice.
+        assert np.array_equal(frames[0], channels[:, :256])
+        assert np.array_equal(frames[1], channels[:, 128:384])
+
+    def test_pad_keeps_tail_and_nopad_drops_it(self):
+        channels = np.arange(10, dtype=float).reshape(1, 10)
+        padded = extract_frames(channels, frame_length=4, hop_length=3)
+        assert padded.shape[0] == 3
+        assert np.array_equal(padded[-1, 0], [6.0, 7.0, 8.0, 9.0])
+        exact = extract_frames(channels, frame_length=4, hop_length=3, pad=False)
+        assert exact.shape[0] == 3  # 10 samples fit 3 complete frames exactly
+        short = extract_frames(channels[:, :3], frame_length=4, hop_length=3, pad=False)
+        assert short.shape == (0, 1, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            extract_frames(np.zeros((2, 64)), 0, 1)
+        with pytest.raises(ValueError, match="n_mics"):
+            extract_frames(np.zeros(64), 8, 4)
+
+
+class TestPairwiseGccFrames:
+    def test_matches_per_frame_pairwise_gcc(self):
+        """Same transforms, re-grouped: each frame's window matches the
+        serial path to within a ulp (numpy's elementwise kernels may
+        round the whitening differently across batch shapes, so exact
+        bit-equality is not guaranteed here — unlike the float64
+        evaluate/evaluate_batch invariant pinned by the runtime suite)."""
+        rng = np.random.default_rng(4)
+        channels = rng.standard_normal((3, 1500))
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        framed = pairwise_gcc_frames(
+            channels, pairs, max_lag=9, frame_length=512, hop_length=256
+        )
+        frames = extract_frames(channels, 512, 256)
+        assert framed.shape == (frames.shape[0], 3, 19)
+        for t in range(frames.shape[0]):
+            serial = pairwise_gcc(frames[t], pairs, max_lag=9)
+            np.testing.assert_allclose(framed[t], serial, rtol=1e-9, atol=1e-12)
+
+    def test_short_capture_single_padded_frame(self):
+        rng = np.random.default_rng(5)
+        channels = rng.standard_normal((2, 100))
+        framed = pairwise_gcc_frames(
+            channels, [(0, 1)], max_lag=6, frame_length=256, hop_length=128
+        )
+        assert framed.shape == (1, 1, 13)
+        padded = np.zeros((2, 256))
+        padded[:, :100] = channels
+        np.testing.assert_allclose(
+            framed[0], pairwise_gcc(padded, [(0, 1)], max_lag=6), rtol=1e-9, atol=1e-12
+        )
+
+    def test_nopad_empty_result(self):
+        out = pairwise_gcc_frames(
+            np.zeros((2, 10)), [(0, 1)], max_lag=4, frame_length=64,
+            hop_length=32, pad=False,
+        )
+        assert out.shape == (0, 1, 9)
+
+    def test_float32_dtype_and_parity(self):
+        rng = np.random.default_rng(6)
+        channels = rng.standard_normal((2, 1024))
+        pairs = [(0, 1)]
+        f64 = pairwise_gcc_frames(channels, pairs, 8, 256, 128)
+        f32 = pairwise_gcc_frames(channels, pairs, 8, 256, 128, dtype=np.float32)
+        assert f64.dtype == np.float64 and f32.dtype == np.float32
+        assert np.allclose(f32, f64, atol=1e-4)
+
+
+class TestDtypeThreading:
+    def test_explicit_dtype_wins(self):
+        rng = np.random.default_rng(7)
+        channels = rng.standard_normal((2, 512))
+        out = pairwise_gcc(channels, [(0, 1)], 6, dtype="float32")
+        assert out.dtype == np.float32
+
+    def test_precision_scope_applies(self):
+        rng = np.random.default_rng(8)
+        a, b = rng.standard_normal(512), rng.standard_normal(512)
+        with precision("float32"):
+            assert gcc_phat(a, b, 8).dtype == np.float32
+        assert gcc_phat(a, b, 8).dtype == np.float64
+
+    def test_float32_peak_matches_float64(self):
+        a, b = delayed_pair(5, n=2048)
+        c64 = gcc_phat(a, b, max_lag=10)
+        c32 = gcc_phat(a, b, max_lag=10, dtype=np.float32)
+        assert int(np.argmax(c32)) == int(np.argmax(c64))
+        assert np.allclose(c32, c64, atol=1e-4)
+
+    def test_batch_float32_matches_serial_float32(self):
+        rng = np.random.default_rng(9)
+        pairs = [(0, 1), (1, 2)]
+        batch = [rng.standard_normal((3, n)) for n in (700, 900)]
+        stacked = pairwise_gcc_batch(batch, pairs, 7, dtype=np.float32)
+        assert stacked.dtype == np.float32
+        for got, channels in zip(stacked, batch):
+            assert np.array_equal(got, pairwise_gcc(channels, pairs, 7, dtype=np.float32))

@@ -5,6 +5,7 @@ import pytest
 
 from repro.arrays import MicArray, get_device
 from repro.dsp import (
+    pairwise_gcc,
     srp_max_lag_for,
     srp_phat_at_delays,
     srp_phat_lag_curve,
@@ -103,3 +104,54 @@ class TestMaxLag:
     def test_margin_validation(self):
         with pytest.raises(ValueError):
             srp_max_lag_for(get_device("D3"), margin_samples=-1)
+
+
+class TestPrecomputedGcc:
+    def test_precomputed_matrix_matches_internal(self, linear_array):
+        source = np.array([2.0, 3.0, 0.0])
+        channels = propagate(linear_array, source)
+        pairs = linear_array.pairs()
+        lags = steering_pair_lags(linear_array, source, pairs)
+        max_lag = 16
+        gcc = pairwise_gcc(channels, pairs, max_lag)
+        internal = srp_phat_at_delays(channels, pairs, lags, max_lag)
+        supplied = srp_phat_at_delays(channels, pairs, lags, max_lag, gcc=gcc)
+        assert supplied == internal  # bit-identical, not just close
+
+    def test_precomputed_matrix_skips_channels(self, linear_array):
+        """With ``gcc=`` the channel data is never touched, so a junk
+        placeholder of the right channel count works."""
+        source = np.array([2.0, 3.0, 0.0])
+        channels = propagate(linear_array, source)
+        pairs = linear_array.pairs()
+        lags = steering_pair_lags(linear_array, source, pairs)
+        max_lag = 16
+        gcc = pairwise_gcc(channels, pairs, max_lag)
+        placeholder = np.zeros_like(channels)
+        assert srp_phat_at_delays(placeholder, pairs, lags, max_lag, gcc=gcc) == (
+            srp_phat_at_delays(channels, pairs, lags, max_lag)
+        )
+
+    def test_wrong_shape_rejected(self, linear_array):
+        channels = propagate(linear_array, np.array([2.0, 3.0, 0.0]))
+        pairs = linear_array.pairs()
+        lags = np.zeros(len(pairs), dtype=int)
+        bad = np.zeros((len(pairs), 7))
+        with pytest.raises(ValueError, match="gcc"):
+            srp_phat_at_delays(channels, pairs, lags, max_lag=16, gcc=bad)
+
+    def test_map_uses_shared_gcc(self, linear_array):
+        """srp_phat_map computes GCC once; its per-candidate powers must
+        equal calling srp_phat_at_delays per candidate from scratch."""
+        source = np.array([1.0, 2.0, 0.0])
+        channels = propagate(linear_array, source)
+        pairs = linear_array.pairs()
+        max_lag = srp_max_lag_for(linear_array)
+        angles = np.deg2rad(np.arange(0, 181, 45))
+        candidates = np.stack(
+            [2.0 * np.cos(angles), 2.0 * np.sin(angles), np.zeros_like(angles)], axis=1
+        )
+        powers = srp_phat_map(channels, linear_array, candidates)
+        for c, candidate in enumerate(candidates):
+            lags = steering_pair_lags(linear_array, candidate, pairs)
+            assert powers[c] == srp_phat_at_delays(channels, pairs, lags, max_lag)

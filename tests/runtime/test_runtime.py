@@ -243,3 +243,62 @@ class TestDecisionEquivalence:
         batch = pipeline.evaluate_batch(serial_cold)
         for ref, got in zip(reference, batch):
             assert got.fingerprint() == ref.fingerprint()
+
+
+class TestShmDispatch:
+    """Shared-memory waveform transport must not change a single byte."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_shm(self):
+        from repro.runtime import set_shm_enabled, shm_enabled
+
+        previous = shm_enabled()
+        yield
+        set_shm_enabled(previous)
+
+    def test_shm_and_pickled_pool_identical(self):
+        from repro.runtime import set_shm_enabled
+
+        tasks = _tasks(NOISE_SPEC)
+        serial = render_captures(tasks, workers=1)
+        set_shm_enabled(True)
+        with_shm = render_captures(tasks, workers=2)
+        set_shm_enabled(False)
+        without_shm = render_captures(tasks, workers=2)
+        for a, b, c in zip(serial, with_shm, without_shm):
+            assert a.channels.tobytes() == b.channels.tobytes()
+            assert a.channels.tobytes() == c.channels.tobytes()
+            assert a.channels.dtype == b.channels.dtype == c.channels.dtype
+
+    def test_no_segments_leak(self):
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+        render_captures(_tasks(), workers=2)
+        after = set(glob.glob("/dev/shm/psm_*"))
+        assert after <= before
+
+
+class TestCacheEnvParsing:
+    def test_malformed_cache_size_warns_once_and_falls_back(self, monkeypatch):
+        from repro.runtime import cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "_WARNED_ENV", set())
+        monkeypatch.setenv("REPRO_RIR_CACHE_ENTRIES", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_RIR_CACHE_ENTRIES"):
+            assert cache_mod._env_entries("REPRO_RIR_CACHE_ENTRIES", 64) == 64
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert cache_mod._env_entries("REPRO_RIR_CACHE_ENTRIES", 64) == 64
+
+    def test_unset_uses_default_and_negative_clamps(self, monkeypatch):
+        from repro.runtime import cache as cache_mod
+
+        monkeypatch.delenv("REPRO_DRY_CACHE_ENTRIES", raising=False)
+        assert cache_mod._env_entries("REPRO_DRY_CACHE_ENTRIES", 128) == 128
+        monkeypatch.setenv("REPRO_DRY_CACHE_ENTRIES", "-5")
+        assert cache_mod._env_entries("REPRO_DRY_CACHE_ENTRIES", 128) == 0
+        monkeypatch.setenv("REPRO_DRY_CACHE_ENTRIES", "16")
+        assert cache_mod._env_entries("REPRO_DRY_CACHE_ENTRIES", 128) == 16

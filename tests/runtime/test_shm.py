@@ -1,0 +1,87 @@
+"""Tests for shared-memory waveform transport (``repro.runtime.shm``)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import shm_enabled
+from repro.runtime.shm import (
+    ShmArrayRef,
+    attach,
+    dispose,
+    pack_arrays,
+    read_array,
+    set_shm_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_enabled():
+    previous = shm_enabled()
+    yield
+    set_shm_enabled(previous)
+
+
+class TestPackRead:
+    def test_roundtrip_is_bit_exact(self):
+        rng = np.random.default_rng(7)
+        arrays = [
+            rng.standard_normal(1000),
+            rng.standard_normal((4, 500)),
+            np.arange(12, dtype=np.int64).reshape(3, 4),
+            rng.standard_normal(100).astype(np.float32),
+        ]
+        segment, refs = pack_arrays(arrays)
+        try:
+            assert len(refs) == len(arrays)
+            for original, ref in zip(arrays, refs):
+                view = read_array(segment, ref)
+                assert view.dtype == original.dtype
+                assert view.tobytes() == original.tobytes()
+        finally:
+            dispose(segment)
+
+    def test_views_are_read_only(self):
+        segment, refs = pack_arrays([np.zeros(8)])
+        try:
+            view = read_array(segment, refs[0])
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+        finally:
+            dispose(segment)
+
+    def test_attach_by_name_sees_same_bytes(self):
+        payload = np.random.default_rng(3).standard_normal((2, 64))
+        segment, refs = pack_arrays([payload])
+        try:
+            other = attach(segment.name)
+            try:
+                assert read_array(other, refs[0]).tobytes() == payload.tobytes()
+            finally:
+                other.close()
+        finally:
+            dispose(segment)
+
+    def test_empty_array_list(self):
+        segment, refs = pack_arrays([])
+        try:
+            assert refs == []
+        finally:
+            dispose(segment)
+
+    def test_dispose_tolerates_double_call(self):
+        segment, _ = pack_arrays([np.zeros(4)])
+        dispose(segment)
+        dispose(segment)  # already closed + unlinked: must not raise
+
+    def test_ref_nbytes(self):
+        ref = ShmArrayRef(offset=0, shape=(4, 500), dtype="<f8")
+        assert ref.nbytes == 4 * 500 * 8
+        assert ShmArrayRef(offset=0, shape=(), dtype="<f4").nbytes == 4
+
+
+class TestToggle:
+    def test_set_shm_enabled_roundtrip(self):
+        set_shm_enabled(False)
+        assert not shm_enabled()
+        set_shm_enabled(True)
+        assert shm_enabled()
