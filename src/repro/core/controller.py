@@ -22,6 +22,7 @@ would / would not have been uploaded.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 from ..acoustics.propagation import Capture
@@ -77,6 +78,12 @@ class VoiceAssistantController:
 
     Time is injected (``now`` arguments) so sessions are deterministic in
     tests and simulations.
+
+    Every public transition runs under a per-controller reentrant lock:
+    a controller shared between threads (or between a gateway session
+    and an operator thread) applies events one at a time, so its audit
+    log is an interleaving of *whole* events, never of half-applied
+    state.  Single-threaded callers pay one uncontended lock per event.
     """
 
     pipeline: HeadTalkPipeline
@@ -84,6 +91,9 @@ class VoiceAssistantController:
     audit_log: list[AuditEvent] = field(default_factory=list)
     cloud_recordings: list[CloudRecording] = field(default_factory=list)
     _session_expiry: float = field(default=float("-inf"), repr=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def session_active(self) -> bool:
@@ -96,30 +106,32 @@ class VoiceAssistantController:
 
     def press_mute_button(self, now: float = 0.0) -> Mode:
         """Toggle the hardware mute button."""
-        self.mode = Mode.NORMAL if self.mode is Mode.MUTE else Mode.MUTE
-        self._session_expiry = float("-inf")
-        self._log(now, EventKind.MODE_CHANGE, f"mute button -> {self.mode.value}")
-        return self.mode
+        with self._lock:
+            self.mode = Mode.NORMAL if self.mode is Mode.MUTE else Mode.MUTE
+            self._session_expiry = float("-inf")
+            self._log(now, EventKind.MODE_CHANGE, f"mute button -> {self.mode.value}")
+            return self.mode
 
     def voice_command(self, text: str, now: float = 0.0) -> Mode:
         """Apply a recognized mode-change voice command."""
         normalized = text.strip().lower()
-        if self.mode is Mode.MUTE:
-            self._log(now, EventKind.HARD_MUTED, f"ignored while muted: {text!r}")
+        with self._lock:
+            if self.mode is Mode.MUTE:
+                self._log(now, EventKind.HARD_MUTED, f"ignored while muted: {text!r}")
+                return self.mode
+            if normalized == ENTER_HEADTALK:
+                self.mode = Mode.HEADTALK
+                self._session_expiry = float("-inf")
+                self._log(now, EventKind.MODE_CHANGE, "entered HeadTalk mode")
+            elif normalized == EXIT_HEADTALK:
+                self.mode = Mode.NORMAL
+                self._session_expiry = float("-inf")
+                self._log(now, EventKind.MODE_CHANGE, "exited HeadTalk mode")
+            elif normalized == DELETE_HISTORY:
+                self.delete_history(now)
+            else:
+                raise ValueError(f"unrecognized mode command {text!r}")
             return self.mode
-        if normalized == ENTER_HEADTALK:
-            self.mode = Mode.HEADTALK
-            self._session_expiry = float("-inf")
-            self._log(now, EventKind.MODE_CHANGE, "entered HeadTalk mode")
-        elif normalized == EXIT_HEADTALK:
-            self.mode = Mode.NORMAL
-            self._session_expiry = float("-inf")
-            self._log(now, EventKind.MODE_CHANGE, "exited HeadTalk mode")
-        elif normalized == DELETE_HISTORY:
-            self.delete_history(now)
-        else:
-            raise ValueError(f"unrecognized mode command {text!r}")
-        return self.mode
 
     def delete_history(self, now: float = 0.0) -> int:
         """The classic retroactive control: delete cloud recordings.
@@ -130,12 +142,24 @@ class VoiceAssistantController:
         deleted.  The on-device audit log is untouched (it never left
         the device).
         """
-        deleted = len(self.cloud_recordings)
-        self.cloud_recordings.clear()
-        self._log(
-            now, EventKind.MODE_CHANGE, f"deleted {deleted} cloud recordings"
-        )
-        return deleted
+        with self._lock:
+            deleted = len(self.cloud_recordings)
+            self.cloud_recordings.clear()
+            self._log(
+                now, EventKind.MODE_CHANGE, f"deleted {deleted} cloud recordings"
+            )
+            return deleted
+
+    def needs_gate(self, now: float = 0.0) -> bool:
+        """Whether a wake word right now must pass the HeadTalk gate.
+
+        The streaming front-end asks this *before* spending work on a
+        decider: only HEADTALK mode without an open facing-verified
+        session evaluates orientation.  MUTE, NORMAL, and in-session
+        wake words route straight through :meth:`on_wake_decision`.
+        """
+        with self._lock:
+            return self.mode is Mode.HEADTALK and not self.session_open_at(now)
 
     def on_wake_word(
         self,
@@ -151,51 +175,84 @@ class VoiceAssistantController:
         the controller's behalf feed the decision-quality monitor with
         labels; both default to ``None`` and change nothing otherwise.
         """
-        if self.mode is Mode.MUTE:
-            return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
-        if self.mode is Mode.NORMAL:
-            return self._log(now, EventKind.UPLOADED, "normal mode: wake word uploaded")
+        with self._lock:
+            if self.mode is Mode.MUTE:
+                return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
+            if self.mode is Mode.NORMAL:
+                return self._log(
+                    now, EventKind.UPLOADED, "normal mode: wake word uploaded"
+                )
 
-        # HEADTALK mode.
-        if self.session_open_at(now):
-            return self._log(
-                now, EventKind.SESSION_COMMAND, "within facing-verified session"
-            )
-        if truth is not None or slices is not None:
-            decision = self.pipeline.evaluate(capture, truth=truth, slices=slices)
-        else:
-            decision = self.pipeline.evaluate(capture)
-        if decision.accepted:
-            self._session_expiry = now + self.pipeline.config.session_seconds
+            # HEADTALK mode.
+            if self.session_open_at(now):
+                return self._log(
+                    now, EventKind.SESSION_COMMAND, "within facing-verified session"
+                )
+            if truth is not None or slices is not None:
+                decision = self.pipeline.evaluate(capture, truth=truth, slices=slices)
+            else:
+                decision = self.pipeline.evaluate(capture)
+            return self.on_wake_decision(decision, now)
+
+    def on_wake_decision(self, decision: Decision, now: float = 0.0) -> AuditEvent:
+        """Apply an already-made gate decision to the state machine.
+
+        The streaming path computes its decision incrementally
+        (:class:`repro.core.streaming.StreamingDecider`) while audio is
+        still arriving, then applies it here — same session bookkeeping
+        and audit trail as :meth:`on_wake_word`, without re-evaluating.
+        The mode/session guards re-run at apply time: if the device was
+        muted or a session opened while the stream was in flight, the
+        decision is routed accordingly instead of trusted blindly.
+        """
+        with self._lock:
+            if self.mode is Mode.MUTE:
+                return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
+            if self.mode is Mode.NORMAL:
+                return self._log(
+                    now, EventKind.UPLOADED, "normal mode: wake word uploaded"
+                )
+            if self.session_open_at(now):
+                return self._log(
+                    now, EventKind.SESSION_COMMAND, "within facing-verified session"
+                )
+            if decision.accepted:
+                self._session_expiry = now + self.pipeline.config.session_seconds
+                return self._log(
+                    now,
+                    EventKind.UPLOADED,
+                    "facing live human: session opened",
+                    decision,
+                )
             return self._log(
                 now,
-                EventKind.UPLOADED,
-                "facing live human: session opened",
+                EventKind.SOFT_MUTED,
+                f"rejected ({decision.reason}); device stays functional",
                 decision,
             )
-        return self._log(
-            now,
-            EventKind.SOFT_MUTED,
-            f"rejected ({decision.reason}); device stays functional",
-            decision,
-        )
 
     def on_followup_audio(self, now: float = 0.0) -> AuditEvent:
         """Handle post-wake command audio (no wake word)."""
-        if self.mode is Mode.MUTE:
-            return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
-        if self.mode is Mode.NORMAL:
-            return self._log(now, EventKind.UPLOADED, "normal mode: command uploaded")
-        if self.session_open_at(now):
-            return self._log(now, EventKind.SESSION_COMMAND, "session command uploaded")
-        return self._log(
-            now, EventKind.SOFT_MUTED, "no open session: command not uploaded"
-        )
+        with self._lock:
+            if self.mode is Mode.MUTE:
+                return self._log(now, EventKind.HARD_MUTED, "microphones disabled")
+            if self.mode is Mode.NORMAL:
+                return self._log(
+                    now, EventKind.UPLOADED, "normal mode: command uploaded"
+                )
+            if self.session_open_at(now):
+                return self._log(
+                    now, EventKind.SESSION_COMMAND, "session command uploaded"
+                )
+            return self._log(
+                now, EventKind.SOFT_MUTED, "no open session: command not uploaded"
+            )
 
     def uploaded_count(self) -> int:
         """How many audit events sent audio to the cloud."""
         uploading = {EventKind.UPLOADED, EventKind.SESSION_COMMAND}
-        return sum(1 for event in self.audit_log if event.kind in uploading)
+        with self._lock:
+            return sum(1 for event in self.audit_log if event.kind in uploading)
 
     def _log(
         self,

@@ -234,6 +234,7 @@ class HeadTalkPipeline:
         batch_index: int | None = None,
         truth: bool | None = None,
         slices: dict | None = None,
+        extra: dict | None = None,
     ) -> None:
         """Metrics + audit record for one decision (observability on only)."""
         # Lazy like worker_totals: keeps ``python -m repro.obs.monitor``
@@ -287,6 +288,12 @@ class HeadTalkPipeline:
             record["truth"] = bool(truth)
         if slices:
             record["slices"] = {str(axis): str(label) for axis, label in slices.items()}
+        # Caller-level context (the serving layer's session id and
+        # frames-to-decision, a replay's source tag, ...) rides along in
+        # the same record so one JSONL line fully describes the decision.
+        if extra:
+            for key, value in extra.items():
+                record.setdefault(str(key), value)
         audit_record("decision", **record)
         monitor_record(record)
 
@@ -297,6 +304,8 @@ class HeadTalkPipeline:
         *,
         truth: bool | None = None,
         slices: dict | None = None,
+        call: str = "evaluate",
+        extra: dict | None = None,
     ) -> Decision:
         """Run the full gate for one capture.
 
@@ -309,11 +318,19 @@ class HeadTalkPipeline:
         :func:`repro.obs.monitor.slices_from_meta`) annotate the audit
         record and feed the decision-quality monitor; both are ignored
         while observability is off.
+
+        ``call`` names the entry point in the audit record (the serving
+        layer evaluates through here with ``call="serving"`` so replays
+        can separate streaming from batch decisions) and ``extra``
+        attaches caller context fields (session id, frames-to-decision)
+        to the same record.  Neither changes the decision.
         """
         with span("pipeline.evaluate"):
             decision = self._evaluate_one(capture, check_liveness)
         if obs_enabled():
-            self._observe_decision("evaluate", capture, decision, truth=truth, slices=slices)
+            self._observe_decision(
+                call, capture, decision, truth=truth, slices=slices, extra=extra
+            )
         return decision
 
     def _evaluate_one(self, capture: Capture, check_liveness: bool) -> Decision:

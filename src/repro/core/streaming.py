@@ -1,0 +1,457 @@
+"""Frame-incremental HeadTalk decisions: the streaming gate.
+
+:class:`StreamingDecider` is :meth:`HeadTalkPipeline.evaluate` unrolled
+over a live PCM stream.  Audio arrives chunk by chunk; every chunk is
+health-screened, buffered, and folded into the accumulated per-frame
+GCC evidence (:class:`repro.dsp.streaming.GccAccumulator`, batched
+through the geometry's cached :class:`~repro.runtime.plan.ArrayPlan`).
+Once enough frames have arrived, the decider periodically re-runs the
+real pipeline stages on the buffered *prefix* — the same preprocessing,
+liveness model and orientation extractor the batch path uses, just on a
+shorter utterance — and emits an early verdict as soon as the evidence
+crosses the decision threshold with margin, before end of utterance.
+
+Two invariants keep early exit sound:
+
+- **Reject-only.**  An early verdict never *opens* the cloud: the only
+  early reasons are rejections (non-facing, mechanical, degraded
+  input).  Accepting still requires the full utterance.
+- **The final decision is the batch decision.**  ``finish()`` evaluates
+  the reassembled full buffer through ``pipeline.evaluate`` — the
+  returned :class:`Decision` fingerprint is byte-identical to offline
+  evaluation of the same capture.  Early exit shortens the *latency* to
+  a verdict (``frames_to_decision``), never changes the audit-grade
+  outcome.
+
+Hysteresis guards the early checks: a rejection fires only after
+``consecutive`` successive checks land below threshold minus margin,
+and only while the accumulated SRP peak lag is stable between checks
+(orientation evidence still moving means the frame sum has not settled
+— don't trust a prefix score built on it).
+
+Mid-stream channel death degrades instead of crashing: per-chunk
+screening votes channels out after repeated failures; if fewer than two
+healthy channels remain the session fails closed
+(:data:`REJECT_DEGRADED_INPUT`) — the fail-closed verdict takes
+precedence over the full-capture decision, matching the fault ladder's
+rule that screening evidence may only ever remove permission.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..acoustics.propagation import Capture
+from ..dsp.streaming import GccAccumulator
+from ..obs import counter_inc, histogram_observe, obs_enabled
+from ..obs.spans import span
+from ..runtime.plan import plan_for
+from .pipeline import (
+    _FEATURE_ERRORS,
+    Decision,
+    HeadTalkPipeline,
+    REJECT_DEGRADED_INPUT,
+    REJECT_MECHANICAL,
+    REJECT_NON_FACING,
+)
+from .preprocessing import preprocess, screen_channels
+
+DEFAULT_FRAME_LENGTH = 2048
+"""Analysis frame in samples (~43 ms at 48 kHz)."""
+
+DEFAULT_HOP_LENGTH = 2048
+"""Non-overlapping frames by default: each sample is judged once."""
+
+MIN_SCREEN_SAMPLES = 512
+"""Chunks shorter than this skip per-chunk health screening (too noisy)."""
+
+UNHEALTHY_VOTES = 3
+"""Chunks that must independently flag a channel before it is voted out."""
+
+
+@dataclass(frozen=True)
+class EarlyVerdict:
+    """A before-end-of-utterance rejection.
+
+    ``frame`` is the number of accumulated frames when the verdict
+    fired — the session's frames-to-decision.  ``score`` carries the
+    offending model score (liveness or facing probability; 0.0 for
+    fail-closed verdicts).
+    """
+
+    reason: str
+    frame: int
+    score: float
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        """Early verdicts are reject-only by construction."""
+        return False
+
+
+@dataclass(frozen=True)
+class StreamingResult:
+    """Outcome of one streamed utterance.
+
+    ``decision`` is the audit-grade full-capture decision; ``early`` the
+    mid-stream verdict, if one fired.  ``frames_to_decision`` is where
+    the session's verdict became known: the early frame when one fired,
+    otherwise all frames seen.
+    """
+
+    decision: Decision
+    early: EarlyVerdict | None
+    frames_seen: int
+    frames_to_decision: int
+    checks: int
+    samples_seen: int
+    wall_ms: float
+
+    @property
+    def early_exited(self) -> bool:
+        """Whether a verdict was available before end of utterance."""
+        return self.early is not None
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the early verdict agreed with the final accept bit."""
+        return self.early is None or self.early.accepted == self.decision.accepted
+
+
+class _GrowBuffer:
+    """Unbounded in-memory sample store (the default decider buffer).
+
+    The serving layer substitutes its bounded per-session
+    :class:`repro.serving.ring.RingBuffer`, which implements the same
+    ``append`` / ``prefix`` / ``snapshot`` / ``dropped`` surface.
+    """
+
+    def __init__(self, n_mics: int):
+        self.n_mics = int(n_mics)
+        self.dropped = 0
+        self._chunks: list[np.ndarray] = []
+        self._joined: np.ndarray | None = None
+
+    @property
+    def length(self) -> int:
+        """Samples stored so far."""
+        return sum(chunk.shape[1] for chunk in self._chunks)
+
+    def append(self, chunk: np.ndarray) -> int:
+        """Store one chunk; returns samples dropped (always 0 here)."""
+        self._chunks.append(np.asarray(chunk, dtype=float))
+        self._joined = None
+        return 0
+
+    def _join(self) -> np.ndarray:
+        if self._joined is None:
+            if not self._chunks:
+                self._joined = np.zeros((self.n_mics, 0))
+            elif len(self._chunks) == 1:
+                self._joined = self._chunks[0]
+            else:
+                self._joined = np.concatenate(self._chunks, axis=1)
+        return self._joined
+
+    def prefix(self, n_samples: int) -> np.ndarray:
+        """The first ``n_samples`` stored samples (fewer if short)."""
+        return self._join()[:, :n_samples]
+
+    def snapshot(self) -> np.ndarray:
+        """Everything stored, as one contiguous ``(n_mics, n)`` array."""
+        return self._join()
+
+
+class StreamingDecider:
+    """One utterance's incremental decision state.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained gate; its thresholds, extractor and models are the
+        single source of truth for both early checks and the final
+        decision.
+    check_liveness:
+        Forwarded to the final ``evaluate`` and mirrored by the early
+        checks (liveness strikes are skipped when off).
+    frame_length, hop_length:
+        Evidence frame geometry, in samples.
+    min_frames:
+        Frames required before the first early check.
+    check_every:
+        Frames between early checks.
+    consecutive:
+        Below-margin checks required before an early rejection fires.
+    facing_margin, liveness_margin:
+        Early rejection needs the score below ``threshold - margin`` —
+        the safety band that keeps borderline prefixes from rejecting
+        utterances the full capture would accept.
+    buffer:
+        Optional sample store (see :class:`_GrowBuffer` for the
+        protocol); the serving layer passes its bounded ring.
+    call, session_id:
+        Audit-record naming: ``call`` labels the evaluate entry point
+        and ``session_id`` rides along in the record's extra fields.
+    """
+
+    def __init__(
+        self,
+        pipeline: HeadTalkPipeline,
+        *,
+        check_liveness: bool = True,
+        frame_length: int = DEFAULT_FRAME_LENGTH,
+        hop_length: int = DEFAULT_HOP_LENGTH,
+        min_frames: int = 4,
+        check_every: int = 2,
+        consecutive: int = 2,
+        facing_margin: float = 0.10,
+        liveness_margin: float = 0.25,
+        buffer=None,
+        call: str = "streaming",
+        session_id: str = "",
+        truth: bool | None = None,
+        slices: dict | None = None,
+    ):
+        if min_frames < 1 or check_every < 1 or consecutive < 1:
+            raise ValueError("min_frames, check_every and consecutive must be >= 1")
+        if facing_margin < 0 or liveness_margin < 0:
+            raise ValueError("margins must be >= 0")
+        self.pipeline = pipeline
+        self.plan = plan_for(pipeline.array)
+        self.check_liveness = bool(check_liveness)
+        self.frame_length = int(frame_length)
+        self.hop_length = int(hop_length)
+        self.min_frames = int(min_frames)
+        self.check_every = int(check_every)
+        self.consecutive = int(consecutive)
+        self.facing_margin = float(facing_margin)
+        self.liveness_margin = float(liveness_margin)
+        self.call = call
+        self.session_id = session_id
+        self.truth = truth
+        self.slices = slices
+
+        n_mics = pipeline.array.n_mics
+        self.accumulator = GccAccumulator(
+            n_mics,
+            self.plan.pair_list,
+            self.plan.max_lag,
+            self.frame_length,
+            self.hop_length,
+        )
+        self.buffer = _GrowBuffer(n_mics) if buffer is None else buffer
+        self.early: EarlyVerdict | None = None
+        self.checks = 0
+        self.samples_seen = 0
+        self._votes = np.zeros(n_mics, dtype=int)
+        self._dead: tuple[int, ...] = ()
+        self._fail_closed_detail = ""
+        self._liveness_strikes = 0
+        self._facing_strikes = 0
+        self._last_srp_lag: int | None = None
+        self._last_check_frame = 0
+        self._started = time.perf_counter()
+        self._result: StreamingResult | None = None
+
+    @property
+    def fail_closed(self) -> bool:
+        """Whether mid-stream screening already forced a rejection."""
+        return bool(self._fail_closed_detail)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any channel has been voted out mid-stream."""
+        return bool(self._dead)
+
+    def push(self, chunk: np.ndarray) -> EarlyVerdict | None:
+        """Absorb one PCM chunk; returns the early verdict when it fires.
+
+        The verdict is returned exactly once (the push that crossed the
+        threshold); later pushes keep buffering for the final decision
+        and return ``None``.
+        """
+        if self._result is not None:
+            raise RuntimeError("finish() was already called for this utterance")
+        x = np.asarray(chunk, dtype=float)
+        if x.ndim != 2 or x.shape[0] != self.pipeline.array.n_mics:
+            raise ValueError(
+                f"chunk must be ({self.pipeline.array.n_mics}, n_samples), got {x.shape}"
+            )
+        if x.shape[1] == 0:
+            return None
+        self.samples_seen += x.shape[1]
+        self.buffer.append(x)
+        self._screen_chunk(x)
+        new_frames = self.accumulator.push(x)
+        if self.early is not None:
+            return None
+        if self.fail_closed:
+            return self._fire(
+                REJECT_DEGRADED_INPUT, score=0.0, detail=self._fail_closed_detail
+            )
+        if self.degraded:
+            # Evidence from dying hardware is not worth an early call;
+            # leave the verdict to the full-capture path, which screens
+            # and masks for itself.
+            return None
+        n_frames = self.accumulator.n_frames
+        if (
+            new_frames
+            and n_frames >= self.min_frames
+            and n_frames - self._last_check_frame >= self.check_every
+        ):
+            return self._early_check(n_frames)
+        return None
+
+    def finish(self) -> StreamingResult:
+        """Close the utterance: full-capture decision plus stream stats.
+
+        Idempotent; the first call evaluates, later calls return the
+        same result.  The full-capture decision is byte-identical to
+        ``pipeline.evaluate`` on the reassembled buffer — unless the
+        stream failed closed mid-way, in which case the fail-closed
+        rejection takes precedence.
+        """
+        if self._result is not None:
+            return self._result
+        frames_seen = self.accumulator.n_frames
+        capture = Capture(
+            channels=self.buffer.snapshot(),
+            sample_rate=self.pipeline.array.sample_rate,
+        )
+        extra = {
+            "streaming": True,
+            "frames_seen": frames_seen,
+            "frames_to_decision": self.early.frame if self.early else frames_seen,
+            "early_exit": self.early is not None,
+        }
+        if self.early is not None:
+            extra["early_reason"] = self.early.reason
+        if self.session_id:
+            extra["session_id"] = self.session_id
+        if getattr(self.buffer, "dropped", 0):
+            extra["dropped_samples"] = int(self.buffer.dropped)
+        if self.fail_closed:
+            with span("pipeline.evaluate", streaming=True):
+                decision = self.pipeline._degraded_decision(self._fail_closed_detail)
+            if obs_enabled():
+                self.pipeline._observe_decision(
+                    self.call, capture, decision, truth=self.truth, slices=self.slices, extra=extra
+                )
+        else:
+            decision = self.pipeline.evaluate(
+                capture,
+                self.check_liveness,
+                truth=self.truth,
+                slices=self.slices,
+                call=self.call,
+                extra=extra,
+            )
+        result = StreamingResult(
+            decision=decision,
+            early=self.early,
+            frames_seen=frames_seen,
+            frames_to_decision=extra["frames_to_decision"],
+            checks=self.checks,
+            samples_seen=self.samples_seen,
+            wall_ms=(time.perf_counter() - self._started) * 1000.0,
+        )
+        histogram_observe("streaming.frames_to_decision", result.frames_to_decision)
+        if not result.consistent:
+            # Margin mis-tuning: the early reject disagreed with the
+            # full capture.  The final (batch-identical) decision wins;
+            # the conflict is counted so drift shows up in metrics.
+            counter_inc("streaming.early_conflicts", reason=result.early.reason)
+        self._result = result
+        return result
+
+    def _fire(self, reason: str, score: float, detail: str = "") -> EarlyVerdict:
+        self.early = EarlyVerdict(
+            reason=reason, frame=self.accumulator.n_frames, score=score, detail=detail
+        )
+        counter_inc("streaming.early_exits", reason=reason)
+        return self.early
+
+    def _screen_chunk(self, x: np.ndarray) -> None:
+        """Vote-based mid-stream channel-death tracking.
+
+        A single noisy chunk must not kill a channel: each chunk's
+        screening only *votes*, and a channel is excluded after
+        :data:`UNHEALTHY_VOTES` strikes.  Fewer than two surviving
+        channels fails the stream closed.
+        """
+        if x.shape[1] < MIN_SCREEN_SAMPLES or self.fail_closed:
+            return
+        health = screen_channels(x)
+        if health.unhealthy:
+            self._votes[list(health.unhealthy)] += 1
+        dead = tuple(int(k) for k in np.nonzero(self._votes >= UNHEALTHY_VOTES)[0])
+        if dead and dead != self._dead:
+            self._dead = dead
+            counter_inc("streaming.channels_voted_out", n=len(dead))
+        if len(self._votes) - len(dead) < 2 and not self._fail_closed_detail:
+            self._fail_closed_detail = "mid-stream-channel-death:dead=" + ",".join(
+                str(k) for k in dead
+            )
+
+    def _early_check(self, n_frames: int) -> EarlyVerdict | None:
+        """One prefix evaluation against the thresholds-with-margin."""
+        self._last_check_frame = n_frames
+        self.checks += 1
+
+        # Evidence-stability gate on the accumulated per-frame GCC: the
+        # SRP peak lag must agree with the previous check before model
+        # scores on the prefix are trusted.  The first check only seeds
+        # the reference lag when evidence is still settling.
+        lag = self.accumulator.srp_argmax_lag()
+        stable = lag == self._last_srp_lag
+        self._last_srp_lag = lag
+        if not stable and self.checks > 1:
+            return None
+
+        prefix_samples = n_frames * self.hop_length
+        if prefix_samples < self.plan.min_samples:
+            return None
+        prefix = Capture(
+            channels=self.buffer.prefix(prefix_samples),
+            sample_rate=self.pipeline.array.sample_rate,
+        )
+        with span("streaming.early_check", frame=n_frames):
+            try:
+                audio = preprocess(prefix)
+            except _FEATURE_ERRORS:
+                return None
+            if not audio.had_speech:
+                return None
+            config = self.pipeline.config
+
+            if self.check_liveness:
+                try:
+                    score = self.pipeline._liveness_score(audio)
+                except _FEATURE_ERRORS:
+                    return None
+                if np.isfinite(score) and score < config.liveness_threshold - self.liveness_margin:
+                    self._liveness_strikes += 1
+                    if self._liveness_strikes >= self.consecutive:
+                        return self._fire(REJECT_MECHANICAL, score=score)
+                    # Mirror the batch stage order: a liveness strike
+                    # short-circuits the orientation check this round.
+                    return None
+                self._liveness_strikes = 0
+
+            try:
+                features = self.pipeline.extractor.extract(audio)
+                probability = self.pipeline._orientation_probability(features)
+            except _FEATURE_ERRORS:
+                return None
+            if probability < config.facing_threshold - self.facing_margin:
+                self._facing_strikes += 1
+                if self._facing_strikes >= self.consecutive:
+                    return self._fire(REJECT_NON_FACING, score=probability)
+            else:
+                self._facing_strikes = 0
+        return None

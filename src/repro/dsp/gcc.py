@@ -29,13 +29,39 @@ hot path.  Granularities, coarse to fine:
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 import numpy as np
 
+from ..obs.metrics import counter_inc
 from .precision import fft_api, resolve_dtype
 
 _PHAT_REGULARIZATION = 1e-12
+
+_TRUNCATION_WARNED = False
+
+
+def _note_truncation(dropped: int) -> None:
+    """Record trailing samples a ``pad=False`` framing silently dropped.
+
+    Streaming callers keep their own carry buffers and never hit this;
+    a batch caller that does is losing real audio from the decision, so
+    it warns once per process (and counts every occurrence in the
+    ``dsp.frames.truncated`` metric, labelled by nothing — the sample
+    count is the increment).
+    """
+    global _TRUNCATION_WARNED
+    counter_inc("dsp.frames.truncated", dropped)
+    if _TRUNCATION_WARNED:
+        return
+    _TRUNCATION_WARNED = True
+    warnings.warn(
+        f"extract_frames(pad=False) dropped {dropped} trailing samples that do not fill "
+        "a complete frame; pass pad=True to keep them (warned once per process)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _fft_length(n_linear: int, max_lag: int) -> int:
@@ -285,8 +311,12 @@ def extract_frames(
             )
     else:
         if n_samples < frame_length:
+            _note_truncation(n_samples)
             return np.zeros((0, x.shape[0], frame_length), dtype=dtype)
         n_frames = 1 + (n_samples - frame_length) // hop_length
+        dropped = n_samples - ((n_frames - 1) * hop_length + frame_length)
+        if dropped > 0:
+            _note_truncation(dropped)
     idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
     # (n_mics, n_frames, frame_length) -> (n_frames, n_mics, frame_length)
     return np.ascontiguousarray(x[:, idx].transpose(1, 0, 2))
@@ -324,12 +354,45 @@ def pairwise_gcc_frames(
     if max_lag < 0:
         raise ValueError("max_lag must be >= 0")
     frames = extract_frames(channels, frame_length, hop_length, pad=pad, dtype=dtype)
-    _validate_pairs(pairs, frames.shape[1])
-    n_fft = _fft_length(2 * frame_length, max_lag)
-    if frames.shape[0] == 0:
+    return pairwise_gcc_framewise(frames, pairs, max_lag, dtype=dtype)
+
+
+def pairwise_gcc_framewise(
+    frames: np.ndarray,
+    pairs: list[tuple[int, int]],
+    max_lag: int,
+    dtype=None,
+) -> np.ndarray:
+    """:func:`pairwise_gcc_frames` over already-extracted frames.
+
+    The incremental entry point: streaming callers
+    (:class:`repro.dsp.streaming.GccAccumulator`) slice their own frames
+    from a live carry buffer and batch-correlate each newly completed
+    group here, so a session accumulates evidence chunk by chunk through
+    the same transforms the offline path uses.
+
+    Parameters
+    ----------
+    frames:
+        ``(n_frames, n_mics, frame_length)`` array, e.g. from
+        :func:`extract_frames`.
+
+    Returns
+    -------
+    ``(n_frames, len(pairs), 2 * max_lag + 1)`` array.
+    """
+    dtype = resolve_dtype(dtype)
+    x = np.asarray(frames, dtype=dtype)
+    if x.ndim != 3:
+        raise ValueError(f"frames must be (n_frames, n_mics, frame_length), got {x.shape}")
+    if max_lag < 0:
+        raise ValueError("max_lag must be >= 0")
+    _validate_pairs(pairs, x.shape[1])
+    if x.shape[0] == 0:
         return np.zeros((0, len(pairs), 2 * max_lag + 1), dtype=dtype)
+    n_fft = _fft_length(2 * x.shape[2], max_lag)
     i_idx = np.array([i for i, _ in pairs])
     j_idx = np.array([j for _, j in pairs])
     fft = fft_api(dtype)
-    spectra = fft.rfft(frames, n_fft, axis=-1)  # (n_frames, n_mics, nf)
+    spectra = fft.rfft(x, n_fft, axis=-1)  # (n_frames, n_mics, nf)
     return _phat_correlate(spectra[:, i_idx], spectra[:, j_idx], n_fft, max_lag, fft)

@@ -307,7 +307,9 @@ class RenderTask:
     faults: FaultScenario | None = None
 
     @classmethod
-    def from_rng(cls, scene: Scene, rendering: SourceRendering, rng: np.random.Generator, **kwargs) -> "RenderTask":
+    def from_rng(
+        cls, scene: Scene, rendering: SourceRendering, rng: np.random.Generator, **kwargs
+    ) -> "RenderTask":
         """Task capturing ``rng``'s current state (the serial hand-off point)."""
         return cls(scene=scene, rendering=rendering, rng_state=generator_state(rng), **kwargs)
 
@@ -358,9 +360,7 @@ def _pool_chunk(tasks: tuple[RenderTask, ...], attempts: tuple[int, ...], observ
         key = task_key(task)
         faults_chaos.maybe_crash(key, attempt)
         faults_chaos.maybe_fail(key, attempt)
-        results.append(
-            _execute_task_with_sidecar(task) if observe else execute_render_task(task)
-        )
+        results.append(_execute_task_with_sidecar(task) if observe else execute_render_task(task))
     return results
 
 
@@ -581,9 +581,7 @@ def render_captures(
         results = _render_with_pool(tasks, workers, chunksize, observe)
         if not observe:
             return results
-        obs_workers.merge_sidecars(
-            sidecar for _, sidecar in results if sidecar is not None
-        )
+        obs_workers.merge_sidecars(sidecar for _, sidecar in results if sidecar is not None)
         return [capture for capture, _ in results]
 
 
@@ -630,9 +628,7 @@ def _render_with_pool(
     light_tasks: list = []
     if shm_mod.shm_enabled():
         try:
-            arena, arena_refs = shm_mod.pack_arrays(
-                [task.rendering.waveform for task in tasks]
-            )
+            arena, arena_refs = shm_mod.pack_arrays([task.rendering.waveform for task in tasks])
             light_tasks = [
                 replace(task, rendering=replace(task.rendering, waveform=_EMPTY_WAVEFORM))
                 for task in tasks
@@ -670,23 +666,15 @@ def _render_with_pool(
                     futures[future] = chunk
             except BrokenProcessPool:
                 pool_failed = True
-            deadline = (
-                None
-                if policy.timeout_s is None
-                else time.monotonic() + policy.timeout_s
-            )
+            deadline = None if policy.timeout_s is None else time.monotonic() + policy.timeout_s
             for future, chunk in futures.items():
                 if pool_failed:
                     if not future.cancel():
                         _discard_chunk_segment(future)
                     continue
-                remaining = (
-                    None if deadline is None else max(0.0, deadline - time.monotonic())
-                )
+                remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
                 try:
-                    chunk_results = _unpack_chunk(
-                        future.result(timeout=remaining), observe
-                    )
+                    chunk_results = _unpack_chunk(future.result(timeout=remaining), observe)
                 except FuturesTimeoutError:
                     counter_inc("runtime.retry.timeouts")
                     pool_failed = True
@@ -718,9 +706,7 @@ def _render_with_pool(
                 for k in unresolved:
                     attempts[k] += 1
                 if rebuilds >= policy.pool_rebuilds:
-                    counter_inc(
-                        "runtime.retry.serial_fallbacks", amount=len(unresolved)
-                    )
+                    counter_inc("runtime.retry.serial_fallbacks", amount=len(unresolved))
                     for k in unresolved:
                         capture = execute_render_task(tasks[k])
                         results[k] = (capture, None) if observe else capture

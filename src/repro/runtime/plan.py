@@ -49,9 +49,7 @@ class ArrayPlan:
     _steering: _LruCache = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "_steering", _LruCache(_STEERING_ENTRIES, name="steering")
-        )
+        object.__setattr__(self, "_steering", _LruCache(_STEERING_ENTRIES, name="steering"))
 
     @property
     def window(self) -> int:

@@ -95,9 +95,7 @@ def read_array(segment: shared_memory.SharedMemory, ref: ShmArrayRef) -> np.ndar
     The view borrows the segment's buffer: it must not outlive the
     segment. Copy (``np.array(view)``) before closing to keep the data.
     """
-    view = np.ndarray(
-        ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf, offset=ref.offset
-    )
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf, offset=ref.offset)
     view.setflags(write=False)
     return view
 

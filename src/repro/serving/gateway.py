@@ -1,0 +1,233 @@
+"""Asyncio session gateway: many devices, one gate, one process.
+
+``ServingGateway`` accepts TCP connections (stdlib ``asyncio`` only)
+and gives each one a :class:`~repro.serving.session.DeviceSession`.
+The wire protocol is JSON lines, one object per line in each direction:
+
+Client → server ops::
+
+    {"op": "wake"}
+    {"op": "audio", "pcm": "<base64 little-endian float64>", ...}
+    {"op": "end", "truth": true|false|null}
+    {"op": "followup"} / {"op": "mute"} / {"op": "command", "text": ...}
+    {"op": "close"}
+
+Server → client events: a hello line on connect (``{"event": "hello",
+"session": "s000042", ...}``), ``early`` events pushed mid-stream the
+moment an early verdict fires, and a ``decision`` event per ``end``
+carrying the audit-grade verdict, its fingerprint, and
+frames-to-decision.  ``audio`` ops are not acknowledged — the client
+streams without round trips, which is what makes early events *early*.
+
+Failure policy mirrors the fault ladder: protocol errors (bad JSON,
+unknown op, out-of-order lifecycle, malformed PCM) answer with an
+``{"error": ...}`` line and keep the connection; an unexpected internal
+error is degraded to an error event and counted, never allowed to take
+the gateway down.  When ``max_sessions`` devices are connected, new
+connections get a ``busy`` error and are closed immediately —
+backpressure at admission, not silent queueing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import itertools
+import json
+
+import numpy as np
+
+from ..core.controller import Mode
+from ..core.pipeline import HeadTalkPipeline
+from ..obs import counter_inc, gauge_set
+from .config import ServingConfig
+from .session import DeviceSession, SessionError
+
+STREAM_LIMIT = 1 << 24
+"""Per-line stream buffer (16 MiB): one JSON line carries one base64
+PCM chunk, and asyncio's 64 KiB default is smaller than a single
+2048-sample multi-channel float64 chunk."""
+
+
+class ServingGateway:
+    """One serving process: a TCP listener multiplexing device sessions."""
+
+    def __init__(
+        self,
+        pipeline: HeadTalkPipeline,
+        config: ServingConfig | None = None,
+        *,
+        mode: Mode = Mode.HEADTALK,
+        clock=None,
+    ):
+        self.pipeline = pipeline
+        self.config = config or ServingConfig.from_env()
+        self.mode = mode
+        self.clock = clock
+        self.sessions: dict[str, DeviceSession] = {}
+        self._ids = itertools.count()
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    async def start(self) -> asyncio.AbstractServer:
+        """Bind and start accepting connections (port 0 picks a port)."""
+        self._server = await asyncio.start_server(
+            self._handle,
+            host=self.config.host,
+            port=self.config.port,
+            limit=STREAM_LIMIT,
+        )
+        return self._server
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with port 0."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("gateway is not started")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    async def stop(self) -> None:
+        """Stop accepting connections, reap handlers, close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        if len(self.sessions) >= self.config.max_sessions:
+            counter_inc("serving.busy_rejections")
+            await self._send(writer, {"error": "busy", "max_sessions": self.config.max_sessions})
+            writer.close()
+            return
+        session_id = f"s{next(self._ids):06d}"
+        if self.clock is None:
+            session = DeviceSession(session_id, self.pipeline, self.config, mode=self.mode)
+        else:
+            session = DeviceSession(
+                session_id, self.pipeline, self.config, mode=self.mode, clock=self.clock
+            )
+        self.sessions[session_id] = session
+        gauge_set("serving.active_sessions", len(self.sessions))
+        try:
+            await self._send(
+                writer,
+                {
+                    "event": "hello",
+                    "session": session_id,
+                    "mode": session.controller.mode.value,
+                    "n_mics": self.pipeline.array.n_mics,
+                    "sample_rate": self.pipeline.array.sample_rate,
+                },
+            )
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                message = self._parse(line)
+                if message is None:
+                    await self._send(writer, {"error": "malformed-json"})
+                    continue
+                if message.get("op") == "close":
+                    break
+                for reply in self._dispatch(session, message):
+                    await self._send(writer, reply)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown (gateway.stop or loop teardown) cancelled this
+            # handler mid-await: treat as a disconnect so the task ends
+            # cleanly — a cancelled client-handler task makes 3.11's
+            # streams callback log a spurious traceback.
+            pass
+        except ValueError:
+            # A line past STREAM_LIMIT cannot be resynchronized; drop
+            # the connection instead of the gateway.
+            counter_inc("serving.protocol_errors", kind="line-too-long")
+        finally:
+            session.close()
+            self.sessions.pop(session_id, None)
+            gauge_set("serving.active_sessions", len(self.sessions))
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    def _parse(self, line: bytes) -> dict | None:
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError:
+            counter_inc("serving.protocol_errors", kind="bad-json")
+            return None
+        if not isinstance(message, dict):
+            counter_inc("serving.protocol_errors", kind="not-an-object")
+            return None
+        return message
+
+    def _dispatch(self, session: DeviceSession, message: dict) -> list[dict]:
+        """Apply one op to the session; returns the events to send back."""
+        op = message.get("op")
+        try:
+            if op == "wake":
+                return [session.begin_wake()]
+            if op == "audio":
+                event = session.push_audio(self._decode_audio(message))
+                return [event] if event is not None else []
+            if op == "end":
+                truth = message.get("truth")
+                slices = message.get("slices")
+                if truth is not None and not isinstance(truth, bool):
+                    raise SessionError("truth must be a boolean or null")
+                if slices is not None and not isinstance(slices, dict):
+                    raise SessionError("slices must be an object or null")
+                return [session.end_wake(truth=truth, slices=slices)]
+            if op == "followup":
+                return [session.followup()]
+            if op == "mute":
+                return [session.mute()]
+            if op == "command":
+                return [session.command(str(message.get("text", "")))]
+            counter_inc("serving.protocol_errors", kind="unknown-op")
+            return [{"error": f"unknown-op:{op}"}]
+        except SessionError as error:
+            counter_inc("serving.protocol_errors", kind="session")
+            return [{"error": str(error)}]
+        except (ValueError, TypeError) as error:
+            counter_inc("serving.protocol_errors", kind="bad-payload")
+            return [{"error": str(error)}]
+        except Exception as error:  # degrade: one bad op must not kill the loop
+            counter_inc("serving.internal_errors", kind=type(error).__name__)
+            return [{"error": f"internal:{type(error).__name__}"}]
+
+    def _decode_audio(self, message: dict) -> np.ndarray:
+        """Base64 little-endian float64, C-order ``(n_mics, k)``."""
+        raw = message.get("pcm")
+        if not isinstance(raw, str):
+            raise SessionError("audio op needs a base64 'pcm' string")
+        try:
+            payload = base64.b64decode(raw, validate=True)
+        except (binascii.Error, ValueError) as error:
+            raise SessionError(f"pcm is not valid base64: {error}") from error
+        if len(payload) % 8:
+            raise SessionError("pcm byte length is not a multiple of 8")
+        data = np.frombuffer(payload, dtype="<f8")
+        n_mics = self.pipeline.array.n_mics
+        if data.size % n_mics:
+            raise SessionError(
+                f"pcm sample count {data.size} does not divide into {n_mics} channels"
+            )
+        return data.reshape(n_mics, -1)

@@ -83,6 +83,15 @@ def replay_capture(lab_scene, speaker):
 
 
 @pytest.fixture(scope="session")
+def side_capture(lab_scene, speaker):
+    """One 90-degree (side-facing) capture (deterministic)."""
+    rng = np.random.default_rng(24)
+    scene = lab_scene.with_pose(SpeakerPose(distance_m=1.0, head_angle_deg=90.0))
+    emission = speaker.emit("computer", scene.device.sample_rate, rng)
+    return render_capture(scene, emission, rng=rng, rir_config=COLLECT_RIR)
+
+
+@pytest.fixture(scope="session")
 def tiny_dataset():
     """A two-session TINY orientation dataset (28 utterances)."""
     specs = tuple(
@@ -132,3 +141,42 @@ def trained_detector(lab_scene, speaker, d2_subset) -> OrientationDetector:
 def extractor(d2_subset):
     """The orientation feature extractor for the D2 subset."""
     return OrientationFeatureExtractor(d2_subset)
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline(d2_subset, trained_detector, lab_scene, speaker):
+    """A fully trained gate (300-epoch liveness + fixture-trained SVM).
+
+    Session-scoped because the liveness fit is the most expensive model
+    in the suite; the pipeline is stateless across evaluations, so
+    sharing one instance between test modules is safe.
+    """
+    from repro.core import (
+        HeadTalkConfig,
+        HeadTalkPipeline,
+        LIVE_HUMAN,
+        LivenessDetector,
+        MECHANICAL,
+    )
+
+    fs = 48_000
+    rng = np.random.default_rng(0)
+    replay_source = LoudspeakerSource(voice=speaker)
+    waveforms, labels = [], []
+    for angle in (0.0, 90.0, 180.0):
+        scene = lab_scene.with_pose(SpeakerPose(distance_m=1.0, head_angle_deg=angle))
+        for _ in range(6):
+            for source, label in ((speaker, LIVE_HUMAN), (replay_source, MECHANICAL)):
+                emission = source.emit("computer", fs, rng)
+                capture = render_capture(scene, emission, rng=rng, rir_config=COLLECT_RIR)
+                waveforms.append(preprocess(capture).reference)
+                labels.append(label)
+    liveness = LivenessDetector(epochs=300, random_state=0)
+    liveness.network.batch_size = 8
+    liveness.fit(waveforms, np.asarray(labels), fs)
+    return HeadTalkPipeline(
+        array=d2_subset,
+        liveness=liveness,
+        orientation=trained_detector,
+        config=HeadTalkConfig(),
+    )

@@ -6,54 +6,24 @@ import pytest
 from repro.acoustics import Capture
 from repro.core import (
     ACCEPT,
-    HeadTalkConfig,
-    HeadTalkPipeline,
-    LIVE_HUMAN,
-    LivenessDetector,
-    MECHANICAL,
     REJECT_DEGRADED_INPUT,
     REJECT_MECHANICAL,
     REJECT_NO_SPEECH,
     REJECT_NON_FACING,
-    preprocess,
 )
 
 FS = 48_000
 
 
 @pytest.fixture(scope="module")
-def pipeline(request):
-    """A fully trained pipeline over fixture-style captures."""
-    from repro.acoustics import LoudspeakerSource, render_capture
-    from tests.conftest import COLLECT_RIR
+def pipeline(trained_pipeline):
+    """A fully trained pipeline over fixture-style captures.
 
-    d2_subset = request.getfixturevalue("d2_subset")
-    trained_detector = request.getfixturevalue("trained_detector")
-    lab_scene = request.getfixturevalue("lab_scene")
-    speaker = request.getfixturevalue("speaker")
-
-    from repro.acoustics import SpeakerPose
-
-    rng = np.random.default_rng(0)
-    replay_source = LoudspeakerSource(voice=speaker)
-    waveforms, labels = [], []
-    for angle in (0.0, 90.0, 180.0):
-        scene = lab_scene.with_pose(SpeakerPose(distance_m=1.0, head_angle_deg=angle))
-        for _ in range(6):
-            for source, label in ((speaker, LIVE_HUMAN), (replay_source, MECHANICAL)):
-                emission = source.emit("computer", FS, rng)
-                capture = render_capture(scene, emission, rng=rng, rir_config=COLLECT_RIR)
-                waveforms.append(preprocess(capture).reference)
-                labels.append(label)
-    liveness = LivenessDetector(epochs=300, random_state=0)
-    liveness.network.batch_size = 8
-    liveness.fit(waveforms, np.asarray(labels), FS)
-    return HeadTalkPipeline(
-        array=d2_subset,
-        liveness=liveness,
-        orientation=trained_detector,
-        config=HeadTalkConfig(),
-    )
+    The training recipe lives in ``tests/conftest.py`` as the
+    session-scoped ``trained_pipeline`` fixture so the streaming and
+    serving tests judge captures with the exact same models.
+    """
+    return trained_pipeline
 
 
 class TestDecisions:

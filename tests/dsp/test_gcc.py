@@ -315,3 +315,51 @@ class TestDtypeThreading:
         assert stacked.dtype == np.float32
         for got, channels in zip(stacked, batch):
             assert np.array_equal(got, pairwise_gcc(channels, pairs, 7, dtype=np.float32))
+
+
+class TestTruncationWarning:
+    """extract_frames(pad=False) must not drop a tail silently."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_warning_state(self, monkeypatch):
+        from repro.dsp import gcc
+        from repro.obs import REGISTRY, set_obs_enabled
+
+        monkeypatch.setattr(gcc, "_TRUNCATION_WARNED", False)
+        REGISTRY.reset()
+        set_obs_enabled(True)
+        yield
+        set_obs_enabled(False)
+        REGISTRY.reset()
+
+    def test_dropped_tail_warns_once_and_counts(self):
+        import warnings
+
+        from repro.obs import REGISTRY
+
+        x = np.zeros((2, 1024 + 100))
+        with pytest.warns(RuntimeWarning, match="dropped 100 trailing samples"):
+            frames = extract_frames(x, 1024, 1024, pad=False)
+        assert frames.shape[0] == 1
+        # Warned once per process; the counter keeps counting.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            extract_frames(x, 1024, 1024, pad=False)
+        assert not [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert REGISTRY.counter("dsp.frames.truncated").value == 200.0
+
+    def test_short_signal_counts_every_sample(self):
+        from repro.obs import REGISTRY
+
+        with pytest.warns(RuntimeWarning):
+            frames = extract_frames(np.zeros((2, 300)), 1024, 1024, pad=False)
+        assert frames.shape[0] == 0
+        assert REGISTRY.counter("dsp.frames.truncated").value == 300.0
+
+    def test_exact_fit_never_warns(self, recwarn):
+        extract_frames(np.zeros((2, 2048)), 1024, 1024, pad=False)
+        assert not [w for w in recwarn.list if w.category is RuntimeWarning]
+
+    def test_pad_true_never_warns(self, recwarn):
+        extract_frames(np.zeros((2, 1100)), 1024, 1024, pad=True)
+        assert not [w for w in recwarn.list if w.category is RuntimeWarning]

@@ -36,9 +36,7 @@ class TestPlanFor:
         assert stats.hits == 1
 
     def test_identical_coordinates_share_a_plan(self):
-        raw = np.array(
-            [[-0.05, 0.0, 0.0], [0.0, 0.0, 0.0], [0.05, 0.0, 0.0], [0.0, 0.05, 0.0]]
-        )
+        raw = np.array([[-0.05, 0.0, 0.0], [0.0, 0.0, 0.0], [0.05, 0.0, 0.0], [0.0, 0.05, 0.0]])
         first = MicArray("one-name", raw, sample_rate=48_000)
         second = MicArray("other-name", raw, sample_rate=48_000)
         assert plan_for(first) is plan_for(second)

@@ -189,9 +189,7 @@ class TestColdWarmEquivalence:
         for seed in (1, 2):
             rng = np.random.default_rng(seed)
             emission = speaker.emit("computer", 48_000, rng)
-            tasks.append(
-                RenderTask.from_rng(lab_scene, emission, rng, rir_config=COLLECT_RIR)
-            )
+            tasks.append(RenderTask.from_rng(lab_scene, emission, rng, rir_config=COLLECT_RIR))
         render_captures(tasks, workers=1)
         stats = cache_stats()
         assert stats["rir"].hits > 0
@@ -225,9 +223,7 @@ class TestDecisionEquivalence:
         waveforms = [rng.standard_normal(24_000) for _ in range(4)]
         labels = np.array([0, 1, 0, 1])
         liveness.fit(waveforms, labels, 48_000)
-        return HeadTalkPipeline(
-            array=d2_subset, liveness=liveness, orientation=trained_detector
-        )
+        return HeadTalkPipeline(array=d2_subset, liveness=liveness, orientation=trained_detector)
 
     def test_all_paths_same_decisions(self, pipeline):
         tasks = _tasks()

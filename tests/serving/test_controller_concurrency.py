@@ -1,0 +1,200 @@
+"""Controller under concurrency: whole-event audit logs, no double gating.
+
+The controller is the shared mutable state behind every serving
+session.  These tests drive it from many threads at once and assert the
+two properties the serving layer depends on:
+
+- audit records are an interleaving of *whole* events — the JSONL sink
+  never contains a torn or interleaved line, and the in-memory log has
+  exactly one entry per applied operation;
+- an open HEADTALK session is never re-gated — wake words inside the
+  facing-verified window must not call ``pipeline.evaluate`` again.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ACCEPT, REJECT_NON_FACING, Mode, VoiceAssistantController
+from repro.core.config import HeadTalkConfig
+from repro.core.pipeline import Decision
+from repro.obs import audit_log, configure_audit, set_obs_enabled
+from repro.obs.control import obs_enabled
+
+
+class _StubPipeline:
+    """A pipeline whose verdict is fixed and whose calls are counted."""
+
+    def __init__(self, accepted=True):
+        self.config = HeadTalkConfig()
+        self.accepted = accepted
+        self.evaluations = 0
+        self._lock = threading.Lock()
+
+    def evaluate(self, capture, check_liveness=True, **kwargs):
+        with self._lock:
+            self.evaluations += 1
+        if self.accepted:
+            return Decision(True, ACCEPT, 0.9, 0.9, 0.0, 0.0)
+        return Decision(False, REJECT_NON_FACING, 0.9, 0.1, 0.0, 0.0)
+
+
+def _accept():
+    return Decision(True, ACCEPT, 0.9, 0.9, 0.0, 0.0)
+
+
+def _reject():
+    return Decision(False, REJECT_NON_FACING, 0.9, 0.1, 0.0, 0.0)
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+@pytest.fixture
+def audit_sink(tmp_path):
+    """Route audit records to a temp JSONL file, restoring the default."""
+    path = tmp_path / "audit.jsonl"
+    was_enabled = obs_enabled()
+    configure_audit(str(path))
+    set_obs_enabled(True)
+    yield path
+    set_obs_enabled(was_enabled)
+    audit_log().clear()
+    configure_audit(os.environ.get("REPRO_AUDIT_LOG") or None)
+
+
+class TestAuditAtomicity:
+    N_THREADS = 8
+    OPS_PER_THREAD = 25
+
+    def test_interleaved_events_never_tear_audit_records(self, audit_sink):
+        controller = VoiceAssistantController(pipeline=_StubPipeline(), mode=Mode.HEADTALK)
+        start = threading.Barrier(self.N_THREADS)
+
+        def worker(k):
+            def run():
+                start.wait()
+                for i in range(self.OPS_PER_THREAD):
+                    now = float(k * 1000 + i)
+                    op = (k + i) % 3
+                    if op == 0:
+                        controller.on_wake_decision(_accept() if i % 2 else _reject(), now)
+                    elif op == 1:
+                        controller.on_followup_audio(now)
+                    else:
+                        controller.press_mute_button(now)
+
+            return run
+
+        _run_threads([worker(k) for k in range(self.N_THREADS)])
+
+        expected = self.N_THREADS * self.OPS_PER_THREAD
+        assert len(controller.audit_log) == expected
+        lines = audit_sink.read_text().splitlines()
+        assert len(lines) == expected
+        for line in lines:
+            record = json.loads(line)  # a torn line would fail to parse
+            assert record["event"] == "gate"
+            assert "kind" in record
+
+    def test_mute_races_keep_mode_consistent(self):
+        controller = VoiceAssistantController(pipeline=_StubPipeline(), mode=Mode.HEADTALK)
+        start = threading.Barrier(6)
+
+        def toggler():
+            start.wait()
+            for i in range(40):
+                controller.press_mute_button(float(i))
+
+        _run_threads([toggler] * 6)
+        # 240 toggles from HEADTALK: first lands in MUTE, then NORMAL/MUTE
+        # alternation — never back to HEADTALK, never a torn mode.
+        assert controller.mode in (Mode.NORMAL, Mode.MUTE)
+        assert len(controller.audit_log) == 240
+
+
+class TestSessionGating:
+    def test_open_session_is_never_regated(self, forward_capture):
+        pipeline = _StubPipeline(accepted=True)
+        controller = VoiceAssistantController(pipeline=pipeline, mode=Mode.HEADTALK)
+        # Open the facing-verified session without spending an evaluation.
+        controller.on_wake_decision(_accept(), now=0.0)
+        assert pipeline.evaluations == 0
+        start = threading.Barrier(8)
+        kinds = []
+        kinds_lock = threading.Lock()
+
+        def worker():
+            start.wait()
+            for _ in range(10):
+                event = controller.on_wake_word(forward_capture, now=10.0)
+                with kinds_lock:
+                    kinds.append(event.kind.value)
+
+        _run_threads([worker] * 8)
+        assert pipeline.evaluations == 0
+        assert kinds == ["session-command"] * 80
+
+    def test_expired_session_gates_again(self, forward_capture):
+        pipeline = _StubPipeline(accepted=False)
+        controller = VoiceAssistantController(pipeline=pipeline, mode=Mode.HEADTALK)
+        controller.on_wake_decision(_accept(), now=0.0)
+        expiry = pipeline.config.session_seconds + 1.0
+        event = controller.on_wake_word(forward_capture, now=expiry)
+        assert pipeline.evaluations == 1
+        assert event.kind.value == "soft-muted"
+
+
+# Operation alphabet for the property test: (name, needs_decision)
+_OPS = st.sampled_from(["wake-accept", "wake-reject", "followup", "mute"])
+
+
+class TestPropertyInterleavings:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(plans=st.lists(st.lists(_OPS, min_size=1, max_size=6), min_size=2, max_size=4))
+    def test_any_interleaving_logs_every_op_exactly_once(self, plans):
+        controller = VoiceAssistantController(pipeline=_StubPipeline(), mode=Mode.HEADTALK)
+        start = threading.Barrier(len(plans))
+
+        def worker(plan, base):
+            def run():
+                start.wait()
+                for i, op in enumerate(plan):
+                    now = float(base * 100 + i)
+                    if op == "wake-accept":
+                        controller.on_wake_decision(_accept(), now)
+                    elif op == "wake-reject":
+                        controller.on_wake_decision(_reject(), now)
+                    elif op == "followup":
+                        controller.on_followup_audio(now)
+                    else:
+                        controller.press_mute_button(now)
+
+            return run
+
+        _run_threads([worker(plan, k) for k, plan in enumerate(plans)])
+        assert len(controller.audit_log) == sum(len(p) for p in plans)
+        # Every logged event is internally consistent: its mode is a
+        # real mode and its kind is from the audit alphabet.
+        for event in controller.audit_log:
+            assert event.mode in Mode
+            assert event.kind.value in {
+                "uploaded",
+                "soft-muted",
+                "hard-muted",
+                "session-command",
+                "mode-change",
+            }

@@ -1,0 +1,172 @@
+"""ServingGateway: the wire protocol end to end over real sockets."""
+
+import asyncio
+import json
+
+from repro.serving import ServingConfig, ServingGateway
+from repro.serving.replay import (
+    _recv,
+    _send,
+    close_session,
+    encode_chunk,
+    open_session,
+    stream_capture,
+    stream_utterance,
+)
+
+CONFIG = ServingConfig(check_liveness=False)
+
+
+async def _with_gateway(pipeline, body, config=CONFIG):
+    gateway = ServingGateway(pipeline, config)
+    await gateway.start()
+    try:
+        host, port = gateway.address
+        return await body(gateway, host, port)
+    finally:
+        await gateway.stop()
+
+
+class TestRoundTrip:
+    def test_rejection_streams_early_then_decides(self, trained_pipeline, backward_capture):
+        async def body(gateway, host, port):
+            return await stream_capture(host, port, backward_capture)
+
+        out = asyncio.run(_with_gateway(trained_pipeline, body))
+        assert out["hello"]["event"] == "hello"
+        assert out["hello"]["n_mics"] == trained_pipeline.array.n_mics
+        assert out["wake"]["gated"] is True
+        assert out["early"] is not None
+        # The early event was pushed before the decision event.
+        kinds = [e.get("event") for e in out["events"]]
+        assert kinds.index("early") < kinds.index("decision")
+        decision = out["decision"]
+        assert decision["kind"] == "soft-muted"
+        assert decision["early"] is True
+        batch = trained_pipeline.evaluate(backward_capture, check_liveness=False)
+        assert decision["fingerprint"] == list(batch.fingerprint())
+
+    def test_acceptance_has_no_early_event(self, trained_pipeline, forward_capture):
+        async def body(gateway, host, port):
+            return await stream_capture(host, port, forward_capture)
+
+        out = asyncio.run(_with_gateway(trained_pipeline, body))
+        assert out["early"] is None
+        assert out["decision"]["accepted"] is True
+        assert out["decision"]["kind"] == "uploaded"
+        batch = trained_pipeline.evaluate(forward_capture, check_liveness=False)
+        assert out["decision"]["fingerprint"] == list(batch.fingerprint())
+
+    def test_sessions_are_cleaned_up(self, trained_pipeline, forward_capture):
+        async def body(gateway, host, port):
+            await stream_capture(host, port, forward_capture)
+            # The handler's finally block races the client-side close.
+            for _ in range(50):
+                if not gateway.sessions:
+                    break
+                await asyncio.sleep(0.01)
+            return dict(gateway.sessions)
+
+        assert asyncio.run(_with_gateway(trained_pipeline, body)) == {}
+
+
+class TestAdmission:
+    def test_busy_rejection_at_max_sessions(self, trained_pipeline):
+        config = ServingConfig(check_liveness=False, max_sessions=1)
+
+        async def body(gateway, host, port):
+            reader, writer, hello = await open_session(host, port)
+            assert hello["event"] == "hello"
+            _, writer2, refused = await open_session(host, port)
+            writer2.close()
+            await close_session(writer)
+            # Once the slot frees up, new connections are admitted again.
+            for _ in range(50):
+                if not gateway.sessions:
+                    break
+                await asyncio.sleep(0.01)
+            reader3, writer3, hello3 = await open_session(host, port)
+            await close_session(writer3)
+            return refused, hello3
+
+        refused, hello3 = asyncio.run(_with_gateway(trained_pipeline, body, config))
+        assert refused["error"] == "busy"
+        assert refused["max_sessions"] == 1
+        assert hello3["event"] == "hello"
+
+
+class TestProtocolErrors:
+    def test_errors_keep_the_connection_usable(self, trained_pipeline, forward_capture):
+        async def body(gateway, host, port):
+            reader, writer, hello = await open_session(host, port)
+            replies = []
+
+            async def roundtrip(raw_line):
+                writer.write(raw_line)
+                await writer.drain()
+                replies.append(await _recv(reader))
+
+            await roundtrip(b"this is not json\n")
+            await roundtrip(b'["an", "array"]\n')
+            await roundtrip(json.dumps({"op": "warp"}).encode() + b"\n")
+            # Lifecycle misuse: audio and end outside an open wake.
+            chunk = encode_chunk(forward_capture.channels[:, :2048])
+            await roundtrip(json.dumps({"op": "audio", "pcm": chunk}).encode() + b"\n")
+            await roundtrip(json.dumps({"op": "end"}).encode() + b"\n")
+            # Malformed payloads inside a wake.
+            await _send(writer, {"op": "wake"})
+            await _recv(reader)
+            await roundtrip(json.dumps({"op": "audio", "pcm": "@@@"}).encode() + b"\n")
+            await roundtrip(json.dumps({"op": "audio", "pcm": "AAAA"}).encode() + b"\n")
+            await roundtrip(json.dumps({"op": "audio"}).encode() + b"\n")
+            await roundtrip(json.dumps({"op": "end", "truth": "yes"}).encode() + b"\n")
+            await _send(writer, {"op": "end"})
+            await _recv(reader)  # empty utterance still yields a decision
+            # The same connection then carries a clean utterance.
+            out = await stream_utterance(reader, writer, forward_capture)
+            await close_session(writer)
+            return replies, out
+
+        replies, out = asyncio.run(_with_gateway(trained_pipeline, body))
+        assert all("error" in reply for reply in replies)
+        assert replies[0]["error"] == "malformed-json"
+        assert replies[1]["error"] == "malformed-json"
+        assert replies[2]["error"] == "unknown-op:warp"
+        assert out["decision"]["accepted"] is True
+
+    def test_close_op_closes_the_connection(self, trained_pipeline):
+        async def body(gateway, host, port):
+            reader, writer, hello = await open_session(host, port)
+            await _send(writer, {"op": "close"})
+            line = await reader.readline()
+            writer.close()
+            return line
+
+        assert asyncio.run(_with_gateway(trained_pipeline, body)) == b""
+
+
+class TestModesOverTheWire:
+    def test_mute_and_command_ops(self, trained_pipeline):
+        async def body(gateway, host, port):
+            reader, writer, hello = await open_session(host, port)
+            await _send(writer, {"op": "mute"})
+            muted = await _recv(reader)
+            await _send(writer, {"op": "mute"})
+            unmuted = await _recv(reader)
+            await _send(writer, {"op": "command", "text": "exit headtalk mode"})
+            normal = await _recv(reader)
+            await _send(writer, {"op": "command", "text": "sudo rm -rf"})
+            refused = await _recv(reader)
+            await _send(writer, {"op": "followup"})
+            followup = await _recv(reader)
+            await close_session(writer)
+            return muted, unmuted, normal, refused, followup
+
+        muted, unmuted, normal, refused, followup = asyncio.run(
+            _with_gateway(trained_pipeline, body)
+        )
+        assert muted["mode"] == "mute"
+        assert unmuted["mode"] == "normal"
+        assert normal["mode"] == "normal"
+        assert "error" in refused
+        assert followup["kind"] == "uploaded"  # NORMAL mode uploads follow-ups

@@ -1,0 +1,64 @@
+"""RingBuffer: bounded per-session store with bit-exact snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.serving import RingBuffer
+
+RNG = np.random.default_rng(11)
+
+
+class TestRingBuffer:
+    def test_snapshot_is_bit_identical_to_the_stream(self):
+        ring = RingBuffer(3, 10_000)
+        chunks = [RNG.standard_normal((3, n)) for n in (700, 1, 2048, 333)]
+        for chunk in chunks:
+            assert ring.append(chunk) == 0
+        assert np.array_equal(ring.snapshot(), np.concatenate(chunks, axis=1))
+        assert ring.length == sum(c.shape[1] for c in chunks)
+        assert not ring.overflowed
+
+    def test_overflow_drops_newest_and_counts(self):
+        ring = RingBuffer(2, 1000)
+        head = RNG.standard_normal((2, 800))
+        tail = RNG.standard_normal((2, 500))
+        assert ring.append(head) == 0
+        assert ring.append(tail) == 300
+        assert ring.dropped == 300
+        assert ring.overflowed
+        assert ring.length == 1000
+        # The stored head is intact; only the newest samples were lost.
+        assert np.array_equal(ring.snapshot()[:, :800], head)
+        assert np.array_equal(ring.snapshot()[:, 800:], tail[:, :200])
+
+    def test_storage_grows_lazily(self):
+        ring = RingBuffer(4, 1_000_000)
+        assert ring._store.shape[1] < 1_000_000
+        ring.append(np.zeros((4, 50_000)))
+        assert ring.length == 50_000
+        assert ring._store.shape[1] < 1_000_000
+
+    def test_prefix_is_a_view_of_the_head(self):
+        ring = RingBuffer(2, 5000)
+        chunk = RNG.standard_normal((2, 3000))
+        ring.append(chunk)
+        assert np.array_equal(ring.prefix(1000), chunk[:, :1000])
+        assert ring.prefix(9999).shape == (2, 3000)
+
+    def test_clear_reuses_allocation(self):
+        ring = RingBuffer(2, 5000)
+        ring.append(RNG.standard_normal((2, 4000)))
+        store = ring._store
+        ring.clear()
+        assert ring.length == 0
+        assert ring.dropped == 0
+        assert ring._store is store
+
+    def test_shape_validation(self):
+        ring = RingBuffer(2, 100)
+        with pytest.raises(ValueError):
+            ring.append(np.zeros((3, 10)))
+        with pytest.raises(ValueError):
+            RingBuffer(0, 100)
+        with pytest.raises(ValueError):
+            RingBuffer(2, 0)

@@ -1,0 +1,172 @@
+"""Streaming-vs-batch equivalence: the PR's core contract.
+
+Every tier-1 fixture capture, streamed chunk by chunk through
+``StreamingDecider``, must produce a final decision byte-identical to
+``pipeline.evaluate`` on the same capture — early exit may shorten
+latency (frames_to_decision), never flip verdicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Capture
+from repro.core import REJECT_DEGRADED_INPUT, REJECT_MECHANICAL, StreamingDecider
+
+FS = 48_000
+CHUNK = 2048
+
+
+def _stream(decider, channels, chunk=CHUNK):
+    """Push channels through in fixed-size chunks; collect early events."""
+    events = []
+    for start in range(0, channels.shape[1], chunk):
+        event = decider.push(channels[:, start : start + chunk])
+        if event is not None:
+            events.append(event)
+    return events, decider.finish()
+
+
+@pytest.fixture(scope="module")
+def pipeline(trained_pipeline):
+    return trained_pipeline
+
+
+CAPTURES = ["forward_capture", "backward_capture", "replay_capture", "side_capture"]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", CAPTURES)
+    def test_streaming_fingerprint_equals_batch(self, request, pipeline, name):
+        capture = request.getfixturevalue(name)
+        batch = pipeline.evaluate(capture)
+        decider = StreamingDecider(pipeline)
+        _, result = _stream(decider, capture.channels)
+        assert result.decision.fingerprint() == batch.fingerprint()
+
+    @pytest.mark.parametrize("name", CAPTURES)
+    def test_early_verdict_never_flips_the_decision(self, request, pipeline, name):
+        capture = request.getfixturevalue(name)
+        decider = StreamingDecider(pipeline)
+        events, result = _stream(decider, capture.channels)
+        assert result.consistent
+        for event in events:
+            assert not event.accepted
+            assert event.accepted == result.decision.accepted or not result.decision.accepted
+
+    @pytest.mark.parametrize("chunk", [2048, 1000, 4096, 333])
+    def test_chunk_size_never_changes_the_outcome(self, pipeline, backward_capture, chunk):
+        reference = pipeline.evaluate(backward_capture)
+        decider = StreamingDecider(pipeline)
+        events, result = _stream(decider, backward_capture.channels, chunk=chunk)
+        assert result.decision.fingerprint() == reference.fingerprint()
+        assert result.early_exited
+
+
+class TestEarlyExit:
+    def test_forward_accept_never_exits_early(self, pipeline, forward_capture):
+        decider = StreamingDecider(pipeline)
+        events, result = _stream(decider, forward_capture.channels)
+        assert result.decision.accepted
+        assert not result.early_exited
+        assert events == []
+        assert result.frames_to_decision == result.frames_seen
+
+    @pytest.mark.parametrize("name", ["backward_capture", "side_capture"])
+    def test_non_facing_rejected_before_end_of_utterance(self, request, pipeline, name):
+        capture = request.getfixturevalue(name)
+        decider = StreamingDecider(pipeline)
+        events, result = _stream(decider, capture.channels)
+        assert not result.decision.accepted
+        assert result.early_exited
+        assert len(events) == 1
+        assert result.frames_to_decision < result.frames_seen
+        assert result.frames_to_decision == events[0].frame
+
+    def test_replay_rejected_early_as_mechanical(self, pipeline, replay_capture):
+        decider = StreamingDecider(pipeline)
+        events, result = _stream(decider, replay_capture.channels)
+        assert result.early_exited
+        assert events[0].reason == REJECT_MECHANICAL
+        assert result.frames_to_decision < result.frames_seen
+
+    def test_early_frame_is_chunk_invariant(self, pipeline, backward_capture):
+        frames = set()
+        for chunk in (2048, 1000, 4096, 333):
+            decider = StreamingDecider(pipeline)
+            _, result = _stream(decider, backward_capture.channels, chunk=chunk)
+            assert result.early_exited
+            frames.add(result.frames_to_decision)
+        assert len(frames) == 1
+
+    def test_median_frames_to_decision_shortens_rejections(
+        self, pipeline, backward_capture, replay_capture, side_capture
+    ):
+        to_decision, seen = [], []
+        for capture in (backward_capture, replay_capture, side_capture):
+            decider = StreamingDecider(pipeline)
+            _, result = _stream(decider, capture.channels)
+            to_decision.append(result.frames_to_decision)
+            seen.append(result.frames_seen)
+        assert float(np.median(to_decision)) < float(np.median(seen))
+
+
+class TestLifecycle:
+    def test_finish_is_idempotent(self, pipeline, forward_capture):
+        decider = StreamingDecider(pipeline)
+        _stream(decider, forward_capture.channels)
+        assert decider.finish() is decider.finish()
+
+    def test_push_after_finish_raises(self, pipeline, forward_capture):
+        decider = StreamingDecider(pipeline)
+        _, _ = _stream(decider, forward_capture.channels)
+        with pytest.raises(RuntimeError):
+            decider.push(forward_capture.channels[:, :CHUNK])
+
+    def test_wrong_shape_rejected(self, pipeline):
+        decider = StreamingDecider(pipeline)
+        with pytest.raises(ValueError):
+            decider.push(np.zeros((2, CHUNK)))
+
+    def test_empty_stream_still_decides(self, pipeline):
+        decider = StreamingDecider(pipeline)
+        result = decider.finish()
+        assert not result.decision.accepted
+        assert result.frames_seen == 0
+
+
+class TestMidStreamChannelDeath:
+    def test_majority_channel_death_fails_closed(self, pipeline, forward_capture):
+        channels = forward_capture.channels
+        decider = StreamingDecider(pipeline)
+        half = channels.shape[1] // 2
+        events = []
+        for start in range(0, half, CHUNK):
+            event = decider.push(channels[:, start : start + CHUNK])
+            assert event is None or not event.accepted
+        # Three of four channels die mid-utterance.
+        for start in range(half, channels.shape[1], CHUNK):
+            chunk = channels[:, start : start + CHUNK].copy()
+            chunk[1:, :] = 0.0
+            event = decider.push(chunk)
+            if event is not None:
+                events.append(event)
+        assert events, "channel death never fired an early verdict"
+        assert events[0].reason == REJECT_DEGRADED_INPUT
+        result = decider.finish()
+        assert not result.decision.accepted
+        assert result.decision.reason == REJECT_DEGRADED_INPUT
+        assert result.decision.degraded
+        assert result.consistent
+
+    def test_single_dead_channel_degrades_without_failing_closed(self, pipeline, forward_capture):
+        channels = forward_capture.channels.copy()
+        channels[2, :] = 0.0
+        decider = StreamingDecider(pipeline)
+        events, result = _stream(decider, channels)
+        assert events == []  # early checks are suspended while degraded
+        assert decider.degraded
+        assert not decider.fail_closed
+        # The final verdict is still the batch verdict on the same
+        # capture: the full pipeline masks the dead channel itself.
+        batch = pipeline.evaluate(Capture(channels=channels, sample_rate=FS))
+        assert result.decision.fingerprint() == batch.fingerprint()
