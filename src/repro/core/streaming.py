@@ -47,6 +47,7 @@ import numpy as np
 from ..acoustics.propagation import Capture
 from ..dsp.streaming import GccAccumulator
 from ..obs import counter_inc, histogram_observe, obs_enabled
+from ..obs.correlate import correlated, correlation_id
 from ..obs.spans import span
 from ..runtime.plan import plan_for
 from .pipeline import (
@@ -193,9 +194,13 @@ class StreamingDecider:
     buffer:
         Optional sample store (see :class:`_GrowBuffer` for the
         protocol); the serving layer passes its bounded ring.
-    call, session_id:
-        Audit-record naming: ``call`` labels the evaluate entry point
-        and ``session_id`` rides along in the record's extra fields.
+    call, session_id, utterance_id:
+        Audit-record naming: ``call`` labels the evaluate entry point,
+        ``session_id`` and ``utterance_id`` ride along in the record's
+        extra fields.  A non-empty ``utterance_id`` doubles as the
+        correlation id bound around the final evaluation
+        (:mod:`repro.obs.correlate`), so the decision audit record and
+        its spans grep together with the gateway's serving record.
     """
 
     def __init__(
@@ -213,6 +218,7 @@ class StreamingDecider:
         buffer=None,
         call: str = "streaming",
         session_id: str = "",
+        utterance_id: str = "",
         truth: bool | None = None,
         slices: dict | None = None,
     ):
@@ -232,6 +238,7 @@ class StreamingDecider:
         self.liveness_margin = float(liveness_margin)
         self.call = call
         self.session_id = session_id
+        self.utterance_id = utterance_id
         self.truth = truth
         self.slices = slices
 
@@ -333,24 +340,32 @@ class StreamingDecider:
             extra["early_reason"] = self.early.reason
         if self.session_id:
             extra["session_id"] = self.session_id
+        if self.utterance_id:
+            extra["utterance_id"] = self.utterance_id
         if getattr(self.buffer, "dropped", 0):
             extra["dropped_samples"] = int(self.buffer.dropped)
-        if self.fail_closed:
-            with span("pipeline.evaluate", streaming=True):
-                decision = self.pipeline._degraded_decision(self._fail_closed_detail)
-            if obs_enabled():
-                self.pipeline._observe_decision(
-                    self.call, capture, decision, truth=self.truth, slices=self.slices, extra=extra
+        with correlated(self.utterance_id or correlation_id()):
+            if self.fail_closed:
+                with span("pipeline.evaluate", streaming=True):
+                    decision = self.pipeline._degraded_decision(self._fail_closed_detail)
+                if obs_enabled():
+                    self.pipeline._observe_decision(
+                        self.call,
+                        capture,
+                        decision,
+                        truth=self.truth,
+                        slices=self.slices,
+                        extra=extra,
+                    )
+            else:
+                decision = self.pipeline.evaluate(
+                    capture,
+                    self.check_liveness,
+                    truth=self.truth,
+                    slices=self.slices,
+                    call=self.call,
+                    extra=extra,
                 )
-        else:
-            decision = self.pipeline.evaluate(
-                capture,
-                self.check_liveness,
-                truth=self.truth,
-                slices=self.slices,
-                call=self.call,
-                extra=extra,
-            )
         result = StreamingResult(
             decision=decision,
             early=self.early,

@@ -22,10 +22,12 @@ a chaos run into a clean one.
 from __future__ import annotations
 
 import os
-import warnings
 from contextlib import contextmanager
 
+from ..obs.control import env_float as _env_float
+from ..obs.control import env_int as _env_int
 from ..obs.control import env_truthy
+from ..obs.control import warn_once as _warn_once
 from .scenario import FaultScenario, preset_scenario
 
 __all__ = [
@@ -39,15 +41,6 @@ __all__ = [
 
 _ENABLED = env_truthy("REPRO_FAULTS")
 _SCENARIO_OVERRIDE: FaultScenario | None = None
-_WARNED: set[str] = set()
-
-
-def _warn_once(name: str, message: str) -> None:
-    """One ``RuntimeWarning`` per env var per process (monitor pattern)."""
-    if name in _WARNED:
-        return
-    _WARNED.add(name)
-    warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def faults_enabled() -> bool:
@@ -73,28 +66,6 @@ def set_fault_scenario(scenario: FaultScenario | None) -> None:
     """Install (or clear) the process-global scenario override."""
     global _SCENARIO_OVERRIDE
     _SCENARIO_OVERRIDE = scenario
-
-
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        _warn_once(name, f"{name}={raw!r} is not a number; using {default}")
-        return default
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        _warn_once(name, f"{name}={raw!r} is not an integer; using {default}")
-        return default
 
 
 def scenario_from_env() -> FaultScenario | None:

@@ -7,8 +7,16 @@ is a function call and a dict/global lookup.  Enable per process with
 
 - :mod:`repro.obs.spans` — nestable ``span("stage")`` context managers
   with monotonic timings, exportable as a flat JSON trace;
-- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
-  histograms (p50/p95/p99) keyed by name + labels;
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket
+  histograms (p50/p95/p99) and sliding-window rate counters keyed by
+  name + labels;
+- :mod:`repro.obs.correlate` — context-local correlation ids binding an
+  utterance's audit records, spans and worker telemetry together;
+- :mod:`repro.obs.live` — the opt-in (``REPRO_LIVE=1``) HTTP telemetry
+  sidecar (``/metrics``, ``/healthz``, ``/readyz``, ``/sessions``,
+  ``/alarms``) and the ``python -m repro.obs.live watch`` dashboard
+  (imported explicitly, not re-exported, keeping its ``-m`` entry
+  point clean);
 - :mod:`repro.obs.audit` — a JSONL audit log of every pipeline
   decision (capture key, verdicts, per-stage ms, cache counters);
 - :mod:`repro.obs.workers` — cross-process worker telemetry: an obs
@@ -44,16 +52,19 @@ from .audit import (
     read_jsonl,
 )
 from .control import obs_enabled, observed, set_obs_enabled
+from .correlate import correlated, correlation_id, set_correlation
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     REGISTRY,
+    WindowedCounter,
     counter_inc,
     gauge_set,
     histogram_observe,
     snapshot_to_prometheus,
+    windowed_inc,
 )
 from .profile import (
     clear_profiles,
@@ -84,12 +95,15 @@ __all__ = [
     "REGISTRY",
     "RunManifest",
     "SpanRecord",
+    "WindowedCounter",
     "WorkerSidecar",
     "audit_log",
     "audit_record",
     "clear_profiles",
     "clear_spans",
     "configure_audit",
+    "correlated",
+    "correlation_id",
     "counter_inc",
     "diff_manifests",
     "export_trace",
@@ -106,10 +120,12 @@ __all__ = [
     "profiling_enabled",
     "read_jsonl",
     "reset_worker_totals",
+    "set_correlation",
     "set_obs_enabled",
     "set_profiling_enabled",
     "snapshot_to_prometheus",
     "span",
     "span_records",
+    "windowed_inc",
     "worker_totals",
 ]

@@ -18,6 +18,7 @@ import time
 from collections import deque
 
 from .control import obs_enabled
+from .correlate import correlation_id
 
 DEFAULT_CAPACITY = 4096
 
@@ -124,11 +125,18 @@ def audit_record(event: str, **fields) -> None:
     """Record one audit event; no-op while observability is off.
 
     ``fields`` must be JSON-serializable (instrumentation converts
-    numpy scalars to plain floats before calling).
+    numpy scalars to plain floats before calling).  When a correlation
+    id is bound (:mod:`repro.obs.correlate`) it is attached as the
+    record's ``corr`` field, so one grep of the log reconstructs an
+    utterance end to end; an explicit ``corr`` field wins.
     """
     if not obs_enabled():
         return
-    _LOG.log({"event": event, **fields})
+    record = {"event": event, **fields}
+    cid = correlation_id()
+    if cid is not None:
+        record.setdefault("corr", cid)
+    _LOG.log(record)
 
 
 def read_jsonl(path) -> list[dict]:

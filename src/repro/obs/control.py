@@ -1,15 +1,23 @@
-"""Master switch for the observability layer.
+"""Master switch for the observability layer, plus shared env parsing.
 
 Everything in :mod:`repro.obs` — spans, metrics, the audit log — is
 gated on one process-global flag so instrumented hot paths pay a single
 function call and a global read when observability is off (the default).
 Enable it per process with ``REPRO_OBS=1`` or programmatically with
 :func:`set_obs_enabled` / the :func:`observed` scope.
+
+This module also owns the one-time-warning env readers
+(:func:`warn_once`, :func:`env_int`, :func:`env_float`) shared by every
+``REPRO_*`` knob family (serving, monitor, faults, live): a malformed
+value falls back to its default with a single ``RuntimeWarning`` per
+process naming the bad value, and never changes behaviour silently.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import warnings
 from contextlib import contextmanager
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
@@ -36,6 +44,62 @@ def truthy(value, default: bool = False) -> bool:
 def env_truthy(name: str, default: bool = False) -> bool:
     """:func:`truthy` applied to ``os.environ[name]`` (missing → default)."""
     return truthy(os.environ.get(name), default)
+
+
+_WARNED: set[str] = set()
+
+
+def warn_once(name: str, message: str, *, stacklevel: int = 4) -> None:
+    """One ``RuntimeWarning`` per key per process.
+
+    ``name`` is the dedupe key — conventionally the env var (so a knob
+    read from several call sites still warns once).  Tests reset the
+    state by monkeypatching ``repro.obs.control._WARNED`` to a fresh
+    set.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+
+
+def env_int(name: str, default: int) -> int:
+    """``int(os.environ[name])`` with warn-once fallback to ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warn_once(name, f"{name}={raw!r} is not an integer; using {default}")
+        return default
+
+
+def env_float(name: str, default: float, *, positive: bool = False) -> float:
+    """``float(os.environ[name])`` with warn-once fallback to ``default``.
+
+    With ``positive=True`` the value must also be finite and > 0 (the
+    monitor-knob convention — thresholds and window sizes).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        value = None
+    if positive:
+        if value is None or not math.isfinite(value) or value <= 0:
+            warn_once(
+                name,
+                f"ignoring {name}={raw!r} (expected a positive number); using {default}",
+            )
+            return default
+        return value
+    if value is None:
+        warn_once(name, f"{name}={raw!r} is not a number; using {default}")
+        return default
+    return value
 
 
 _ENABLED = env_truthy("REPRO_OBS")

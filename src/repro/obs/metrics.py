@@ -8,9 +8,15 @@ estimate is exact to within one bucket width, which is what the fixed
 latency buckets are sized for.
 
 The module-level helpers (:func:`counter_inc`, :func:`gauge_set`,
-:func:`histogram_observe`) are the instrumentation entry points: they
-check the global observability switch first, so disabled hot paths pay
-one function call and a global read.
+:func:`histogram_observe`, :func:`windowed_inc`) are the
+instrumentation entry points: they check the global observability
+switch first, so disabled hot paths pay one function call and a global
+read.
+
+:class:`WindowedCounter` adds sliding-window rates (events/second over
+10 s, 60 s and 5 m by default) on top of the monotonic total — the
+input for RPS/error-rate panels and the SLO burn-rate alarms in
+:mod:`repro.obs.monitor`.
 """
 
 from __future__ import annotations
@@ -21,9 +27,11 @@ import math
 import re
 import sys
 import threading
+import time
 from bisect import bisect_left
+from collections import deque
 
-from .control import obs_enabled
+from .control import obs_enabled, warn_once
 
 DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
     0.1,
@@ -182,6 +190,109 @@ class Histogram:
         return self.summary()
 
 
+DEFAULT_RATE_WINDOWS_S: tuple[float, ...] = (10.0, 60.0, 300.0)
+"""Sliding windows (seconds) a :class:`WindowedCounter` reports rates over."""
+
+
+def _window_label(window_s: float) -> str:
+    """``10s``/``300s`` label text for a window length in seconds."""
+    return f"{int(window_s)}s" if float(window_s).is_integer() else f"{window_s}s"
+
+
+class WindowedCounter:
+    """Monotonic counter that also reports sliding-window counts/rates.
+
+    Events are folded into one-second buckets (a bounded deque pruned
+    past the longest window), so memory is O(longest window) regardless
+    of event rate and :meth:`rate` is a cheap sum over at most that many
+    buckets.  The clock is injectable for tests; production uses
+    ``time.monotonic``.
+    """
+
+    __slots__ = ("windows", "value", "_buckets", "_clock", "_horizon", "_lock")
+
+    def __init__(self, windows=DEFAULT_RATE_WINDOWS_S, clock=time.monotonic) -> None:
+        windows = tuple(sorted(float(w) for w in windows))
+        if not windows or windows[0] <= 0:
+            raise ValueError("windows must be positive and non-empty")
+        self.windows = windows
+        self.value = 0.0
+        self._buckets: deque = deque()  # [second, amount] pairs, oldest first
+        self._clock = clock
+        self._horizon = windows[-1]
+        self._lock = threading.Lock()
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets outside the longest window (caller holds the lock)."""
+        floor = now - self._horizon
+        buckets = self._buckets
+        while buckets and buckets[0][0] <= floor:
+            buckets.popleft()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) at the current time."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        now = self._clock()
+        second = math.floor(now)
+        with self._lock:
+            self.value += amount
+            buckets = self._buckets
+            if buckets and buckets[-1][0] == second:
+                buckets[-1][1] += amount
+            else:
+                buckets.append([second, amount])
+            self._prune(now)
+
+    def count(self, window_s: float) -> float:
+        """Events recorded within the trailing ``window_s`` seconds."""
+        now = self._clock()
+        floor = now - float(window_s)
+        with self._lock:
+            self._prune(now)
+            return sum(amount for second, amount in self._buckets if second > floor)
+
+    def rate(self, window_s: float) -> float:
+        """Events/second over the trailing ``window_s`` seconds."""
+        return self.count(window_s) / float(window_s)
+
+    def snapshot(self) -> dict:
+        """JSON-able state: the monotonic total plus per-window rates."""
+        return {
+            "type": "windowed",
+            "value": self.value,
+            "rates": {_window_label(w): self.rate(w) for w in self.windows},
+        }
+
+
+_LABEL_UNSAFE = ("=", ",", "{", "}", "\n")
+"""Characters a label value cannot carry through the ``name{k=v,...}`` id."""
+
+
+def _sanitize_label_value(name: str, key: str, value: str) -> str:
+    """``value`` with id-breaking characters replaced by ``_``.
+
+    The snapshot identity format (and therefore the Prometheus
+    exposition derived from it) parses ids with ``str.partition`` /
+    ``split`` — a value containing ``=``, ``,``, ``{``, ``}`` or a
+    newline would corrupt every downstream consumer.  Sanitizing at
+    registration keeps the id round-trippable; the first substitution
+    per metric/label pair raises a one-time :class:`RuntimeWarning` so
+    the caller knows its labels are being rewritten.
+    """
+    if not any(ch in value for ch in _LABEL_UNSAFE):
+        return value
+    sanitized = value
+    for ch in _LABEL_UNSAFE:
+        sanitized = sanitized.replace(ch, "_")
+    warn_once(
+        f"metric-label:{name}:{key}",
+        f"metric {name!r} label {key}={value!r} contains characters unsafe "
+        f"for the metric id format; recorded as {key}={sanitized!r}",
+    )
+    return sanitized
+
+
 def metric_id(name: str, labels: tuple[tuple[str, str], ...]) -> str:
     """Canonical ``name{k=v,...}`` identity used in snapshots."""
     if not labels:
@@ -199,7 +310,14 @@ class MetricsRegistry:
 
     @staticmethod
     def _key(name: str, labels: dict) -> tuple:
-        return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return (
+            name,
+            tuple(
+                sorted(
+                    (k, _sanitize_label_value(name, k, str(v))) for k, v in labels.items()
+                )
+            ),
+        )
 
     def _get(self, factory, name: str, labels: dict, *args):
         key = self._key(name, labels)
@@ -225,6 +343,10 @@ class MetricsRegistry:
     def histogram(self, name: str, buckets=None, **labels) -> Histogram:
         """The histogram for ``name`` + ``labels`` (created on first use)."""
         return self._get(Histogram, name, labels, buckets or DEFAULT_LATENCY_BUCKETS_MS)
+
+    def windowed(self, name: str, windows=None, **labels) -> WindowedCounter:
+        """The windowed counter for ``name`` + ``labels`` (created on first use)."""
+        return self._get(WindowedCounter, name, labels, windows or DEFAULT_RATE_WINDOWS_S)
 
     def snapshot(self) -> dict:
         """JSON-able state of every registered metric."""
@@ -281,6 +403,13 @@ def histogram_observe(name: str, value: float, buckets=None, **labels) -> None:
     REGISTRY.histogram(name, buckets=buckets, **labels).observe(value)
 
 
+def windowed_inc(name: str, amount: float = 1.0, **labels) -> None:
+    """Increment a registry windowed counter; no-op while observability is off."""
+    if not obs_enabled():
+        return
+    REGISTRY.windowed(name, **labels).inc(amount)
+
+
 def _prometheus_name(name: str) -> str:
     return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
 
@@ -318,12 +447,14 @@ def snapshot_to_prometheus(snapshot: dict) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
 
     Counters expose as ``<name>_total``, gauges verbatim, histograms as
-    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` —
-    the standard text exposition format, ready to scrape or paste into
-    dashboards.  Metric and label names are sanitized to the Prometheus
-    charset (dots become underscores); label *values* containing ``,``
-    or ``}`` are not supported (the snapshot id format cannot carry
-    them either).
+    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``, and
+    windowed counters as a ``_total`` counter plus per-window
+    ``_rate{window="10s"}`` gauges — the standard text exposition
+    format, ready to scrape or paste into dashboards.  Metric and label
+    names are sanitized to the Prometheus charset (dots become
+    underscores); label *values* are sanitized at registration
+    (:func:`_sanitize_label_value`), so the id format this parses never
+    carries ``=``, ``,``, ``{``, ``}`` or newlines.
     """
     families: dict[str, list[str]] = {}
     types: dict[str, str] = {}
@@ -343,6 +474,21 @@ def snapshot_to_prometheus(snapshot: dict) -> str:
             families.setdefault(family, []).append(
                 f"{family}{_prometheus_labels(labels)} {_format_value(state['value'])}"
             )
+        elif kind == "windowed":
+            family = _prometheus_name(raw_name) + "_total"
+            types.setdefault(family, "counter")
+            families.setdefault(family, []).append(
+                f"{family}{_prometheus_labels(labels)} {_format_value(state['value'])}"
+            )
+            rate_family = _prometheus_name(raw_name) + "_rate"
+            types.setdefault(rate_family, "gauge")
+            rate_lines = families.setdefault(rate_family, [])
+            for window, rate in sorted(state.get("rates", {}).items()):
+                rate_labels = dict(labels)
+                rate_labels["window"] = window
+                rate_lines.append(
+                    f"{rate_family}{_prometheus_labels(rate_labels)} {_format_value(rate)}"
+                )
         elif kind == "histogram":
             family = _prometheus_name(raw_name)
             types.setdefault(family, "histogram")

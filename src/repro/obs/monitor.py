@@ -23,6 +23,13 @@ that lands in the audit log) and maintains three views:
   ``(facing_probability, truth)`` pairs scored with
   :func:`repro.ml.calibration.expected_calibration_error`.
 
+A separate process-global :class:`SloMonitor` watches the serving
+plane's *operational* SLOs (p95 decision latency, fail-closed rate)
+with multi-window burn-rate alarms over sliding
+:class:`~repro.obs.metrics.WindowedCounter` windows; the live telemetry
+sidecar (:mod:`repro.obs.live`) surfaces its active alarms on
+``/alarms`` and folds them into ``/readyz``.
+
 Everything is gated behind ``obs_enabled()`` (plus an optional
 ``REPRO_MONITOR=0`` opt-out): with observability off the hot path pays
 one function call and a global read, nothing more.
@@ -61,15 +68,15 @@ import math
 import os
 import threading
 import time
-import warnings
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .audit import audit_record
-from .control import env_truthy, obs_enabled
-from .metrics import counter_inc, gauge_set
+from .control import env_float, env_int, env_truthy, obs_enabled
+from .control import warn_once as _warn_once
+from .metrics import WindowedCounter, counter_inc, gauge_set
 
 SCHEMA = "repro.obs.monitor/1"
 
@@ -91,32 +98,9 @@ _STAGE_OF_REASON = {
     _REASON_DEGRADED: "screening",
 }
 
-_WARNED: set[str] = set()
-
-
-def _warn_once(name: str, message: str) -> None:
-    """One ``RuntimeWarning`` per env var per process (render-worker pattern)."""
-    if name in _WARNED:
-        return
-    _WARNED.add(name)
-    warnings.warn(message, RuntimeWarning, stacklevel=3)
-
-
 def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        value = float(raw)
-    except ValueError:
-        value = None
-    if value is None or not math.isfinite(value) or value <= 0:
-        _warn_once(
-            name,
-            f"ignoring {name}={raw!r} (expected a positive number); using {default}",
-        )
-        return default
-    return value
+    """Positive-float env knob via the shared :mod:`.control` reader."""
+    return env_float(name, default, positive=True)
 
 
 def _env_edges(name: str, default: tuple) -> tuple:
@@ -718,6 +702,242 @@ def monitor_snapshot() -> dict:
 def reset_monitor(config: MonitorConfig | None = None) -> None:
     """Drop global monitor state (tests / between experiment runs)."""
     _MONITOR.reset(config=config)
+
+
+# --------------------------------------------------------------------------
+# SLO burn-rate alarms (multi-window)
+
+DEFAULT_SLO_LATENCY_MS = 1000.0
+"""Default p95 decision-latency SLO threshold (``REPRO_LIVE_SLO_P95_MS``)."""
+
+DEFAULT_SLO_BUDGET = 0.05
+"""Default error budget: at most this fraction of decisions may be bad."""
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One SLO: what makes a decision *bad* and when to alarm on it.
+
+    ``threshold_ms`` set makes the rule a latency SLO (bad = slower than
+    the threshold); left ``None`` the rule watches fail-closed decisions
+    (bad = ``degraded-input``).  With ``budget`` 0.05 a latency rule has
+    p95 semantics: sustained burn ≥ 1 means more than 5 % of decisions
+    exceed the threshold, i.e. the p95 is above it.
+
+    Alarms use the standard multi-window burn rate: burn =
+    bad_fraction / budget, and the alarm fires only while *both* the
+    fast and slow windows burn at ``burn_threshold`` or more with at
+    least ``min_events`` decisions in the fast window — fast-only
+    spikes and slow-only stale burns don't page.
+    """
+
+    name: str
+    budget: float = DEFAULT_SLO_BUDGET
+    threshold_ms: float | None = None
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    burn_threshold: float = 1.0
+    min_events: int = 20
+
+
+@dataclass(frozen=True)
+class BurnAlarm:
+    """One rising-edge SLO alarm (the moment a rule started firing)."""
+
+    slo: str
+    burn_fast: float
+    burn_slow: float
+    burn_threshold: float
+    budget: float
+    events_fast: float
+    raised_ts: float = field(default_factory=time.time)
+
+    def as_dict(self) -> dict:
+        """JSON-able form (what the audit record and ``/alarms`` carry)."""
+        return {
+            "slo": self.slo,
+            "burn_fast": self.burn_fast,
+            "burn_slow": self.burn_slow,
+            "burn_threshold": self.burn_threshold,
+            "budget": self.budget,
+            "events_fast": self.events_fast,
+            "raised_ts": self.raised_ts,
+        }
+
+
+class SloTracker:
+    """Burn-rate state for one :class:`SloRule` (caller serializes access)."""
+
+    def __init__(self, rule: SloRule, clock=time.monotonic) -> None:
+        windows = tuple(sorted({rule.fast_window_s, rule.slow_window_s}))
+        self.rule = rule
+        self.total = WindowedCounter(windows, clock=clock)
+        self.bad = WindowedCounter(windows, clock=clock)
+        self.active = False
+
+    def burn_rate(self, window_s: float) -> float:
+        """bad_fraction / budget over the trailing ``window_s`` seconds."""
+        total = self.total.count(window_s)
+        if total <= 0:
+            return 0.0
+        return (self.bad.count(window_s) / total) / self.rule.budget
+
+    def firing(self) -> bool:
+        """Whether the multi-window alarm condition currently holds."""
+        rule = self.rule
+        return (
+            self.total.count(rule.fast_window_s) >= rule.min_events
+            and self.burn_rate(rule.fast_window_s) >= rule.burn_threshold
+            and self.burn_rate(rule.slow_window_s) >= rule.burn_threshold
+        )
+
+    def observe(self, bad: bool) -> BurnAlarm | None:
+        """Fold one decision in; returns an alarm on the rising edge."""
+        self.total.inc()
+        if bad:
+            self.bad.inc()
+        firing = self.firing()
+        if firing and not self.active:
+            self.active = True
+            rule = self.rule
+            return BurnAlarm(
+                slo=rule.name,
+                burn_fast=self.burn_rate(rule.fast_window_s),
+                burn_slow=self.burn_rate(rule.slow_window_s),
+                burn_threshold=rule.burn_threshold,
+                budget=rule.budget,
+                events_fast=self.total.count(rule.fast_window_s),
+            )
+        if not firing:
+            self.active = False
+        return None
+
+    def snapshot(self) -> dict:
+        """JSON-able state: the rule, current burns, and firing flag."""
+        rule = self.rule
+        return {
+            "slo": rule.name,
+            "threshold_ms": rule.threshold_ms,
+            "budget": rule.budget,
+            "burn_threshold": rule.burn_threshold,
+            "min_events": rule.min_events,
+            "windows_s": [rule.fast_window_s, rule.slow_window_s],
+            "burn_fast": self.burn_rate(rule.fast_window_s),
+            "burn_slow": self.burn_rate(rule.slow_window_s),
+            "events_fast": self.total.count(rule.fast_window_s),
+            "firing": self.firing(),
+        }
+
+
+def default_slo_rules() -> tuple[SloRule, ...]:
+    """The serving SLOs, with every knob env-tunable (``REPRO_LIVE_SLO_*``).
+
+    Malformed overrides warn once and fall back per knob (shared
+    :mod:`.control` readers).
+    """
+    budget = env_float("REPRO_LIVE_SLO_BUDGET", DEFAULT_SLO_BUDGET, positive=True)
+    burn = env_float("REPRO_LIVE_SLO_BURN", 1.0, positive=True)
+    fast_s = env_float("REPRO_LIVE_SLO_FAST_S", 60.0, positive=True)
+    slow_s = env_float("REPRO_LIVE_SLO_SLOW_S", 300.0, positive=True)
+    min_events = env_int("REPRO_LIVE_SLO_MIN_EVENTS", 20)
+    common = dict(
+        budget=budget,
+        fast_window_s=fast_s,
+        slow_window_s=slow_s,
+        burn_threshold=burn,
+        min_events=min_events,
+    )
+    return (
+        SloRule(
+            "serving.latency_p95",
+            threshold_ms=env_float(
+                "REPRO_LIVE_SLO_P95_MS", DEFAULT_SLO_LATENCY_MS, positive=True
+            ),
+            **common,
+        ),
+        SloRule("serving.fail_closed", threshold_ms=None, **common),
+    )
+
+
+class SloMonitor:
+    """Multi-rule SLO watcher fed by serving decisions.
+
+    Each decision's wall time and reason are judged against every rule;
+    rising-edge alarms increment ``monitor.slo_alarms`` and land in the
+    audit log as ``slo-alarm`` records.  ``/alarms`` and ``/readyz``
+    read :meth:`active_alarms`, which re-evaluates the window state at
+    read time, so alarms clear on their own as the burn decays.
+    """
+
+    def __init__(self, rules=None, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.trackers = {
+            rule.name: SloTracker(rule, clock=clock)
+            for rule in (tuple(rules) if rules is not None else default_slo_rules())
+        }
+        self.alarms: list[BurnAlarm] = []
+
+    def observe_decision(self, wall_ms: float, reason: str | None = None) -> list[BurnAlarm]:
+        """Judge one decision against every rule; returns raised alarms."""
+        raised: list[BurnAlarm] = []
+        with self._lock:
+            for tracker in self.trackers.values():
+                threshold = tracker.rule.threshold_ms
+                bad = wall_ms > threshold if threshold is not None else reason == _REASON_DEGRADED
+                alarm = tracker.observe(bad)
+                if alarm is not None:
+                    raised.append(alarm)
+                    self.alarms.append(alarm)
+        # Registry/audit emission outside the lock, mirroring
+        # DecisionMonitor.consume.
+        for alarm in raised:
+            counter_inc("monitor.slo_alarms", slo=alarm.slo)
+            audit_record("slo-alarm", **alarm.as_dict())
+        return raised
+
+    def active_alarms(self) -> list[dict]:
+        """Currently-firing rules, freshly evaluated against the windows."""
+        with self._lock:
+            return [
+                tracker.snapshot()
+                for tracker in self.trackers.values()
+                if tracker.firing()
+            ]
+
+    def snapshot(self) -> dict:
+        """JSON-able state: every rule's burn view plus the alarm history."""
+        with self._lock:
+            return {
+                "rules": {name: t.snapshot() for name, t in sorted(self.trackers.items())},
+                "active": [t.rule.name for t in self.trackers.values() if t.firing()],
+                "alarms": [alarm.as_dict() for alarm in self.alarms],
+            }
+
+
+_SLO: SloMonitor | None = None
+
+
+def slo_monitor() -> SloMonitor:
+    """The process-global SLO monitor (created on first use)."""
+    global _SLO
+    if _SLO is None:
+        _SLO = SloMonitor()
+    return _SLO
+
+
+def slo_observe_decision(wall_ms: float, reason: str | None = None) -> None:
+    """Feed one serving decision to the global SLO monitor (if enabled)."""
+    if not monitor_enabled():
+        return
+    slo_monitor().observe_decision(wall_ms, reason=reason)
+
+
+def reset_slo_monitor(rules=None, clock=time.monotonic) -> SloMonitor:
+    """Replace the global SLO monitor (tests / between runs)."""
+    global _SLO
+    _SLO = SloMonitor(rules=rules, clock=clock)
+    return _SLO
 
 
 # --------------------------------------------------------------------------

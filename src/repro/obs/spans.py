@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from .control import obs_enabled
+from .correlate import correlation_id
 
 MAX_SPANS = 100_000
 """Completed-span buffer bound (oldest records are dropped beyond it)."""
@@ -126,10 +127,19 @@ class Span:
 
 
 def span(name: str, **labels):
-    """Context manager timing one named stage (no-op when disabled)."""
+    """Context manager timing one named stage (no-op when disabled).
+
+    A bound correlation id (:mod:`repro.obs.correlate`) becomes a
+    ``corr`` label, so an utterance's spans filter out of the trace by
+    the same id its audit records carry.
+    """
     if not obs_enabled():
         return NOOP_SPAN
-    return Span(name, {key: str(value) for key, value in labels.items()})
+    labels = {key: str(value) for key, value in labels.items()}
+    cid = correlation_id()
+    if cid is not None:
+        labels.setdefault("corr", cid)
+    return Span(name, labels)
 
 
 def span_records(name: str | None = None) -> list[SpanRecord]:

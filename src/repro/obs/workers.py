@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, replace
 
 from .control import obs_enabled, set_obs_enabled
+from .correlate import correlation_id, set_correlation
 from .metrics import REGISTRY
 from .spans import SpanRecord, clear_spans, ingest_spans, span_records
 
@@ -46,10 +47,17 @@ _LAST_SIDECARS: list = []
 
 @dataclass(frozen=True)
 class ObsContext:
-    """Picklable observability state handed to pool workers at spawn."""
+    """Picklable observability state handed to pool workers at spawn.
+
+    ``correlation`` is the correlation id bound in the parent when the
+    context was captured (pools spawned mid-utterance tag their workers'
+    telemetry with that utterance; pools spawned outside any binding
+    carry ``None``).
+    """
 
     enabled: bool = False
     run_id: str | None = None
+    correlation: str | None = None
 
 
 def set_run_id(run_id: str | None) -> None:
@@ -65,7 +73,7 @@ def current_run_id() -> str | None:
 
 def current_context() -> ObsContext:
     """This process's obs state, ready to ship to a worker initializer."""
-    return ObsContext(enabled=obs_enabled(), run_id=_RUN_ID)
+    return ObsContext(enabled=obs_enabled(), run_id=_RUN_ID, correlation=correlation_id())
 
 
 def init_worker(context: ObsContext) -> None:
@@ -79,6 +87,7 @@ def init_worker(context: ObsContext) -> None:
     _WORKER_CONTEXT = context
     set_obs_enabled(context.enabled)
     set_run_id(context.run_id)
+    set_correlation(context.correlation)
 
 
 def worker_context() -> ObsContext:
@@ -100,6 +109,7 @@ class WorkerSidecar:
     task_ms: float
     cache: dict
     spans: tuple[SpanRecord, ...] = ()
+    correlation: str | None = None
 
 
 class _TaskTelemetry:
@@ -143,6 +153,7 @@ class _TaskTelemetry:
             task_ms=task_ms,
             cache=deltas,
             spans=tuple(span_records()),
+            correlation=correlation_id() or worker_context().correlation,
         )
         clear_spans()
         set_obs_enabled(self._was_enabled)
@@ -152,6 +163,14 @@ class _TaskTelemetry:
 def task_telemetry() -> _TaskTelemetry:
     """Scope one task's worker-side telemetry (see :class:`_TaskTelemetry`)."""
     return _TaskTelemetry()
+
+
+def _rethread(record: SpanRecord, sidecar: WorkerSidecar) -> SpanRecord:
+    """A worker span re-threaded (and correlation-labelled) for the parent."""
+    labels = record.labels
+    if sidecar.correlation and "corr" not in dict(labels):
+        labels = labels + (("corr", sidecar.correlation),)
+    return replace(record, thread=f"worker-{sidecar.pid}", labels=labels)
 
 
 def merge_sidecar(sidecar: WorkerSidecar) -> None:
@@ -172,7 +191,7 @@ def merge_sidecar(sidecar: WorkerSidecar) -> None:
                     f"runtime.worker.cache.{event}", cache=cache, worker=pid
                 ).inc(amount)
     if sidecar.spans:
-        ingest_spans(replace(record, thread=f"worker-{sidecar.pid}") for record in sidecar.spans)
+        ingest_spans(_rethread(record, sidecar) for record in sidecar.spans)
     with _TOTALS_LOCK:
         totals = _WORKER_TOTALS.setdefault(pid, {"tasks": 0, "task_ms": 0.0, "cache": {}})
         totals["tasks"] += 1

@@ -217,6 +217,24 @@ def active_pool() -> ProcessPoolExecutor | None:
     return pool
 
 
+def pool_health() -> dict:
+    """Read-only view of the scope-registered pool for health endpoints.
+
+    Unlike :func:`active_pool` this never shuts down or unregisters a
+    broken pool — a health probe must observe state, not mutate it.
+    ``{"pool": "none"}`` when no persistent pool is registered (the
+    normal serving configuration: renders build per-call pools),
+    ``"ok"``/``"broken"`` otherwise with the registered worker count.
+    """
+    pool = _ACTIVE_POOL
+    if pool is None:
+        return {"pool": "none", "workers": 0}
+    return {
+        "pool": "broken" if _pool_is_broken(pool) else "ok",
+        "workers": _ACTIVE_POOL_WORKERS,
+    }
+
+
 def _register_active_pool(pool: ProcessPoolExecutor | None, workers: int) -> None:
     """Swap the scope-registered pool (used after an in-scope rebuild)."""
     global _ACTIVE_POOL, _ACTIVE_POOL_WORKERS

@@ -2,8 +2,8 @@
 
 Every knob has a safe default; malformed values fall back to the
 default with a one-time ``RuntimeWarning`` naming the bad value (the
-:mod:`repro.faults.control` pattern) — a typo in a deploy manifest must
-not silently change decision latency or early-exit behaviour.
+shared :mod:`repro.obs.control` helpers) — a typo in a deploy manifest
+must not silently change decision latency or early-exit behaviour.
 
 Knobs (all optional):
 
@@ -26,42 +26,12 @@ Knobs (all optional):
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
 
 from ..core.streaming import DEFAULT_FRAME_LENGTH, DEFAULT_HOP_LENGTH
-
-_WARNED: set[str] = set()
-
-
-def _warn_once(name: str, message: str) -> None:
-    """One ``RuntimeWarning`` per env var per process."""
-    if name in _WARNED:
-        return
-    _WARNED.add(name)
-    warnings.warn(message, RuntimeWarning, stacklevel=4)
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        _warn_once(name, f"{name}={raw!r} is not an integer; using {default}")
-        return default
-
-
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        _warn_once(name, f"{name}={raw!r} is not a number; using {default}")
-        return default
+from ..obs.control import env_float as _env_float
+from ..obs.control import env_int as _env_int
+from ..obs.control import warn_once as _warn_once
 
 
 @dataclass(frozen=True)

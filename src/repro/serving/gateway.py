@@ -40,7 +40,8 @@ import numpy as np
 
 from ..core.controller import Mode
 from ..core.pipeline import HeadTalkPipeline
-from ..obs import counter_inc, gauge_set
+from ..obs import counter_inc, gauge_set, windowed_inc
+from ..obs.control import env_truthy
 from .config import ServingConfig
 from .session import DeviceSession, SessionError
 
@@ -60,24 +61,39 @@ class ServingGateway:
         *,
         mode: Mode = Mode.HEADTALK,
         clock=None,
+        live_config=None,
     ):
         self.pipeline = pipeline
         self.config = config or ServingConfig.from_env()
         self.mode = mode
         self.clock = clock
+        self.live_config = live_config
+        self.live = None
         self.sessions: dict[str, DeviceSession] = {}
         self._ids = itertools.count()
         self._server: asyncio.AbstractServer | None = None
         self._handlers: set[asyncio.Task] = set()
 
     async def start(self) -> asyncio.AbstractServer:
-        """Bind and start accepting connections (port 0 picks a port)."""
+        """Bind and start accepting connections (port 0 picks a port).
+
+        When live telemetry is opted in — an explicit ``live_config`` or
+        ``REPRO_LIVE=1`` — the HTTP sidecar (:mod:`repro.obs.live`)
+        starts on the same loop.  The import is lazy and the default is
+        off: an unopted gateway opens no extra socket and spawns no
+        probe task.
+        """
         self._server = await asyncio.start_server(
             self._handle,
             host=self.config.host,
             port=self.config.port,
             limit=STREAM_LIMIT,
         )
+        if self.live_config is not None or env_truthy("REPRO_LIVE"):
+            from ..obs.live import LiveTelemetry
+
+            self.live = LiveTelemetry(self, config=self.live_config)
+            await self.live.start()
         return self._server
 
     @property
@@ -90,6 +106,9 @@ class ServingGateway:
 
     async def stop(self) -> None:
         """Stop accepting connections, reap handlers, close the listener."""
+        if self.live is not None:
+            await self.live.stop()
+            self.live = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -110,6 +129,7 @@ class ServingGateway:
             task.add_done_callback(self._handlers.discard)
         if len(self.sessions) >= self.config.max_sessions:
             counter_inc("serving.busy_rejections")
+            windowed_inc("serving.rejection_rate")
             await self._send(writer, {"error": "busy", "max_sessions": self.config.max_sessions})
             writer.close()
             return
@@ -156,7 +176,7 @@ class ServingGateway:
         except ValueError:
             # A line past STREAM_LIMIT cannot be resynchronized; drop
             # the connection instead of the gateway.
-            counter_inc("serving.protocol_errors", kind="line-too-long")
+            self._count_protocol_error("line-too-long")
         finally:
             session.close()
             self.sessions.pop(session_id, None)
@@ -167,14 +187,20 @@ class ServingGateway:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
+    @staticmethod
+    def _count_protocol_error(kind: str) -> None:
+        """Count one protocol error (per-kind counter + error-rate window)."""
+        counter_inc("serving.protocol_errors", kind=kind)
+        windowed_inc("serving.error_rate")
+
     def _parse(self, line: bytes) -> dict | None:
         try:
             message = json.loads(line)
         except json.JSONDecodeError:
-            counter_inc("serving.protocol_errors", kind="bad-json")
+            self._count_protocol_error("bad-json")
             return None
         if not isinstance(message, dict):
-            counter_inc("serving.protocol_errors", kind="not-an-object")
+            self._count_protocol_error("not-an-object")
             return None
         return message
 
@@ -201,13 +227,13 @@ class ServingGateway:
                 return [session.mute()]
             if op == "command":
                 return [session.command(str(message.get("text", "")))]
-            counter_inc("serving.protocol_errors", kind="unknown-op")
+            self._count_protocol_error("unknown-op")
             return [{"error": f"unknown-op:{op}"}]
         except SessionError as error:
-            counter_inc("serving.protocol_errors", kind="session")
+            self._count_protocol_error("session")
             return [{"error": str(error)}]
         except (ValueError, TypeError) as error:
-            counter_inc("serving.protocol_errors", kind="bad-payload")
+            self._count_protocol_error("bad-payload")
             return [{"error": str(error)}]
         except Exception as error:  # degrade: one bad op must not kill the loop
             counter_inc("serving.internal_errors", kind=type(error).__name__)

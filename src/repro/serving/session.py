@@ -32,7 +32,9 @@ from ..acoustics.propagation import Capture
 from ..core.controller import Mode, VoiceAssistantController
 from ..core.pipeline import HeadTalkPipeline
 from ..core.streaming import StreamingDecider, StreamingResult
-from ..obs import audit_record, counter_inc, histogram_observe
+from ..obs import audit_record, counter_inc, histogram_observe, windowed_inc
+from ..obs.correlate import correlated
+from ..obs.monitor import slo_observe_decision
 from .config import ServingConfig
 from .ring import RingBuffer
 
@@ -69,6 +71,7 @@ class DeviceSession:
         self.decider: StreamingDecider | None = None
         self.streaming = False
         self.utterances = 0
+        self.utterance_id = ""
         self.last_result: StreamingResult | None = None
         self._wake_started = 0.0
 
@@ -80,6 +83,7 @@ class DeviceSession:
         self.streaming = True
         self.ring.clear()
         self._wake_started = time.perf_counter()
+        self.utterance_id = f"{self.session_id}-u{self.utterances + 1:04d}"
         gated = self.controller.needs_gate(now)
         if gated:
             cfg = self.config
@@ -96,6 +100,7 @@ class DeviceSession:
                 buffer=self.ring,
                 call="serving",
                 session_id=self.session_id,
+                utterance_id=self.utterance_id,
             )
         else:
             self.decider = None
@@ -103,6 +108,7 @@ class DeviceSession:
         return {
             "event": "wake",
             "session": self.session_id,
+            "utterance_id": self.utterance_id,
             "gated": gated,
             "mode": self.controller.mode.value,
         }
@@ -112,7 +118,8 @@ class DeviceSession:
         if not self.streaming:
             raise SessionError("audio outside an open utterance")
         if self.decider is not None:
-            early = self.decider.push(chunk)
+            with correlated(self.utterance_id):
+                early = self.decider.push(chunk)
             if early is not None:
                 counter_inc("serving.early_exits", reason=early.reason)
                 return {
@@ -141,70 +148,77 @@ class DeviceSession:
         self.utterances += 1
         decider, self.decider = self.decider, None
         result: StreamingResult | None = None
-        if decider is not None:
-            decider.truth = truth
-            decider.slices = slices
-            result = decider.finish()
-            event = self.controller.on_wake_decision(result.decision, now)
-        elif self.controller.needs_gate(now):
-            # Gating became necessary while the stream was in flight
-            # (e.g. a voice command entered HeadTalk mode): judge the
-            # buffered capture whole — no early evidence was kept.
-            capture = Capture(
-                channels=self.ring.snapshot(),
-                sample_rate=self.pipeline.array.sample_rate,
-            )
-            event = self.controller.on_wake_word(capture, now, truth=truth, slices=slices)
-        else:
-            event = self.controller.on_wake_word(
-                Capture(
+        with correlated(self.utterance_id):
+            if decider is not None:
+                decider.truth = truth
+                decider.slices = slices
+                result = decider.finish()
+                event = self.controller.on_wake_decision(result.decision, now)
+            elif self.controller.needs_gate(now):
+                # Gating became necessary while the stream was in flight
+                # (e.g. a voice command entered HeadTalk mode): judge the
+                # buffered capture whole — no early evidence was kept.
+                capture = Capture(
                     channels=self.ring.snapshot(),
                     sample_rate=self.pipeline.array.sample_rate,
+                )
+                event = self.controller.on_wake_word(capture, now, truth=truth, slices=slices)
+            else:
+                event = self.controller.on_wake_word(
+                    Capture(
+                        channels=self.ring.snapshot(),
+                        sample_rate=self.pipeline.array.sample_rate,
+                    ),
+                    now,
+                )
+            self.last_result = result
+            wall_ms = (time.perf_counter() - self._wake_started) * 1000.0
+            decision = result.decision if result is not None else event.decision
+            reply = {
+                "event": "decision",
+                "session": self.session_id,
+                "utterance": self.utterances,
+                "utterance_id": self.utterance_id,
+                "kind": event.kind.value,
+                "mode": self.controller.mode.value,
+                "detail": event.detail,
+                "gated": result is not None,
+                "accepted": None if decision is None else decision.accepted,
+                "reason": None if decision is None else decision.reason,
+                "fingerprint": None if decision is None else list(decision.fingerprint()),
+                "early": result.early_exited if result is not None else False,
+                "early_reason": (
+                    result.early.reason if result is not None and result.early else None
                 ),
-                now,
+                "frames_seen": result.frames_seen if result is not None else None,
+                "frames_to_decision": (
+                    result.frames_to_decision if result is not None else None
+                ),
+                "dropped_samples": self.ring.dropped,
+                "wall_ms": wall_ms,
+            }
+            histogram_observe("serving.decision_ms", wall_ms)
+            if result is not None:
+                histogram_observe("serving.frames_to_decision", result.frames_to_decision)
+            counter_inc("serving.utterances", kind=event.kind.value)
+            windowed_inc("serving.rps")
+            slo_observe_decision(
+                wall_ms, reason=None if decision is None else decision.reason
             )
-        self.last_result = result
-        wall_ms = (time.perf_counter() - self._wake_started) * 1000.0
-        decision = result.decision if result is not None else event.decision
-        reply = {
-            "event": "decision",
-            "session": self.session_id,
-            "utterance": self.utterances,
-            "kind": event.kind.value,
-            "mode": self.controller.mode.value,
-            "detail": event.detail,
-            "gated": result is not None,
-            "accepted": None if decision is None else decision.accepted,
-            "reason": None if decision is None else decision.reason,
-            "fingerprint": None if decision is None else list(decision.fingerprint()),
-            "early": result.early_exited if result is not None else False,
-            "early_reason": (
-                result.early.reason if result is not None and result.early else None
-            ),
-            "frames_seen": result.frames_seen if result is not None else None,
-            "frames_to_decision": (
-                result.frames_to_decision if result is not None else None
-            ),
-            "dropped_samples": self.ring.dropped,
-            "wall_ms": wall_ms,
-        }
-        histogram_observe("serving.decision_ms", wall_ms)
-        if result is not None:
-            histogram_observe("serving.frames_to_decision", result.frames_to_decision)
-        counter_inc("serving.utterances", kind=event.kind.value)
-        audit_record(
-            "serving",
-            session=self.session_id,
-            utterance=self.utterances,
-            kind=event.kind.value,
-            mode=self.controller.mode.value,
-            gated=result is not None,
-            early=reply["early"],
-            early_reason=reply["early_reason"],
-            frames_to_decision=reply["frames_to_decision"],
-            dropped_samples=self.ring.dropped,
-            wall_ms=round(wall_ms, 3),
-        )
+            audit_record(
+                "serving",
+                session=self.session_id,
+                utterance=self.utterances,
+                utterance_id=self.utterance_id,
+                kind=event.kind.value,
+                mode=self.controller.mode.value,
+                gated=result is not None,
+                early=reply["early"],
+                early_reason=reply["early_reason"],
+                frames_to_decision=reply["frames_to_decision"],
+                dropped_samples=self.ring.dropped,
+                wall_ms=round(wall_ms, 3),
+            )
         return reply
 
     def followup(self, now: float | None = None) -> dict:
@@ -233,6 +247,31 @@ class DeviceSession:
         except ValueError as error:
             raise SessionError(str(error)) from error
         return {"event": "mode", "session": self.session_id, "mode": mode.value}
+
+    def status(self) -> dict:
+        """Point-in-time JSON view of this session (``/sessions`` endpoint)."""
+        decider = self.decider
+        ring = self.ring
+        return {
+            "session": self.session_id,
+            "mode": self.controller.mode.value,
+            "streaming": self.streaming,
+            "gated": decider is not None,
+            "utterances": self.utterances,
+            "utterance_id": self.utterance_id or None,
+            "frames_seen": decider.accumulator.n_frames if decider is not None else None,
+            "early": (
+                decider.early.reason
+                if decider is not None and decider.early is not None
+                else None
+            ),
+            "ring": {
+                "length": ring.length,
+                "capacity": ring.capacity,
+                "occupancy": ring.length / ring.capacity if ring.capacity else 0.0,
+                "dropped": ring.dropped,
+            },
+        }
 
     def close(self) -> None:
         """Abandon any in-flight utterance (connection went away)."""

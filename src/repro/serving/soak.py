@@ -20,6 +20,11 @@ gate at scale, not just a load generator.  The resulting report
   (strict at any ``--max-regress`` threshold);
 - ungated throughput context (utterances, utterances/sec).
 
+The CLI exits nonzero on any correctness failure — a fingerprint
+mismatch, an early verdict flip, or ring overflow (tail-dropped
+samples) — and ``--json PATH`` writes the printed summary plus the
+failure list as machine-readable JSON for CI.
+
 CI runs this with ``REPRO_OBS=1`` and an audit log configured, then
 gates the report against ``benchmarks/baselines/BENCH_serving.json``
 via ``python -m repro.obs.bench --compare``.
@@ -125,6 +130,7 @@ async def run_soak(
         "fingerprint_matches": 0,
         "fingerprint_mismatches": 0,
         "early_flips": 0,
+        "dropped_samples": 0,
         "errors": 0,
         "latencies_ms": [],
         "frames_to_decision": [],
@@ -168,6 +174,9 @@ async def run_soak(
                     stats["early_exits"] += 1
                     if decision["accepted"]:
                         stats["early_flips"] += 1
+                # Per-utterance tail-drop count (the ring resets it at
+                # each wake), so summing gives the soak-wide total.
+                stats["dropped_samples"] += int(decision.get("dropped_samples") or 0)
                 if decision["fingerprint"] == expected[which]:
                     stats["fingerprint_matches"] += 1
                 else:
@@ -250,9 +259,36 @@ def report_from_stats(stats: dict) -> BenchReport:
         kind="equivalence",
     )
     report.add_metric(
+        "serving.dropped_samples",
+        int(stats.get("dropped_samples", 0)),
+        kind="count",
+        direction="lower",
+        gate=False,
+    )
+    report.add_metric(
         "serving.errors", int(stats["errors"]), kind="count", direction="lower", gate=False
     )
     return report
+
+
+def soak_problems(stats: dict) -> list[str]:
+    """Hard-failure conditions a CI soak must exit nonzero on.
+
+    Equivalence breaks (fingerprint mismatch, an early verdict flipping)
+    and ring overflow (any sample tail-dropped means a decision was made
+    on truncated audio) are correctness failures, not regressions — no
+    tolerance applies.
+    """
+    problems = []
+    if stats.get("fingerprint_mismatches", 0):
+        problems.append(f"{stats['fingerprint_mismatches']} fingerprint mismatch(es)")
+    if not stats.get("fingerprint_matches", 0):
+        problems.append("no fingerprint matches (nothing verified)")
+    if stats.get("early_flips", 0):
+        problems.append(f"{stats['early_flips']} early verdict flip(s)")
+    if stats.get("dropped_samples", 0):
+        problems.append(f"{stats['dropped_samples']} tail-dropped sample(s) (ring overflow)")
+    return problems
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -262,6 +298,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chunk", type=int, default=2048)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="also write the printed summary (plus problems/ok) as JSON for CI",
+    )
     parser.add_argument(
         "--check-liveness",
         action="store_true",
@@ -298,16 +341,24 @@ def main(argv: list[str] | None = None) -> int:
             "serving.median_frames_to_decision",
             "serving.median_frames_to_rejection",
             "serving.early_exit_fraction",
+            "serving.dropped_samples",
             "serving.streaming_equals_batch",
             "serving.early_never_flips",
         )
     }
+    problems = soak_problems(stats)
+    summary["problems"] = problems
+    summary["ok"] = not problems
     print(json.dumps(summary, indent=2))
-    ok = (
-        report.metrics["serving.streaming_equals_batch"]["value"]
-        and report.metrics["serving.early_never_flips"]["value"]
-    )
-    return 0 if ok else 1
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if problems:
+        for problem in problems:
+            print(f"SOAK FAILURE: {problem}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def run_soak_sync(pipeline, captures, **kwargs) -> dict:

@@ -138,7 +138,7 @@ class TestControlPlumbing:
         assert active_scenario() == scenario
 
     def test_unknown_env_scenario_warns_and_injects_nothing(self, monkeypatch):
-        from repro.faults import control
+        from repro.obs import control
 
         monkeypatch.setenv("REPRO_FAULTS_SCENARIO", "frobnicate")
         monkeypatch.setattr(control, "_WARNED", set())
@@ -148,7 +148,7 @@ class TestControlPlumbing:
         assert scenario_from_env() is None
 
     def test_malformed_severity_warns_and_defaults(self, monkeypatch):
-        from repro.faults import control
+        from repro.obs import control
 
         monkeypatch.setenv("REPRO_FAULTS_SCENARIO", "clipping")
         monkeypatch.setenv("REPRO_FAULTS_SEVERITY", "lots")

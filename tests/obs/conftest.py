@@ -20,7 +20,8 @@ from repro.obs import (
     set_profiling_enabled,
 )
 from repro.obs.audit import DEFAULT_CAPACITY
-from repro.obs.monitor import reset_monitor, set_monitor_enabled
+from repro.obs.correlate import set_correlation
+from repro.obs.monitor import reset_monitor, reset_slo_monitor, set_monitor_enabled
 
 
 def _reset_obs_state():
@@ -39,7 +40,9 @@ def _reset_obs_state():
         path=os.environ.get("REPRO_AUDIT_LOG") or None, capacity=DEFAULT_CAPACITY
     )
     reset_monitor()
+    reset_slo_monitor()
     set_monitor_enabled(True)
+    set_correlation(None)
 
 
 @pytest.fixture(autouse=True)

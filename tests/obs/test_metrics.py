@@ -3,6 +3,7 @@
 import json
 import math
 import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -15,8 +16,10 @@ from repro.obs import (
     set_obs_enabled,
     snapshot_to_prometheus,
 )
+from repro.obs import control as obs_control
 from repro.obs import metrics as obs_metrics
-from repro.obs.metrics import Counter, Gauge, Histogram, metric_id
+from repro.obs import windowed_inc
+from repro.obs.metrics import Counter, Gauge, Histogram, WindowedCounter, metric_id
 
 
 class TestCounter:
@@ -118,6 +121,121 @@ class TestHistogram:
     def test_duplicate_bounds_rejected(self):
         with pytest.raises(ValueError):
             Histogram(bounds=(1.0, 1.0))
+
+
+class FakeClock:
+    """Deterministic monotonic clock for windowed-counter tests."""
+
+    def __init__(self, t: float = 1000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestWindowedCounter:
+    def test_total_is_monotonic_and_rates_decay(self):
+        clock = FakeClock()
+        counter = WindowedCounter(windows=(10.0, 60.0), clock=clock)
+        for _ in range(5):
+            counter.inc(2)
+            clock.advance(1.0)
+        assert counter.value == 10.0
+        assert counter.count(10.0) == 10.0
+        clock.advance(20.0)
+        assert counter.count(10.0) == 0.0
+        assert counter.count(60.0) == 10.0
+        assert counter.value == 10.0  # total never decays
+
+    def test_rate_is_count_over_window(self):
+        clock = FakeClock()
+        counter = WindowedCounter(windows=(10.0,), clock=clock)
+        for _ in range(30):
+            counter.inc()
+            clock.advance(0.1)
+        assert counter.rate(10.0) == pytest.approx(3.0)
+
+    def test_buckets_prune_past_longest_window(self):
+        clock = FakeClock()
+        counter = WindowedCounter(windows=(5.0, 30.0), clock=clock)
+        for _ in range(120):
+            counter.inc()
+            clock.advance(1.0)
+        assert len(counter._buckets) <= 31
+        assert counter.value == 120.0
+
+    def test_snapshot_shape_and_prometheus(self):
+        clock = FakeClock()
+        counter = WindowedCounter(windows=(10.0, 60.0), clock=clock)
+        counter.inc(4)
+        snapshot = counter.snapshot()
+        assert snapshot["type"] == "windowed"
+        assert snapshot["value"] == 4.0
+        assert set(snapshot["rates"]) == {"10s", "60s"}
+        json.dumps(snapshot)
+        text = snapshot_to_prometheus({"serving.rps": snapshot})
+        assert "# TYPE serving_rps_total counter" in text
+        assert "serving_rps_total 4" in text
+        assert "# TYPE serving_rps_rate gauge" in text
+        assert 'serving_rps_rate{window="10s"} 0.4' in text
+
+    def test_guarded_helper_and_registry(self):
+        windowed_inc("never")
+        assert REGISTRY.snapshot() == {}
+        set_obs_enabled(True)
+        windowed_inc("serving.rps", amount=3)
+        assert REGISTRY.windowed("serving.rps").value == 3.0
+        assert REGISTRY.snapshot()["serving.rps"]["type"] == "windowed"
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            WindowedCounter(windows=())
+        with pytest.raises(ValueError):
+            WindowedCounter(windows=(0.0,))
+        with pytest.raises(ValueError):
+            WindowedCounter().inc(-1)
+
+
+class TestLabelSanitization:
+    """Satellite 1: id-breaking label values are rewritten, with one warning."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_warnings(self, monkeypatch):
+        monkeypatch.setattr(obs_control, "_WARNED", set())
+
+    def test_unsafe_value_is_sanitized_and_round_trips(self):
+        set_obs_enabled(True)
+        with pytest.warns(RuntimeWarning, match="unsafe"):
+            counter_inc("gate.decisions", reason="bad,value}x=1")
+        assert list(REGISTRY.snapshot()) == ["gate.decisions{reason=bad_value_x_1}"]
+        # The sanitized id survives the Prometheus round trip unharmed.
+        text = REGISTRY.to_prometheus()
+        assert 'gate_decisions_total{reason="bad_value_x_1"} 1' in text
+
+    def test_warning_fires_once_per_metric_label(self):
+        set_obs_enabled(True)
+        with pytest.warns(RuntimeWarning):
+            counter_inc("m", k="a,b")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            counter_inc("m", k="a,b")  # same pair: silent
+        with pytest.warns(RuntimeWarning):
+            counter_inc("m2", k="a,b")  # new metric: warns again
+
+    def test_sanitized_values_collide_into_one_metric(self):
+        set_obs_enabled(True)
+        with pytest.warns(RuntimeWarning):
+            counter_inc("m", k="a,b")
+            counter_inc("m", k="a}b")
+        assert REGISTRY.counter("m", k="a_b").value == 2.0
+
+    def test_safe_values_untouched(self):
+        set_obs_enabled(True)
+        counter_inc("m", k="plain-value.ok")
+        assert "m{k=plain-value.ok}" in REGISTRY.snapshot()
 
 
 class TestGuardedHelpers:

@@ -20,7 +20,7 @@ from repro.core import HeadTalkConfig, HeadTalkPipeline
 from repro.ml.calibration import brier_score, expected_calibration_error
 from repro.ml.metrics import false_acceptance_rate, false_rejection_rate
 from repro.obs import REGISTRY, audit_log, configure_audit, set_obs_enabled
-from repro.obs import monitor as monitor_mod
+from repro.obs import control as obs_control
 from repro.obs.monitor import (
     DecisionMonitor,
     MonitorConfig,
@@ -125,9 +125,9 @@ class TestBucketing:
 class TestEnvOverrides:
     @pytest.fixture(autouse=True)
     def fresh_warnings(self):
-        monitor_mod._WARNED.clear()
+        obs_control._WARNED.clear()
         yield
-        monitor_mod._WARNED.clear()
+        obs_control._WARNED.clear()
 
     def test_valid_override_applied(self, monkeypatch):
         monkeypatch.setenv("REPRO_MONITOR_PSI", "0.5")

@@ -137,3 +137,41 @@ class TestExport:
         assert span_records()
         clear_spans()
         assert span_records() == []
+
+    def test_export_concurrent_with_span_creation(self, tmp_path):
+        """Exporting while other threads trace never corrupts the trace.
+
+        The live ``/metrics`` sidecar and trace export read the span
+        buffer while handler threads are still completing spans; every
+        exported frame must be internally consistent JSON with only
+        whole records.
+        """
+        set_obs_enabled(True)
+        stop = threading.Event()
+        errors = []
+
+        def tracer(k):
+            i = 0
+            while not stop.is_set() and i < 50_000:
+                with span(f"w{k}", i=i):
+                    i += 1
+
+        threads = [threading.Thread(target=tracer, args=(k,)) for k in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_no in range(8):
+                path = tmp_path / f"trace_{round_no}.json"
+                trace = export_trace(path)
+                reloaded = json.loads(path.read_text())
+                if reloaded != json.loads(json.dumps(trace)):
+                    errors.append("file/return divergence")
+                for entry in reloaded:
+                    if entry["name"] not in {"w0", "w1", "w2"} or "i" not in entry["labels"]:
+                        errors.append(f"torn record: {entry}")
+                clear_spans()  # keep each exported frame small and fresh
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []

@@ -4,14 +4,14 @@ import warnings
 
 import pytest
 
-from repro.serving import config as serving_config
+from repro.obs import control as obs_control
 from repro.serving.config import ServingConfig
 
 
 @pytest.fixture(autouse=True)
 def fresh_warn_state(monkeypatch):
     """Each test sees a process that has not warned yet."""
-    monkeypatch.setattr(serving_config, "_WARNED", set())
+    monkeypatch.setattr(obs_control, "_WARNED", set())
 
 
 def _collect(action):
