@@ -48,6 +48,7 @@ DESCRIPTIONS = {
     "E26": "extension: operating-point sweep",
     "E27": "ablation: feature-block contributions",
     "E28": "robustness: hardware-fault tolerance sweep",
+    "E29": "extension: city-traffic quality + throughput vs. household count",
 }
 
 

@@ -36,6 +36,7 @@ from . import (
     exp_sitting,
     exp_spectra,
     exp_temporal,
+    exp_traffic,
     exp_training_size,
     exp_wakewords,
 )
@@ -81,6 +82,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E26": exp_operating_point.run,
     "E27": exp_feature_ablation.run,
     "E28": exp_fault_tolerance.run,
+    "E29": exp_traffic.run,
 }
 
 

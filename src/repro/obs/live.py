@@ -17,7 +17,12 @@ own event loop (stdlib ``asyncio`` only, no web framework) answering:
   occupancy, current utterance id) via
   :meth:`~repro.serving.session.DeviceSession.status`;
 - ``/alarms`` — the SLO monitor's currently-firing rules plus the
-  rising-edge alarm history.
+  rising-edge alarm history;
+- ``/quality`` — the decision monitor's live quality report (the same
+  schema-versioned document as ``QUALITY_<name>.json``): overall and
+  per-misactivation-source confusion/FAR/FRR, sliced rates,
+  calibration, drift-detector state and raised drift alarms, scraped
+  mid-soak while traffic runs.
 
 A background *load probe* task samples the event loop's scheduling lag
 and the sessions' ring occupancy once per ``probe_interval_s``,
@@ -54,7 +59,7 @@ DEFAULT_LIVE_PORT = 9469
 
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
-ROUTES = ("/metrics", "/healthz", "/readyz", "/sessions", "/alarms")
+ROUTES = ("/metrics", "/healthz", "/readyz", "/sessions", "/alarms", "/quality")
 
 _REQUEST_TIMEOUT_S = 5.0
 
@@ -224,6 +229,12 @@ class LiveTelemetry:
                 "history": [alarm.as_dict() for alarm in monitor.alarms],
             }
             return 200, "application/json", _json_bytes(body)
+        if path == "/quality":
+            from .monitor import quality_report
+
+            # The same document write_quality_report persists, so the
+            # scraped body round-trips through validate()/compare().
+            return 200, "application/json", _json_bytes(quality_report("live"))
         return 404, "application/json", _json_bytes(
             {"error": "not-found", "routes": list(ROUTES)}
         )
@@ -286,7 +297,14 @@ def _fetch_json(base: str, path: str, timeout: float = 2.0) -> dict:
         return json.loads(error.read().decode())
 
 
-def render_dashboard(base: str, health: dict, ready: dict, sessions: dict, alarms: dict) -> str:
+def render_dashboard(
+    base: str,
+    health: dict,
+    ready: dict,
+    sessions: dict,
+    alarms: dict,
+    quality: dict | None = None,
+) -> str:
     """One dashboard frame as plain text (pure: testable without a socket)."""
     admission = ready.get("admission", {})
     active = alarms.get("active", [])
@@ -327,6 +345,35 @@ def render_dashboard(base: str, health: dict, ready: dict, sessions: dict, alarm
             f" slow={alarm.get('burn_slow', 0.0):.2f}"
             f" (threshold {alarm.get('burn_threshold', 0.0):.2f})"
         )
+    if quality is not None:
+        lines += ["", "QUALITY"]
+        overall = quality.get("overall") or {}
+        calibration = quality.get("calibration") or {}
+        drift_alarms = quality.get("alarms", [])
+        lines.append(
+            f"  decisions {quality.get('decisions', 0)}"
+            f" · labelled {quality.get('labelled', 0)}"
+            f" · far {overall.get('far', 0.0):.3f}"
+            f" · frr {overall.get('frr', 0.0):.3f}"
+            f" · ece {calibration.get('ece', 0.0):.3f}"
+            f" · drift alarms {len(drift_alarms)}"
+        )
+        sources_section = quality.get("sources") or {}
+        if not sources_section:
+            lines.append("  (no labelled sources yet)")
+        for label, entry in sorted(sources_section.items()):
+            lines.append(
+                f"  {label:<14} n={entry.get('n', 0):<6}"
+                f" far={entry.get('far', 0.0):.3f}"
+                f" frr={entry.get('frr', 0.0):.3f}"
+            )
+        for alarm in drift_alarms:
+            lines.append(
+                f"  drift {alarm.get('stream', '?')}/{alarm.get('detector', '?')}"
+                f" at n={alarm.get('count', '?')}"
+                f" (stat {alarm.get('statistic', 0.0):.3f}"
+                f" > {alarm.get('threshold', 0.0):.3f})"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -341,6 +388,7 @@ def watch(base: str, interval_s: float = 2.0, once: bool = False, out=None) -> i
                 _fetch_json(base, "/readyz"),
                 _fetch_json(base, "/sessions"),
                 _fetch_json(base, "/alarms"),
+                _fetch_json(base, "/quality"),
             )
         except (OSError, json.JSONDecodeError) as error:
             frame = f"repro.obs.live — {base}\n(unreachable: {error})\n"

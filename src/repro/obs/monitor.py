@@ -167,10 +167,14 @@ class MonitorConfig:
     def from_env(cls) -> "MonitorConfig":
         """Defaults overridden by ``REPRO_MONITOR_*`` (malformed → warn once)."""
         base = cls()
+        window = int(_env_float("REPRO_MONITOR_WINDOW", base.window))
         return cls(
             reference_size=int(_env_float("REPRO_MONITOR_REFERENCE", base.reference_size)),
-            window=int(_env_float("REPRO_MONITOR_WINDOW", base.window)),
-            min_window=base.min_window,
+            window=window,
+            # A window below the default min_window must shrink the
+            # minimum too, or small-window configs silently never run
+            # the PSI/KS tests at all.
+            min_window=min(base.min_window, window),
             histogram_bins=base.histogram_bins,
             psi_threshold=_env_float("REPRO_MONITOR_PSI", base.psi_threshold),
             ks_coefficient=_env_float("REPRO_MONITOR_KS", base.ks_coefficient),
@@ -656,6 +660,14 @@ class DecisionMonitor:
                 "by_reason": dict(sorted(self.by_reason.items(), key=lambda kv: str(kv[0]))),
                 "overall": self.overall.snapshot() if self.overall.n else None,
                 "slices": {key: c.snapshot() for key, c in sorted(self.slices.items())},
+                # The source axis (misactivation-source labels from the
+                # traffic generator) is the per-source scoreboard, so it
+                # also gets a first-class, label-keyed section.
+                "sources": {
+                    key.split("=", 1)[1]: confusion.snapshot()
+                    for key, confusion in sorted(self.slices.items())
+                    if key.startswith("source=")
+                },
                 "calibration": self.calibration.snapshot(),
                 "drift": {name: s.snapshot() for name, s in sorted(self.streams.items())},
                 "alarms": [alarm.as_dict() for alarm in self.alarms],
@@ -1011,6 +1023,17 @@ def validate(document) -> list[str]:
         for key, entry in slices.items():
             if not isinstance(entry, dict):
                 problems.append(f"slices[{key!r}] must be an object")
+    sources = document.get("sources", {})
+    if not isinstance(sources, dict):
+        problems.append("sources must be an object")
+    else:
+        for label, entry in sources.items():
+            if not isinstance(entry, dict):
+                problems.append(f"sources[{label!r}] must be an object")
+                continue
+            for metric in ("far", "frr"):
+                if not isinstance(entry.get(metric), (int, float)):
+                    problems.append(f"sources.{label}.{metric} must be numeric")
     return problems
 
 
@@ -1021,19 +1044,36 @@ def validate(document) -> list[str]:
 def replay(path, config: MonitorConfig | None = None) -> DecisionMonitor:
     """Reconstruct monitor state by re-consuming a JSONL audit log.
 
-    Streams the file line by line (audit logs from full test runs are
-    large); only ``decision`` events feed the monitor, everything else
+    Streams the file line by line (city-scale audit logs do not fit in
+    memory); only ``decision`` events feed the monitor, everything else
     — gate events, drift alarms from the recording run — is skipped.
+    Blank or corrupt lines (a truncated tail from a killed writer, an
+    interleaved partial write) are skipped with one ``RuntimeWarning``
+    per file rather than aborting the replay: a single bad line must
+    not make a day of traffic unreadable.
     """
     monitor = DecisionMonitor(config=config)
+    skipped = 0
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
             if record.get("event") == "decision":
                 monitor.consume(record)
+    if skipped:
+        _warn_once(
+            f"replay:{path}",
+            f"skipped {skipped} corrupt audit line(s) while replaying {path}",
+        )
     return monitor
 
 
@@ -1093,7 +1133,15 @@ def compare(baseline: dict, current: dict, max_regress_points: float = 0.0) -> Q
     """
     comparison = QualityComparison()
     tolerance = max_regress_points / 100.0
-    for metric in _GATED_METRICS:
+    # Per-source rates are gated dynamically from whatever sources the
+    # baseline recorded, so a new traffic taxonomy label starts being
+    # gated the moment a baseline containing it is committed.
+    gated = list(_GATED_METRICS) + [
+        f"sources.{label}.{metric}"
+        for label in sorted(baseline.get("sources") or {})
+        for metric in ("far", "frr")
+    ]
+    for metric in gated:
         base, cur = _dotted(baseline, metric), _dotted(current, metric)
         if base is None:
             comparison.rows.append(QualityRow(metric, base, cur, False, "no baseline"))

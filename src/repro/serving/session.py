@@ -218,6 +218,13 @@ class DeviceSession:
                 frames_to_decision=reply["frames_to_decision"],
                 dropped_samples=self.ring.dropped,
                 wall_ms=round(wall_ms, 3),
+                # Scenario metadata from the client's `end` op, so the
+                # serving-level audit trail carries the same labels the
+                # decision records feed to the monitor (a load driver's
+                # per-source analysis works from either stream).
+                truth=truth,
+                slices=slices,
+                source=(slices or {}).get("source"),
             )
         return reply
 

@@ -86,7 +86,7 @@ def _json_fingerprint(decision) -> list:
     return json.loads(json.dumps(list(decision.fingerprint())))
 
 
-class _StepClock:
+class StepClock:
     """Simulated session time: each event lands past the session window.
 
     Advancing more than ``session_seconds`` per tick means an accepted
@@ -104,6 +104,10 @@ class _StepClock:
         return self.t
 
 
+# Original (pre-traffic) private name, kept for callers of the soak module.
+_StepClock = StepClock
+
+
 async def run_soak(
     pipeline: HeadTalkPipeline,
     captures: list,
@@ -119,7 +123,7 @@ async def run_soak(
         _json_fingerprint(pipeline.evaluate(capture, config.check_liveness))
         for capture in captures
     ]
-    clock = _StepClock(pipeline.config.session_seconds + 1.0)
+    clock = StepClock(pipeline.config.session_seconds + 1.0)
     gateway = ServingGateway(pipeline, config, clock=clock)
     await gateway.start()
     host, port = gateway.address

@@ -1,0 +1,177 @@
+"""City parameters and their ``REPRO_TRAFFIC_*`` environment knobs.
+
+A :class:`TrafficConfig` pins down one simulated city: how many
+households, how long the day runs, how often wake-like events occur,
+and the *mix* — what fraction of those events come from each
+misactivation source of the taxonomy (:data:`SOURCES`).  Everything is
+derived deterministically from ``seed``, so the same config always
+yields the same city, the same Poisson event stream and the same
+rendered capture bytes.
+
+Knobs (all optional, parsed like ``REPRO_SERVING_*`` — malformed values
+fall back to the default with a one-time ``RuntimeWarning``):
+
+- ``REPRO_TRAFFIC_HOUSEHOLDS`` — city size;
+- ``REPRO_TRAFFIC_SEED`` — master seed;
+- ``REPRO_TRAFFIC_HOURS`` — simulated day length (duration);
+- ``REPRO_TRAFFIC_RATE`` — expected wake-like events per household per
+  24 h;
+- ``REPRO_TRAFFIC_VARIANTS`` — rendered variants per (room, source);
+- ``REPRO_TRAFFIC_MIX`` — mix-weight overrides, e.g.
+  ``"loudspeaker=4,replay=1"`` (unnamed sources keep their default
+  weight; weights are relative, not fractions);
+- ``REPRO_TRAFFIC_SHIFT`` — truthy: enable the mid-day mix shift;
+- ``REPRO_TRAFFIC_SHIFT_HOUR`` / ``REPRO_TRAFFIC_SHIFT_FACTOR`` /
+  ``REPRO_TRAFFIC_SHIFT_SOURCE`` — when the shift lands, how hard it
+  multiplies, and which source it boosts (default: the TV turns on
+  citywide at noon, ``loudspeaker`` weight ×8).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..obs.control import env_float as _env_float
+from ..obs.control import env_int as _env_int
+from ..obs.control import env_truthy as _env_truthy
+from ..obs.control import warn_once as _warn_once
+
+SOURCES = (
+    "live-facing",
+    "live-averted",
+    "conversation",
+    "loudspeaker",
+    "replay",
+    "noise",
+)
+"""The misactivation-source taxonomy every traffic event is labelled with."""
+
+TRUTH_BY_SOURCE = {source: source == "live-facing" for source in SOURCES}
+"""Ground truth per source: only live, device-directed speech should be
+accepted — everything else is a misactivation the gate must thwart."""
+
+DEFAULT_MIX = (
+    ("live-facing", 0.30),
+    ("live-averted", 0.15),
+    ("conversation", 0.20),
+    ("loudspeaker", 0.20),
+    ("replay", 0.05),
+    ("noise", 0.10),
+)
+"""Default stationary mix: most wake-like events are *not* directed at
+the device (TVs, conversations, noise) — the production regime the
+paper's curated datasets do not cover."""
+
+ROOMS = ("lab", "home")
+
+
+def parse_mix(raw: str | None) -> tuple[tuple[str, float], ...]:
+    """``"loudspeaker=4,replay=1"`` → mix tuple over :data:`DEFAULT_MIX`.
+
+    Named sources get the given relative weight; unnamed sources keep
+    their default.  Any malformed entry (unknown source, non-numeric or
+    negative weight) discards the whole override with a one-time
+    warning, mirroring the other ``REPRO_*`` knob families.
+    """
+    if raw is None or not raw.strip():
+        return DEFAULT_MIX
+    overrides: dict[str, float] = {}
+    try:
+        for part in raw.split(","):
+            name, _, value = part.partition("=")
+            name = name.strip()
+            weight = float(value)
+            if name not in SOURCES or weight < 0:
+                raise ValueError(part)
+            overrides[name] = weight
+    except ValueError:
+        _warn_once(
+            "REPRO_TRAFFIC_MIX",
+            f"ignoring REPRO_TRAFFIC_MIX={raw!r} (expected comma-separated "
+            f"source=weight pairs over {SOURCES}); using defaults",
+        )
+        return DEFAULT_MIX
+    return tuple((name, overrides.get(name, weight)) for name, weight in DEFAULT_MIX)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """One simulated city (see module docstring for the env knobs)."""
+
+    households: int = 200
+    seed: int = 0
+    hours: float = 24.0
+    rate_per_household: float = 12.0
+    variants: int = 3
+    rooms: tuple[str, ...] = ROOMS
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+    shift: bool = False
+    shift_hour: float = 12.0
+    shift_factor: float = 8.0
+    shift_source: str = "loudspeaker"
+
+    def __post_init__(self) -> None:
+        if self.households < 1:
+            raise ValueError("households must be >= 1")
+        if self.hours <= 0:
+            raise ValueError("hours must be positive")
+        if self.rate_per_household <= 0:
+            raise ValueError("rate_per_household must be positive")
+        if self.variants < 1:
+            raise ValueError("variants must be >= 1")
+        if not self.rooms or any(room not in ROOMS for room in self.rooms):
+            raise ValueError(f"rooms must be a non-empty subset of {ROOMS}")
+        labels = [name for name, _ in self.mix]
+        if sorted(labels) != sorted(set(labels)) or any(
+            name not in SOURCES for name in labels
+        ):
+            raise ValueError(f"mix labels must be unique members of {SOURCES}")
+        if any(weight < 0 for _, weight in self.mix) or not any(
+            weight > 0 for _, weight in self.mix
+        ):
+            raise ValueError("mix weights must be >= 0 with a positive total")
+        if self.shift_source not in SOURCES:
+            raise ValueError(f"unknown shift source {self.shift_source!r}")
+        if self.shift_hour < 0 or self.shift_factor <= 0:
+            raise ValueError("shift_hour must be >= 0 and shift_factor positive")
+
+    def mix_weight(self, source: str) -> float:
+        """The stationary relative weight of one source (0.0 if absent)."""
+        return dict(self.mix).get(source, 0.0)
+
+    @classmethod
+    def from_env(cls) -> "TrafficConfig":
+        """Config with every ``REPRO_TRAFFIC_*`` override applied.
+
+        Values that fail validation (not just their parse) also fall
+        back with a one-time warning, like the serving config.
+        """
+        defaults = cls()
+        values = {
+            "households": _env_int("REPRO_TRAFFIC_HOUSEHOLDS", defaults.households),
+            "seed": _env_int("REPRO_TRAFFIC_SEED", defaults.seed),
+            "hours": _env_float("REPRO_TRAFFIC_HOURS", defaults.hours, positive=True),
+            "rate_per_household": _env_float(
+                "REPRO_TRAFFIC_RATE", defaults.rate_per_household, positive=True
+            ),
+            "variants": _env_int("REPRO_TRAFFIC_VARIANTS", defaults.variants),
+            "mix": parse_mix(os.environ.get("REPRO_TRAFFIC_MIX")),
+            "shift": _env_truthy("REPRO_TRAFFIC_SHIFT", defaults.shift),
+            "shift_hour": _env_float(
+                "REPRO_TRAFFIC_SHIFT_HOUR", defaults.shift_hour, positive=True
+            ),
+            "shift_factor": _env_float(
+                "REPRO_TRAFFIC_SHIFT_FACTOR", defaults.shift_factor, positive=True
+            ),
+            "shift_source": os.environ.get("REPRO_TRAFFIC_SHIFT_SOURCE")
+            or defaults.shift_source,
+        }
+        try:
+            return cls(**values)
+        except ValueError as error:
+            _warn_once(
+                "REPRO_TRAFFIC",
+                f"invalid REPRO_TRAFFIC_* combination ({error}); using defaults",
+            )
+            return defaults

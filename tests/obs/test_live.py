@@ -16,6 +16,7 @@ from repro.obs import REGISTRY, audit_log, set_obs_enabled, span_records
 from repro.obs import control as obs_control
 from repro.obs import live as obs_live
 from repro.obs.live import DEFAULT_LIVE_PORT, LiveConfig, render_dashboard
+from repro.obs import monitor
 from repro.obs.monitor import SloRule, reset_slo_monitor, slo_monitor
 from repro.serving import ServingConfig, ServingGateway
 from repro.serving.replay import close_session, open_session, stream_utterance
@@ -63,10 +64,10 @@ async def _with_live_gateway(body, *, config=None, live=None, pipeline=None):
 
 
 class TestEndpoints:
-    def test_all_five_routes_serve(self):
+    def test_all_six_routes_serve(self):
         async def body(gateway, host, port):
             out = {}
-            for path in ("/metrics", "/healthz", "/readyz", "/sessions", "/alarms"):
+            for path in obs_live.ROUTES:
                 out[path] = await http_get(host, port, path)
             return out
 
@@ -82,6 +83,9 @@ class TestEndpoints:
         assert json.loads(out["/sessions"][2]) == {"sessions": []}
         alarms = json.loads(out["/alarms"][2])
         assert alarms["active"] == [] and alarms["history"] == []
+        quality = json.loads(out["/quality"][2])
+        assert quality["name"] == "live"
+        assert monitor.validate(quality) == []
 
     def test_metrics_is_valid_prometheus_text(self):
         set_obs_enabled(True)

@@ -160,6 +160,17 @@ class TestEnvOverrides:
             config = MonitorConfig.from_env()
         assert config.angle_edges == MonitorConfig().angle_edges
 
+    def test_small_window_override_shrinks_min_window(self, monkeypatch):
+        # A window below the default minimum must pull min_window down
+        # with it, or the PSI/KS tests would silently never run.
+        monkeypatch.setenv("REPRO_MONITOR_WINDOW", "32")
+        config = MonitorConfig.from_env()
+        assert config.window == 32
+        assert config.min_window == 32
+        monkeypatch.delenv("REPRO_MONITOR_WINDOW")
+        default = MonitorConfig.from_env()
+        assert default.min_window == MonitorConfig().min_window
+
 
 class TestStreamingConfusion:
     def test_far_frr_match_ml_metrics(self):
@@ -300,6 +311,23 @@ class TestSlicedCounters:
         assert snapshot["labelled"] == 0
         assert snapshot["overall"] is None
         assert snapshot["slices"] == {}
+        assert snapshot["sources"] == {}
+
+    def test_source_slices_surface_as_sources_section(self):
+        monitor = DecisionMonitor(config=MonitorConfig())
+        monitor.consume(
+            decision_record(truth=True, slices={"source": "live-facing", "room": "lab"})
+        )
+        monitor.consume(
+            decision_record(truth=False, slices={"source": "loudspeaker", "room": "lab"})
+        )
+        snapshot = monitor.snapshot()
+        assert set(snapshot["sources"]) == {"live-facing", "loudspeaker"}
+        # The section mirrors the underlying source=... slices exactly.
+        for label, entry in snapshot["sources"].items():
+            assert entry == snapshot["slices"][f"source={label}"]
+        assert snapshot["sources"]["live-facing"]["frr"] == 0.0
+        assert snapshot["sources"]["loudspeaker"]["far"] == 1.0  # accepted a fake
 
 
 class TestGlobalFeed:
@@ -422,6 +450,29 @@ class TestReplay:
         assert replayed.snapshot() == decision_monitor().snapshot()
         assert replayed.snapshot()["overall"]["far"] == 1.0  # the False label accepted
 
+    def test_replay_skips_corrupt_lines_with_one_warning(self, tmp_path):
+        obs_control._WARNED.clear()
+        records = stream_records(4, n=50)
+        clean = tmp_path / "clean.jsonl"
+        dirty = tmp_path / "dirty.jsonl"
+        with open(clean, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps({"event": "decision", **record}) + "\n")
+        with open(dirty, "w", encoding="utf-8") as handle:
+            for index, record in enumerate(records):
+                handle.write(json.dumps({"event": "decision", **record}) + "\n")
+                if index == 10:
+                    handle.write("\n")  # blank lines are not corruption
+                    handle.write('{"event": "decision", "accepted": tru\n')  # killed writer
+                    handle.write('["not", "an", "object"]\n')
+        with pytest.warns(RuntimeWarning, match="skipped 2 corrupt audit line"):
+            replayed = replay(dirty, config=MonitorConfig())
+        assert replayed.snapshot() == replay(clean, config=MonitorConfig()).snapshot()
+        # Replaying the same file again stays silent (warn-once per file).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            replay(dirty, config=MonitorConfig())
+
 
 class TestReports:
     def _snapshot(self):
@@ -445,6 +496,17 @@ class TestReports:
         assert any("schema" in p for p in problems)
         assert any("decisions" in p for p in problems)
         assert validate([]) == ["document is not a JSON object"]
+
+    def test_validate_flags_bad_sources_section(self):
+        document = quality_report("unit", snapshot=self._snapshot())
+        document["sources"] = {"loudspeaker": {"far": "high"}}
+        problems = validate(document)
+        assert any("sources.loudspeaker.far" in p for p in problems)
+        assert any("sources.loudspeaker.frr" in p for p in problems)
+        document["sources"] = {"noise": []}
+        assert any("sources['noise']" in p for p in validate(document))
+        document["sources"] = "everything"
+        assert any(p == "sources must be an object" for p in validate(document))
 
 
 class TestCompare:
@@ -477,6 +539,37 @@ class TestCompare:
         baseline = self._report()
         baseline["overall"] = None
         assert compare(baseline, self._report()).ok
+
+    def _with_sources(self, loudspeaker_far=0.0):
+        report = self._report()
+        report["sources"] = {
+            "live-facing": {"n": 10, "far": 0.0, "frr": 0.1},
+            "loudspeaker": {"n": 10, "far": loudspeaker_far, "frr": 0.0},
+        }
+        return report
+
+    def test_baseline_sources_are_gated_dynamically(self):
+        baseline = self._with_sources(loudspeaker_far=0.05)
+        comparison = compare(baseline, self._with_sources(loudspeaker_far=0.30), 10.0)
+        assert [row.metric for row in comparison.failures] == [
+            "sources.loudspeaker.far"
+        ]
+        gated = {row.metric for row in comparison.rows}
+        assert "sources.live-facing.frr" in gated
+
+    def test_source_missing_from_current_report_fails(self):
+        current = self._with_sources()
+        current["sources"] = {"live-facing": current["sources"]["live-facing"]}
+        comparison = compare(self._with_sources(), current)
+        assert not comparison.ok
+        assert {row.metric for row in comparison.failures} == {
+            "sources.loudspeaker.far",
+            "sources.loudspeaker.frr",
+        }
+
+    def test_sources_absent_from_baseline_are_not_gated(self):
+        # An old baseline (no sources section) must keep gating cleanly.
+        assert compare(self._report(), self._with_sources()).ok
 
 
 class TestCli:

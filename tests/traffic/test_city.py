@@ -1,0 +1,183 @@
+"""Traffic generator: determinism, mix control, env knobs, bank renders."""
+
+import warnings
+
+import pytest
+
+from repro.obs import control as obs_control
+from repro.traffic import (
+    DEFAULT_MIX,
+    SOURCES,
+    TRUTH_BY_SOURCE,
+    CaptureBank,
+    TrafficConfig,
+    capture_fingerprint,
+    event_stream_fingerprint,
+    generate_city,
+    generate_events,
+    generate_households,
+    parse_mix,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_warn_state(monkeypatch):
+    """Each test sees a process that has not warned yet."""
+    monkeypatch.setattr(obs_control, "_WARNED", set())
+
+
+class TestEventDeterminism:
+    def test_same_seed_same_event_stream(self):
+        config = TrafficConfig(households=40, seed=7)
+        _, first = generate_city(config)
+        _, second = generate_city(TrafficConfig(households=40, seed=7))
+        assert first == second
+        assert event_stream_fingerprint(first) == event_stream_fingerprint(second)
+
+    def test_different_seed_different_stream(self):
+        _, first = generate_city(TrafficConfig(households=40, seed=7))
+        _, second = generate_city(TrafficConfig(households=40, seed=8))
+        assert event_stream_fingerprint(first) != event_stream_fingerprint(second)
+
+    def test_households_independent_of_city_size(self):
+        # Household k is drawn from its own seeded stream, so growing the
+        # city extends it without rewriting existing households' days.
+        small = generate_households(TrafficConfig(households=10, seed=3))
+        large = generate_households(TrafficConfig(households=30, seed=3))
+        assert large[:10] == small
+        small_events = generate_events(TrafficConfig(households=10, seed=3))
+        large_events = generate_events(TrafficConfig(households=30, seed=3))
+        small_keys = {(e.household, e.time_s, e.source) for e in small_events}
+        large_keys = {
+            (e.household, e.time_s, e.source)
+            for e in large_events
+            if e.household < 10
+        }
+        assert small_keys == large_keys
+
+    def test_events_sorted_and_labelled(self):
+        config = TrafficConfig(households=25, seed=0)
+        _, events = generate_city(config)
+        assert len(events) > 100
+        assert all(
+            events[i].time_s <= events[i + 1].time_s for i in range(len(events) - 1)
+        )
+        for event in events:
+            assert event.source in SOURCES
+            assert event.truth == TRUTH_BY_SOURCE[event.source]
+            assert event.truth == (event.source == "live-facing")
+            assert event.key == (event.room, event.source, event.variant)
+            assert event.slices() == {"source": event.source, "room": event.room}
+
+
+class TestMixShift:
+    def test_shift_boosts_the_shift_source_after_the_hour(self):
+        config = TrafficConfig(households=60, seed=1, shift=True)
+        _, events = generate_city(config)
+        noon = config.shift_hour * 3600.0
+
+        def loudspeaker_share(batch):
+            return sum(1 for e in batch if e.source == "loudspeaker") / len(batch)
+
+        pre = [e for e in events if e.time_s < noon]
+        post = [e for e in events if e.time_s >= noon]
+        assert loudspeaker_share(post) > 3 * loudspeaker_share(pre)
+
+    def test_stationary_city_unchanged_by_shift_flag_before_noon(self):
+        base = TrafficConfig(households=20, seed=5)
+        shifted = TrafficConfig(households=20, seed=5, shift=True)
+        _, plain = generate_city(base)
+        _, with_shift = generate_city(shifted)
+        noon = base.shift_hour * 3600.0
+        assert [e for e in plain if e.time_s < noon] == [
+            e for e in with_shift if e.time_s < noon
+        ]
+
+
+class TestConfig:
+    def test_parse_mix_overrides_named_sources_only(self):
+        mix = dict(parse_mix("loudspeaker=4,replay=1"))
+        assert mix["loudspeaker"] == 4.0 and mix["replay"] == 1.0
+        for name, weight in DEFAULT_MIX:
+            if name not in ("loudspeaker", "replay"):
+                assert mix[name] == weight
+
+    def test_parse_mix_malformed_warns_once_and_falls_back(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert parse_mix("tv=3") == DEFAULT_MIX
+            assert parse_mix("tv=3") == DEFAULT_MIX
+            assert parse_mix("loudspeaker=-1") == DEFAULT_MIX
+            assert parse_mix("loudspeaker=lots") == DEFAULT_MIX
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert "REPRO_TRAFFIC_MIX" in str(runtime[0].message)
+
+    def test_from_env_reads_every_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAFFIC_HOUSEHOLDS", "77")
+        monkeypatch.setenv("REPRO_TRAFFIC_SEED", "5")
+        monkeypatch.setenv("REPRO_TRAFFIC_HOURS", "6.5")
+        monkeypatch.setenv("REPRO_TRAFFIC_RATE", "3.0")
+        monkeypatch.setenv("REPRO_TRAFFIC_VARIANTS", "2")
+        monkeypatch.setenv("REPRO_TRAFFIC_MIX", "noise=0")
+        monkeypatch.setenv("REPRO_TRAFFIC_SHIFT", "1")
+        monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_HOUR", "3.0")
+        monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_FACTOR", "4.0")
+        monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_SOURCE", "replay")
+        config = TrafficConfig.from_env()
+        assert config.households == 77
+        assert config.seed == 5
+        assert config.hours == 6.5
+        assert config.rate_per_household == 3.0
+        assert config.variants == 2
+        assert config.mix_weight("noise") == 0.0
+        assert config.shift is True
+        assert config.shift_hour == 3.0
+        assert config.shift_factor == 4.0
+        assert config.shift_source == "replay"
+
+    def test_from_env_invalid_combination_warns_once_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_SOURCE", "television")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert TrafficConfig.from_env() == TrafficConfig()
+            assert TrafficConfig.from_env() == TrafficConfig()
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert "REPRO_TRAFFIC" in str(runtime[0].message)
+
+    def test_validation_rejects_bad_configs(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(households=0)
+        with pytest.raises(ValueError):
+            TrafficConfig(rooms=("garage",))
+        with pytest.raises(ValueError):
+            TrafficConfig(mix=(("live-facing", 0.0),))
+        with pytest.raises(ValueError):
+            TrafficConfig(shift_source="tv")
+
+
+class TestCaptureBank:
+    def test_bank_covers_the_taxonomy_and_renders_identically_serial_vs_pool(self):
+        config = TrafficConfig(households=1, seed=0, variants=1, rooms=("lab",))
+        serial = CaptureBank(config)
+        serial.render(workers=1)
+        assert sorted(serial.captures) == [
+            ("lab", source, 0) for source in sorted(SOURCES)
+        ]
+        pooled = CaptureBank(config)
+        pooled.render(workers=2)
+        assert serial.fingerprints() == pooled.fingerprints()
+
+    def test_fingerprints_require_render(self):
+        bank = CaptureBank(TrafficConfig(variants=1, rooms=("lab",)))
+        with pytest.raises(RuntimeError):
+            bank.fingerprints()
+
+    def test_capture_fingerprint_tracks_content(self):
+        config = TrafficConfig(households=1, seed=0, variants=1, rooms=("lab",))
+        bank = CaptureBank(config)
+        bank.render(workers=1)
+        captures = list(bank.captures.values())
+        assert capture_fingerprint(captures[0]) != capture_fingerprint(captures[1])
+        assert capture_fingerprint(captures[0]) == capture_fingerprint(captures[0])
