@@ -1,0 +1,180 @@
+"""E30 — adaptive-attacker robustness: hardening margins + render determinism.
+
+One full E30 run (the E01-trained liveness network attacked by all four
+``repro.attacks`` families at sophistication tiers 1-3) plus the attack
+layer's byte-determinism contract, folded into a gateable
+``BENCH_attacks.json``:
+
+- per-tier un-hardened / hardened pooled EERs, with the hardened-beats-
+  base margin gated numerically against the committed baseline;
+- ``attacks.hardened_beats_base_all_tiers`` — the hardening claim as a
+  strict equivalence bit;
+- serial-vs-pool, dtype-invariance and content-keyed-reproducibility
+  equivalence bits computed inside this run (strict at any threshold).
+
+The report accumulates across this module's tests in definition order —
+run the whole file.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.attacks import attack_render_tasks, preset_attack
+from repro.dsp.precision import precision
+from repro.experiments import exp_attacks
+from repro.obs import bench as obs_bench
+from repro.runtime import render_captures
+from repro.traffic import capture_fingerprint
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "BENCH_attacks.json"
+
+_STATE: dict = {}
+
+
+def _e30():
+    if "result" not in _STATE:
+        _STATE["result"] = exp_attacks.run()
+    return _STATE["result"]
+
+
+def _determinism_bits() -> dict:
+    """The attack layer's byte-determinism contract, measured directly."""
+    if "bits" in _STATE:
+        return _STATE["bits"]
+    scenario = preset_attack("eq-replay", sophistication=2.0, seed=7)
+    tasks = attack_render_tasks(scenario, n_utterances=2)
+    serial = [capture_fingerprint(c) for c in render_captures(tasks, workers=1)]
+    pooled = [capture_fingerprint(c) for c in render_captures(tasks, workers=2)]
+    rebuilt = [
+        capture_fingerprint(c)
+        for c in render_captures(attack_render_tasks(scenario, n_utterances=2), workers=1)
+    ]
+    with precision("float32"):
+        narrow = [
+            capture_fingerprint(c)
+            for c in render_captures(
+                attack_render_tasks(scenario, n_utterances=2), workers=1
+            )
+        ]
+    _STATE["bits"] = {
+        "serial_pool_identical": serial == pooled,
+        "content_keyed_reproducible": serial == rebuilt,
+        "dtype_invariant": serial == narrow,
+    }
+    return _STATE["bits"]
+
+
+def test_bench_attacks_hardening(benchmark, record_result):
+    result = benchmark.pedantic(_e30, rounds=1, iterations=1)
+    record_result(result)
+
+    # The naive row anchors E01's operating point (same training flow).
+    assert result.summary["naive_eer"] <= 5.0
+
+    # The tentpole claim: at every sophistication tier the fused
+    # four-cue decision beats the bare network posterior.
+    assert result.summary["hardened_beats_base_all_tiers"] is True
+    pooled = [r for r in result.rows if r["family"] == "pooled"]
+    assert len(pooled) == 3
+    for row in pooled:
+        assert row["hardened_eer_pct"] < row["base_eer_pct"]
+        assert row["n_attacks"] == 32
+
+
+def test_bench_attacks_determinism():
+    bits = _determinism_bits()
+    assert bits["serial_pool_identical"]
+    assert bits["content_keyed_reproducible"]
+    assert bits["dtype_invariant"]
+
+
+def test_bench_attacks_report_written(tmp_path):
+    """Serialize the gateable report and prove the gate bites."""
+    assert _STATE, "run the whole file in order"
+    result = _STATE["result"]
+    bits = _determinism_bits()
+
+    report = obs_bench.BenchReport("attacks")
+    report.add_metric(
+        "attacks.naive_eer_pct",
+        result.summary["naive_eer"],
+        kind="ratio",
+        direction="lower",
+        gate=False,
+    )
+    for row in result.rows:
+        if row["family"] != "pooled":
+            continue
+        tier = row["tier"]
+        report.add_metric(
+            f"attacks.tier{tier}_base_eer_pct",
+            row["base_eer_pct"],
+            kind="ratio",
+            direction="lower",
+            gate=False,
+        )
+        report.add_metric(
+            f"attacks.tier{tier}_hardened_eer_pct",
+            row["hardened_eer_pct"],
+            kind="ratio",
+            direction="lower",
+        )
+        report.add_metric(
+            f"attacks.tier{tier}_margin_pp",
+            row["base_eer_pct"] - row["hardened_eer_pct"],
+            kind="ratio",
+            direction="higher",
+        )
+    report.add_metric(
+        "attacks.hardened_beats_base_all_tiers",
+        bool(result.summary["hardened_beats_base_all_tiers"]),
+        kind="equivalence",
+    )
+    for name, value in bits.items():
+        report.add_metric(f"attacks.{name}", bool(value), kind="equivalence")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    current_path = RESULTS_DIR / "BENCH_attacks.json"
+    report.write(current_path)
+    assert obs_bench.validate(json.loads(current_path.read_text())) == []
+
+    # A report is always within tolerance of itself.
+    assert obs_bench.main(["--compare", str(current_path), str(current_path)]) == 0
+
+    # A collapsed hardening margin must fail even at a generous threshold.
+    regressed = json.loads(current_path.read_text())
+    for name, metric in regressed["metrics"].items():
+        if name.endswith("_margin_pp"):
+            metric["value"] = 0.0
+    regressed_path = tmp_path / "regressed.json"
+    regressed_path.write_text(json.dumps(regressed))
+    assert (
+        obs_bench.main(
+            ["--compare", str(current_path), str(regressed_path), "--max-regress", "75"]
+        )
+        == 1
+    )
+
+    # Equivalence bits are strict at any threshold.
+    flipped = json.loads(current_path.read_text())
+    flipped["metrics"]["attacks.serial_pool_identical"]["value"] = False
+    flipped_path = tmp_path / "flipped.json"
+    flipped_path.write_text(json.dumps(flipped))
+    assert (
+        obs_bench.main(
+            ["--compare", str(current_path), str(flipped_path), "--max-regress", "10000"]
+        )
+        == 1
+    )
+
+    if BASELINE_PATH.exists():
+        assert (
+            obs_bench.main(
+                ["--compare", str(BASELINE_PATH), str(current_path), "--max-regress", "50"]
+            )
+            == 0
+        )

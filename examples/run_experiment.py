@@ -49,6 +49,7 @@ DESCRIPTIONS = {
     "E27": "ablation: feature-block contributions",
     "E28": "robustness: hardware-fault tolerance sweep",
     "E29": "extension: city-traffic quality + throughput vs. household count",
+    "E30": "robustness: adaptive-attacker EER vs sophistication",
 }
 
 

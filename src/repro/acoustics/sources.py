@@ -131,6 +131,20 @@ GALAXY_S21 = LoudspeakerModel(
 """Smartphone speaker (Figure 3's second replay device)."""
 
 
+def rolloff_gain(freqs: np.ndarray, model: LoudspeakerModel) -> np.ndarray:
+    """Per-frequency amplitude gain of the model's high-shelf roll-off.
+
+    This is the exact curve :func:`replay_channel` applies; exposing it
+    lets the adversarial layer (``repro.attacks``) invert the same
+    forward model rather than an approximation of it.
+    """
+    f = np.asarray(freqs, dtype=float)
+    octaves = np.zeros_like(f)
+    above = f > model.rolloff_hz
+    octaves[above] = np.log2(f[above] / model.rolloff_hz)
+    return 10.0 ** (model.rolloff_db_per_octave * octaves / 20.0)
+
+
 def replay_channel(
     audio: np.ndarray,
     sample_rate: int,
@@ -148,11 +162,7 @@ def replay_channel(
     n = y.size
     spectrum = np.fft.rfft(y)
     freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
-    octaves = np.zeros_like(freqs)
-    above = freqs > model.rolloff_hz
-    octaves[above] = np.log2(freqs[above] / model.rolloff_hz)
-    gain = 10.0 ** (model.rolloff_db_per_octave * octaves / 20.0)
-    y = np.fft.irfft(spectrum * gain, n)
+    y = np.fft.irfft(spectrum * rolloff_gain(freqs, model), n)
     # Mild odd-harmonic distortion from the small driver.
     if model.distortion > 0:
         drive = 1.0 + 4.0 * model.distortion

@@ -220,6 +220,12 @@ class HeadTalkPipeline:
         )
 
     def _liveness_score(self, audio: DenoisedAudio) -> float:
+        # A fused detector gets the full multi-channel audio so the
+        # array-side cues (TDoA coherence, directivity consistency) join
+        # the blend; the plain detector sees the reference channel only.
+        fused = getattr(self.liveness, "fused_scores", None)
+        if fused is not None:
+            return float(fused([audio], self.extractor)[0])
         return float(self.liveness.scores([audio.reference], audio.sample_rate)[0])
 
     def _facing_probability(self, features: np.ndarray) -> float:

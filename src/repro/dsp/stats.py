@@ -55,6 +55,26 @@ def summary_vector(values: np.ndarray) -> np.ndarray:
     )
 
 
+def window_score(value: float, bounds: tuple[float, float, float, float]) -> float:
+    """Trapezoidal membership: 1 inside the full window, 0 past the zeros.
+
+    ``bounds`` is ``(lo_zero, lo_full, hi_full, hi_zero)``; the score
+    ramps linearly between each zero and its full bound.  The liveness
+    and array-consistency cues use this to express "live speech lands in
+    this measured range" — both too little *and* too much of a quantity
+    can be evidence of a replay chain.
+    """
+    lo_zero, lo_full, hi_full, hi_zero = bounds
+    v = float(value)
+    if lo_full <= v <= hi_full:
+        return 1.0
+    if v <= lo_zero or v >= hi_zero:
+        return 0.0
+    if v < lo_full:
+        return (v - lo_zero) / (lo_full - lo_zero)
+    return (hi_zero - v) / (hi_zero - hi_full)
+
+
 def find_peaks(values: np.ndarray) -> np.ndarray:
     """Indices of strict local maxima of a 1-D array (interior points)."""
     x = np.asarray(values, dtype=float).ravel()

@@ -12,6 +12,7 @@ from collections.abc import Callable
 from ..reporting import ExperimentResult
 from . import (
     exp_angles,
+    exp_attacks,
     exp_cross_environment,
     exp_cross_user,
     exp_definitions,
@@ -83,6 +84,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E27": exp_feature_ablation.run,
     "E28": exp_fault_tolerance.run,
     "E29": exp_traffic.run,
+    "E30": exp_attacks.run,
 }
 
 

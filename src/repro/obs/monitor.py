@@ -98,6 +98,27 @@ _STAGE_OF_REASON = {
     _REASON_DEGRADED: "screening",
 }
 
+def _check_attack_label(source: str) -> None:
+    """Mislabeled-replay guard: ``attack-*`` slices need the layer armed.
+
+    A decision stream carrying adversarial source labels while
+    ``REPRO_ATTACKS`` is off usually means replay traffic was labelled
+    by hand, or a drive forgot to arm :mod:`repro.attacks`; warn once so
+    the per-source quality slices are not silently trusted.
+    """
+    if not source.startswith("attack"):
+        return
+    from ..attacks.control import attacks_enabled  # lazy: keeps obs import-light
+
+    if not attacks_enabled():
+        _warn_once(
+            "REPRO_ATTACKS_MISLABEL",
+            f"decision stream carries adversarial source label {source!r} while "
+            "the attack layer is disarmed (REPRO_ATTACKS unset); arm "
+            "repro.attacks for attack-mix traffic so the labels are intentional",
+        )
+
+
 def _env_float(name: str, default: float) -> float:
     """Positive-float env knob via the shared :mod:`.control` reader."""
     return env_float(name, default, positive=True)
@@ -628,6 +649,7 @@ class DecisionMonitor:
                 truth = bool(truth)
                 self.overall.update(truth, accepted)
                 slices = dict(record.get("slices") or {})
+                _check_attack_label(str(slices.get("source", "")))
                 slices["stage"] = _STAGE_OF_REASON.get(reason, "unknown")
                 for axis, label in sorted(slices.items()):
                     key = f"{axis}={label}"

@@ -19,10 +19,20 @@ from .city import (
     generate_events,
     generate_households,
 )
-from .config import DEFAULT_MIX, SOURCES, TRUTH_BY_SOURCE, TrafficConfig, parse_mix
+from .config import (
+    ATTACK_FAMILY_BY_SOURCE,
+    ATTACK_SOURCES,
+    DEFAULT_MIX,
+    SOURCES,
+    TRUTH_BY_SOURCE,
+    TrafficConfig,
+    parse_mix,
+)
 from .sources import BankEntry, CaptureBank, capture_fingerprint
 
 __all__ = [
+    "ATTACK_FAMILY_BY_SOURCE",
+    "ATTACK_SOURCES",
     "BankEntry",
     "CaptureBank",
     "DEFAULT_MIX",

@@ -62,6 +62,12 @@ _SOURCE_DAYPART = {
     "loudspeaker": {"night": 0.2, "morning": 0.7, "day": 0.9, "evening": 1.8},
     "replay": {"night": 1.0, "morning": 1.0, "day": 1.0, "evening": 1.0},
     "noise": {"night": 0.1, "morning": 0.8, "day": 1.7, "evening": 0.6},
+    # Adaptive attackers prefer the night (nobody home to notice the
+    # horn rig) but probe around the clock like the naive replayer.
+    "attack-eq": {"night": 1.4, "morning": 0.9, "day": 1.0, "evening": 0.9},
+    "attack-horn": {"night": 1.4, "morning": 0.9, "day": 1.0, "evening": 0.9},
+    "attack-tdoa": {"night": 1.4, "morning": 0.9, "day": 1.0, "evening": 0.9},
+    "attack-speakear": {"night": 1.0, "morning": 1.0, "day": 1.0, "evening": 1.0},
 }
 
 _HUMAN_SOURCES = frozenset({"live-facing", "live-averted", "conversation"})
@@ -123,10 +129,12 @@ def generate_households(config: TrafficConfig) -> list[Household]:
     return households
 
 
-def _source_weights(config: TrafficConfig, household: Household, hour: int, t: float):
+def _source_weights(
+    config: TrafficConfig, household: Household, hour: int, t: float, mix=None
+):
     daypart = _daypart(hour % 24)
     weights = []
-    for source, weight in config.mix:
+    for source, weight in config.event_mix() if mix is None else mix:
         weight = weight * _SOURCE_DAYPART[source][daypart]
         if source == "loudspeaker" and not household.has_tv:
             weight *= 0.1  # radio only — far less loudspeaker traffic
@@ -151,7 +159,8 @@ def generate_events(
     """
     households = generate_households(config) if households is None else households
     events: list[TrafficEvent] = []
-    sources = [name for name, _ in config.mix]
+    mix = config.event_mix()
+    sources = [name for name, _ in mix]
     for household in households:
         rng = np.random.default_rng(stable_seed(config.seed, "events", household.index))
         for hour in range(math.ceil(config.hours)):
@@ -165,7 +174,7 @@ def generate_events(
             )
             for _ in range(int(rng.poisson(lam))):
                 t = (hour + float(rng.random()) * span) * 3600.0
-                weights = _source_weights(config, household, hour, t)
+                weights = _source_weights(config, household, hour, t, mix)
                 total = sum(weights)
                 if total <= 0:
                     continue

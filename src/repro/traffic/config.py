@@ -24,7 +24,12 @@ fall back to the default with a one-time ``RuntimeWarning``):
 - ``REPRO_TRAFFIC_SHIFT_HOUR`` / ``REPRO_TRAFFIC_SHIFT_FACTOR`` /
   ``REPRO_TRAFFIC_SHIFT_SOURCE`` — when the shift lands, how hard it
   multiplies, and which source it boosts (default: the TV turns on
-  citywide at noon, ``loudspeaker`` weight ×8).
+  citywide at noon, ``loudspeaker`` weight ×8);
+- ``REPRO_TRAFFIC_ATTACK_MIX`` — fraction of traffic that is
+  adversarial (the :mod:`repro.attacks` families, split evenly over
+  :data:`ATTACK_SOURCES`; 0 = clean city, the default);
+- ``REPRO_TRAFFIC_ATTACK_SOPHISTICATION`` — attacker tier for those
+  events (1–3, matching E30's sophistication axis).
 """
 
 from __future__ import annotations
@@ -47,7 +52,27 @@ SOURCES = (
 )
 """The misactivation-source taxonomy every traffic event is labelled with."""
 
+ATTACK_SOURCES = (
+    "attack-eq",
+    "attack-horn",
+    "attack-tdoa",
+    "attack-speakear",
+)
+"""Adversarial sources (the :mod:`repro.attacks` families) that join the
+city's traffic only when ``attack_mix`` is positive.  The ``attack-``
+prefix is load-bearing: the decision monitor's mislabeled-replay guard
+keys on it."""
+
+ATTACK_FAMILY_BY_SOURCE = {
+    "attack-eq": "eq-replay",
+    "attack-horn": "horn-replay",
+    "attack-tdoa": "tdoa-replay",
+    "attack-speakear": "speakear",
+}
+"""Traffic label → :data:`repro.attacks.ATTACK_SOURCE_CLASSES` kind."""
+
 TRUTH_BY_SOURCE = {source: source == "live-facing" for source in SOURCES}
+TRUTH_BY_SOURCE.update({source: False for source in ATTACK_SOURCES})
 """Ground truth per source: only live, device-directed speech should be
 accepted — everything else is a misactivation the gate must thwart."""
 
@@ -110,6 +135,8 @@ class TrafficConfig:
     shift_hour: float = 12.0
     shift_factor: float = 8.0
     shift_source: str = "loudspeaker"
+    attack_mix: float = 0.0
+    attack_sophistication: float = 1.0
 
     def __post_init__(self) -> None:
         if self.households < 1:
@@ -135,10 +162,33 @@ class TrafficConfig:
             raise ValueError(f"unknown shift source {self.shift_source!r}")
         if self.shift_hour < 0 or self.shift_factor <= 0:
             raise ValueError("shift_hour must be >= 0 and shift_factor positive")
+        if not 0.0 <= self.attack_mix < 1.0:
+            raise ValueError("attack_mix must be in [0, 1)")
+        if self.attack_sophistication < 0:
+            raise ValueError("attack_sophistication must be >= 0")
 
     def mix_weight(self, source: str) -> float:
         """The stationary relative weight of one source (0.0 if absent)."""
-        return dict(self.mix).get(source, 0.0)
+        return dict(self.event_mix()).get(source, 0.0)
+
+    def event_mix(self) -> tuple[tuple[str, float], ...]:
+        """The mix events are actually drawn from: base + attack labels.
+
+        ``attack_mix`` is the *fraction of total traffic* that is
+        adversarial, split evenly over the four attack families: with
+        base weights summing to ``W``, each family gets weight
+        ``attack_mix / (1 - attack_mix) * W / 4`` so attacks land at
+        ``attack_mix`` of the event stream regardless of the base
+        normalization.  ``attack_mix == 0`` returns :attr:`mix`
+        unchanged, leaving the clean-city event stream byte-identical.
+        """
+        if self.attack_mix <= 0.0:
+            return self.mix
+        base_total = sum(weight for _, weight in self.mix)
+        per_family = (
+            self.attack_mix / (1.0 - self.attack_mix) * base_total / len(ATTACK_SOURCES)
+        )
+        return self.mix + tuple((source, per_family) for source in ATTACK_SOURCES)
 
     @classmethod
     def from_env(cls) -> "TrafficConfig":
@@ -166,6 +216,12 @@ class TrafficConfig:
             ),
             "shift_source": os.environ.get("REPRO_TRAFFIC_SHIFT_SOURCE")
             or defaults.shift_source,
+            "attack_mix": _env_float("REPRO_TRAFFIC_ATTACK_MIX", defaults.attack_mix),
+            "attack_sophistication": _env_float(
+                "REPRO_TRAFFIC_ATTACK_SOPHISTICATION",
+                defaults.attack_sophistication,
+                positive=True,
+            ),
         }
         try:
             return cls(**values)

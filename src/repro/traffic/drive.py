@@ -47,7 +47,12 @@ import numpy as np
 
 from ..arrays.devices import default_channel_subset, get_device
 from ..core.config import DEFAULT_DEFINITION
-from ..core.liveness import LIVE_HUMAN, MECHANICAL, LivenessDetector
+from ..core.liveness import (
+    LIVE_HUMAN,
+    MECHANICAL,
+    FusedLivenessDetector,
+    LivenessDetector,
+)
 from ..core.pipeline import HeadTalkPipeline
 from ..core.preprocessing import preprocess
 from ..datasets.catalog import Scale
@@ -97,7 +102,7 @@ TRAFFIC_SCALE = Scale(
 )
 
 
-def build_pipeline(seed: int = 0) -> HeadTalkPipeline:
+def build_pipeline(seed: int = 0, hardened: bool = False) -> HeadTalkPipeline:
     """A traffic-scale orientation gate plus a *trained* liveness gate.
 
     The soak's 1-epoch liveness is a smoke model; city traffic needs the
@@ -106,6 +111,12 @@ def build_pipeline(seed: int = 0) -> HeadTalkPipeline:
     across facing, side and back poses in *both* rooms, 300 epochs —
     which separates loudspeaker and replay events from live speech in
     the home room too.
+
+    With ``hardened`` the trained network is wrapped in
+    :class:`~repro.core.liveness.FusedLivenessDetector`, so the gate
+    runs E30's four-cue fused decision instead of the bare posterior —
+    the configuration attack-mix drives measure.  The default stays
+    un-hardened so clean-city quality baselines keep their bytes.
     """
     # Both rooms: city households live in the home room too, and a
     # lab-only detector mislabels a third of home-room captures.
@@ -139,7 +150,8 @@ def build_pipeline(seed: int = 0) -> HeadTalkPipeline:
     liveness = LivenessDetector(epochs=300, random_state=seed)
     liveness.network.batch_size = 8
     liveness.fit(waveforms, np.asarray(labels), array.sample_rate)
-    return HeadTalkPipeline(array=array, liveness=liveness, orientation=detector)
+    gate = FusedLivenessDetector(base=liveness) if hardened else liveness
+    return HeadTalkPipeline(array=array, liveness=gate, orientation=detector)
 
 
 def _percentiles(values) -> dict:
@@ -187,9 +199,12 @@ async def run_city(
     await gateway.start()
     host, port = gateway.address
 
+    # Attack labels appear only on attack-mix days; keying off the
+    # events keeps clean-day summaries identical to pre-attack runs.
+    labels = list(SOURCES) + sorted({e.source for e in events} - set(SOURCES))
     per_source = {
         source: {"n": 0, "tp": 0, "fp": 0, "tn": 0, "fn": 0, "latencies_ms": []}
-        for source in SOURCES
+        for source in labels
     }
     stats = {
         "events": len(events),
@@ -354,6 +369,8 @@ def _cli_config(args) -> TrafficConfig:
         "variants": args.variants,
         "shift_hour": args.shift_hour,
         "shift_factor": args.shift_factor,
+        "attack_mix": args.attack_mix,
+        "attack_sophistication": args.attack_sophistication,
     }
     overrides = {k: v for k, v in overrides.items() if v is not None}
     if args.rooms:
@@ -374,6 +391,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shift", action="store_true", help="enable the mid-day mix shift")
     parser.add_argument("--shift-hour", type=float, default=None)
     parser.add_argument("--shift-factor", type=float, default=None)
+    parser.add_argument(
+        "--attack-mix", type=float, default=None,
+        help="fraction of traffic from the repro.attacks families (0 = clean city)",
+    )
+    parser.add_argument(
+        "--attack-sophistication", type=float, default=None,
+        help="attacker tier for attack-mix traffic (1-3, the E30 axis)",
+    )
+    parser.add_argument(
+        "--hardened", action="store_true",
+        help="gate with the fused four-cue liveness decision (E30 hardened path)",
+    )
     parser.add_argument("--chunk", type=int, default=16384)
     parser.add_argument("--workers", type=int, default=None, help="bank render workers")
     parser.add_argument("--name", default="traffic", help="quality report name")
@@ -398,14 +427,26 @@ def main(argv: list[str] | None = None) -> int:
     # decision monitor must be live regardless of the environment.
     set_obs_enabled(True)
     reset_monitor(config=_traffic_monitor_config())
+    if config.attack_mix > 0.0:
+        # Arm the attack layer so the monitor's mislabeled-replay guard
+        # knows the adversarial labels in this stream are intentional.
+        from ..attacks import set_attacks_enabled
+
+        set_attacks_enabled(True)
 
     print(
         f"city: {config.households} households, {config.hours:g} h, "
         f"rate {config.rate_per_household:g}/household/day, seed {config.seed}"
-        + (f", shift@{config.shift_hour:g}h x{config.shift_factor:g}" if config.shift else ""),
+        + (f", shift@{config.shift_hour:g}h x{config.shift_factor:g}" if config.shift else "")
+        + (
+            f", attacks {config.attack_mix:.0%}@tier{config.attack_sophistication:g}"
+            + (" (hardened gate)" if args.hardened else "")
+            if config.attack_mix > 0
+            else ""
+        ),
         file=sys.stderr,
     )
-    pipeline = build_pipeline(config.seed)
+    pipeline = build_pipeline(config.seed, hardened=args.hardened)
     bank = CaptureBank(config)
     bank.render(workers=args.workers)
     households, events = generate_city(config)

@@ -48,7 +48,13 @@ from ..acoustics.scene import HOME_PLACEMENT, LAB_PLACEMENTS, Scene, SpeakerPose
 from ..acoustics.sources import SourceRendering
 from ..arrays.devices import default_channel_subset, get_device
 from ..datasets.collection import CollectionSpec, render_tasks, stable_seed
-from .config import SOURCES, TRUTH_BY_SOURCE, TrafficConfig
+from .config import (
+    ATTACK_FAMILY_BY_SOURCE,
+    ATTACK_SOURCES,
+    SOURCES,
+    TRUTH_BY_SOURCE,
+    TrafficConfig,
+)
 
 BankKey = tuple  # (room, source, variant)
 
@@ -214,7 +220,44 @@ class CaptureBank:
                             task=task,
                         )
                     )
+            if config.attack_mix > 0.0:
+                self.entries.extend(self._attack_entries(room))
         self.captures: dict[BankKey, Capture] = {}
+
+    def _attack_entries(self, room: str) -> list[BankEntry]:
+        """Adversarial archetypes for one room (``attack_mix > 0`` only).
+
+        Tasks come straight from :func:`repro.attacks.attack_render_tasks`
+        — variant ``k`` is the scenario's ``k``-th utterance, so bank
+        bytes inherit the attack layer's content-keyed determinism and
+        match :mod:`repro.experiments.exp_attacks` renders exactly.
+        """
+        from ..attacks import attack_render_tasks, preset_attack
+
+        config = self.config
+        entries = []
+        for source in ATTACK_SOURCES:
+            scenario = preset_attack(
+                ATTACK_FAMILY_BY_SOURCE[source],
+                sophistication=config.attack_sophistication,
+                seed=config.seed,
+            )
+            tasks = attack_render_tasks(
+                scenario,
+                room=room,
+                n_utterances=config.variants,
+                base_seed=stable_seed(config.seed, "bank-attack", room, source),
+            )
+            entries.extend(
+                BankEntry(
+                    key=(room, source, variant),
+                    source=source,
+                    truth=TRUTH_BY_SOURCE[source],
+                    task=task,
+                )
+                for variant, task in enumerate(tasks)
+            )
+        return entries
 
     def render(self, workers: int | None = None) -> dict:
         """Render every archetype (serial or pool; byte-identical either way)."""

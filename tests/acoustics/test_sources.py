@@ -74,6 +74,29 @@ class TestReplayChannel:
     def test_empty_input(self):
         assert replay_channel(np.array([]), FS, SONY_SRS_X5, np.random.default_rng(0)).size == 0
 
+    def test_short_input_survives(self):
+        """A handful of samples — shorter than any filter warm-up — is fine."""
+        out = replay_channel(np.ones(5), FS, SONY_SRS_X5, np.random.default_rng(0))
+        assert out.shape == (5,)
+        assert np.all(np.isfinite(out))
+
+    def test_dc_only_input_is_finite(self):
+        """Pure DC dies in the high-pass; the noise floor keeps output sane."""
+        out = replay_channel(np.full(FS // 10, 0.7), FS, GALAXY_S21, np.random.default_rng(5))
+        assert np.all(np.isfinite(out))
+        assert np.abs(out).max() <= 1.0 + 1e-9
+
+    def test_rolloff_gain_monotone_above_knee(self):
+        """The shelf only ever attenuates, monotonically with frequency."""
+        from repro.acoustics.sources import rolloff_gain
+
+        freqs = np.linspace(100.0, 20_000.0, 512)
+        gain = rolloff_gain(freqs, SONY_SRS_X5)
+        assert np.all(gain <= 1.0 + 1e-12)
+        above = freqs > SONY_SRS_X5.rolloff_hz
+        assert np.all(np.diff(gain[above]) <= 1e-12)
+        assert np.all(gain[~above] == 1.0)
+
     def test_adds_noise_floor(self):
         """Gaps in the source stay non-silent after the replay channel."""
         rng = np.random.default_rng(4)
@@ -96,3 +119,19 @@ class TestLoudspeakerSource:
         human = speaker.emit("computer", FS, np.random.default_rng(1))
         replay = LoudspeakerSource(voice=speaker).emit("computer", FS, np.random.default_rng(1))
         assert human.directivity != replay.directivity
+
+    def test_lobe_contrast_against_human_head(self):
+        """The cabinet beams harder on-axis but leaks more behind: at high
+        frequency its rear lobe is *stronger* than a head's (no torso
+        shadow), while off to the side it is *weaker* (sharper lobe)."""
+        from repro.acoustics.directivity import (
+            human_head_directivity,
+            loudspeaker_directivity,
+        )
+
+        head = human_head_directivity()
+        box = loudspeaker_directivity()
+        assert box.gain(6000.0, np.pi) > head.gain(6000.0, np.pi)
+        assert box.gain(6000.0, np.pi / 2) < head.gain(6000.0, np.pi / 2)
+        # On-axis both are unity-ish: the contrast is in the pattern.
+        assert box.gain(6000.0, 0.0) == pytest.approx(head.gain(6000.0, 0.0), abs=0.1)

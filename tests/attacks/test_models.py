@@ -1,0 +1,196 @@
+"""Unit behavior of the adversarial attack models (repro.attacks.models)."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import (
+    SONY_SRS_X5,
+    HumanSpeaker,
+    human_head_directivity,
+    loudspeaker_directivity,
+    replay_channel,
+    synthesize_wake_word,
+)
+from repro.attacks import (
+    DirectionalHornReplay,
+    EqCompensatedReplay,
+    MultiSpeakerTdoaAttack,
+    SpeakeARChannel,
+    coordinated_mix,
+    eq_compensate,
+    horn_directivity,
+    rig_directivity,
+    speakear_capture,
+)
+from repro.dsp import spectral_contrast
+
+FS = 48_000
+
+ATTACK_CLASSES = (
+    EqCompensatedReplay,
+    DirectionalHornReplay,
+    MultiSpeakerTdoaAttack,
+    SpeakeARChannel,
+)
+
+
+def _voice(seed=0):
+    return HumanSpeaker.random(np.random.default_rng(seed), name="victim")
+
+
+def _recording(seed=0):
+    voice = _voice(seed)
+    return synthesize_wake_word(
+        "computer", voice.profile, FS, np.random.default_rng(seed)
+    )
+
+
+class TestEqCompensate:
+    def test_restores_high_frequency_decay(self):
+        """The whole point: inverse-EQ'd replay decays like the original."""
+        original = _recording()
+        rng = np.random.default_rng(1)
+        naive = replay_channel(original, FS, SONY_SRS_X5, rng)
+        boosted = eq_compensate(original, FS, SONY_SRS_X5, max_boost_db=18.0)
+        compensated = replay_channel(boosted, FS, SONY_SRS_X5, np.random.default_rng(1))
+        d_orig = spectral_contrast(original, FS).decay_db_per_octave
+        d_naive = spectral_contrast(naive, FS).decay_db_per_octave
+        d_comp = spectral_contrast(compensated, FS).decay_db_per_octave
+        assert d_naive < d_orig - 3.0
+        assert abs(d_comp - d_orig) < abs(d_naive - d_orig)
+
+    def test_boost_ceiling_binds(self):
+        """A small fidelity ceiling leaves the top octaves rolled off."""
+        original = _recording()
+        little = eq_compensate(original, FS, SONY_SRS_X5, max_boost_db=3.0)
+        lots = eq_compensate(original, FS, SONY_SRS_X5, max_boost_db=24.0)
+        d_little = spectral_contrast(little, FS).decay_db_per_octave
+        d_lots = spectral_contrast(lots, FS).decay_db_per_octave
+        assert d_lots > d_little
+
+    def test_empty_and_zero_boost(self):
+        assert eq_compensate(np.array([]), FS, SONY_SRS_X5, 6.0).size == 0
+        x = _recording()
+        assert np.array_equal(eq_compensate(x, FS, SONY_SRS_X5, 0.0), x)
+
+
+class TestSpeakearCapture:
+    def test_band_limits(self):
+        t = np.arange(FS // 2) / FS
+        tone_hi = np.sin(2 * np.pi * 6000.0 * t)
+        tone_lo = np.sin(2 * np.pi * 500.0 * t)
+        rng = np.random.default_rng(0)
+        out_hi = speakear_capture(tone_hi, FS, rng, cutoff_hz=1500.0, noise_floor_db=-60.0)
+        out_lo = speakear_capture(tone_lo, FS, np.random.default_rng(0), cutoff_hz=1500.0, noise_floor_db=-60.0)
+        # Both are peak-normalized; the high tone's output is noise-dominated,
+        # the low tone's keeps its sinusoidal crest factor (~0.707 RMS/peak).
+        assert np.sqrt(np.mean(out_lo**2)) > 0.5
+        assert np.sqrt(np.mean(out_hi**2)) < 0.5
+
+    def test_noise_floor_fills_gaps(self):
+        x = np.concatenate([np.zeros(FS // 10), _recording()[: FS // 4]])
+        out = speakear_capture(x, FS, np.random.default_rng(1), 2000.0, -20.0)
+        assert np.sqrt(np.mean(out[: FS // 20] ** 2)) > 0
+
+    def test_empty(self):
+        out = speakear_capture(np.array([]), FS, np.random.default_rng(0), 2000.0, -30.0)
+        assert out.size == 0
+
+    def test_cutoff_clipped_below_nyquist(self):
+        """A cutoff above Nyquist must not crash the filter design."""
+        out = speakear_capture(_recording()[:FS // 4], FS, np.random.default_rng(2), 40_000.0, -30.0)
+        assert np.all(np.isfinite(out))
+
+
+class TestCoordinatedMix:
+    def test_zero_offsets_is_normalized_sum(self):
+        x = _recording()[: FS // 4]
+        out = coordinated_mix(x, FS, np.zeros(3), np.full(3, 1 / 3))
+        assert out.shape == x.shape
+        assert np.abs(out).max() == pytest.approx(1.0)
+
+    def test_offsets_extend_waveform(self):
+        x = np.ones(100)
+        out = coordinated_mix(x, FS, np.array([0.0, 10 / FS]), np.array([0.5, 0.5]))
+        assert out.size == 110
+
+    def test_empty(self):
+        assert coordinated_mix(np.array([]), FS, np.zeros(2), np.ones(2)).size == 0
+
+
+class TestAttackDirectivities:
+    def test_horn_approaches_human_head(self):
+        box = loudspeaker_directivity()
+        head = human_head_directivity()
+        assert horn_directivity(0.0) == box
+        tuned = horn_directivity(3.0)
+        assert tuned.max_sharpness == pytest.approx(head.max_sharpness)
+        assert tuned.rear_floor == pytest.approx(head.rear_floor)
+        mid = horn_directivity(1.5)
+        assert box.max_sharpness > mid.max_sharpness > head.max_sharpness
+
+    def test_rig_broadens_with_sophistication(self):
+        base = rig_directivity(0.0)
+        rigged = rig_directivity(3.0)
+        assert rigged.max_sharpness < base.max_sharpness
+        assert rigged.rear_floor > base.rear_floor
+
+    def test_rear_lobe_contrast_loudspeaker_vs_head(self):
+        """At high frequency a box beams harder but diffracts more rearward."""
+        box = loudspeaker_directivity()
+        head = human_head_directivity()
+        rear_box = box.gain(6000.0, np.pi)
+        rear_head = head.gain(6000.0, np.pi)
+        assert rear_box > rear_head  # the cabinet's diffraction floor
+        # and at moderate off-axis angles the box lobe is sharper
+        assert box.gain(6000.0, np.pi / 2) < head.gain(6000.0, np.pi / 2)
+
+
+class TestAttackSources:
+    @pytest.mark.parametrize("cls", ATTACK_CLASSES)
+    def test_emission_is_mechanical(self, cls):
+        rendering = cls(voice=_voice()).emit("computer", FS, np.random.default_rng(1))
+        assert not rendering.is_live_human
+        assert rendering.sample_rate == FS
+        assert "attack" in rendering.label
+        assert np.all(np.isfinite(rendering.waveform))
+
+    @pytest.mark.parametrize("cls", ATTACK_CLASSES)
+    def test_sophistication_validated(self, cls):
+        with pytest.raises(ValueError):
+            cls(voice=_voice(), sophistication=-1.0)
+        with pytest.raises(ValueError):
+            cls(voice=_voice(), sophistication=float("nan"))
+
+    def test_eq_attack_beats_naive_decay(self):
+        """Tier-3 EQ replay restores the decay slope a naive replay loses."""
+        voice = _voice(3)
+        naive = DirectionalHornReplay(voice=voice, sophistication=0.0)
+        eq = EqCompensatedReplay(voice=voice, sophistication=3.0)
+        d_naive = spectral_contrast(
+            naive.emit("computer", FS, np.random.default_rng(0)).waveform, FS
+        ).decay_db_per_octave
+        d_eq = spectral_contrast(
+            eq.emit("computer", FS, np.random.default_rng(0)).waveform, FS
+        ).decay_db_per_octave
+        assert d_eq > d_naive + 3.0
+
+    def test_tdoa_speaker_count_scales(self):
+        assert MultiSpeakerTdoaAttack(voice=_voice(), sophistication=1.0).n_speakers == 2
+        assert MultiSpeakerTdoaAttack(voice=_voice(), sophistication=3.0).n_speakers == 4
+        jitter_lo = MultiSpeakerTdoaAttack(voice=_voice(), sophistication=1.0).jitter_s
+        jitter_hi = MultiSpeakerTdoaAttack(voice=_voice(), sophistication=3.0).jitter_s
+        assert jitter_hi < jitter_lo
+
+    def test_speakear_band_widens(self):
+        lo = SpeakeARChannel(voice=_voice(), sophistication=1.0)
+        hi = SpeakeARChannel(voice=_voice(), sophistication=3.0)
+        assert hi.capture_cutoff_hz > lo.capture_cutoff_hz
+        assert hi.capture_noise_floor_db < lo.capture_noise_floor_db
+
+    def test_horn_directivity_attached(self):
+        rendering = DirectionalHornReplay(voice=_voice(), sophistication=3.0).emit(
+            "computer", FS, np.random.default_rng(0)
+        )
+        head = human_head_directivity()
+        assert rendering.directivity.max_sharpness == pytest.approx(head.max_sharpness)

@@ -20,9 +20,9 @@ from repro.reporting import ExperimentResult
 
 
 class TestRegistry:
-    def test_all_29_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 29
-        assert set(ALL_EXPERIMENTS) == {f"E{k:02d}" for k in range(1, 30)}
+    def test_all_30_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 30
+        assert set(ALL_EXPERIMENTS) == {f"E{k:02d}" for k in range(1, 31)}
 
     def test_run_all_validates_ids(self):
         with pytest.raises(ValueError, match="unknown"):

@@ -625,3 +625,46 @@ class TestCli:
         report.write_text(json.dumps(broken))
         assert monitor_main(["validate", str(report)]) == 1
         assert monitor_main(["validate", str(tmp_path / "absent.json")]) == 2
+
+
+class TestMislabeledReplayGuard:
+    """``attack-*`` slice labels require the attack layer to be armed."""
+
+    def test_attack_label_with_layer_disarmed_warns_once(self, monkeypatch):
+        from repro.attacks import attacks_enabled
+
+        monkeypatch.setattr(obs_control, "_WARNED", set())
+        assert not attacks_enabled()
+        monitor = DecisionMonitor(config=MonitorConfig())
+        record = lambda: decision_record(truth=False, slices={"source": "attack-eq"})
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            monitor.consume(record())
+            monitor.consume(record())
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert "attack-eq" in str(runtime[0].message)
+
+    def test_attack_label_with_layer_armed_is_silent(self, monkeypatch):
+        from repro.attacks import set_attacks_enabled
+
+        monkeypatch.setattr(obs_control, "_WARNED", set())
+        set_attacks_enabled(True)
+        try:
+            monitor = DecisionMonitor(config=MonitorConfig())
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                monitor.consume(
+                    decision_record(truth=False, slices={"source": "attack-tdoa"})
+                )
+        finally:
+            set_attacks_enabled(False)
+        assert not [w for w in caught if issubclass(w.category, RuntimeWarning)]
+
+    def test_ordinary_labels_never_touch_the_guard(self, monkeypatch):
+        monkeypatch.setattr(obs_control, "_WARNED", set())
+        monitor = DecisionMonitor(config=MonitorConfig())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            monitor.consume(decision_record(truth=False, slices={"source": "replay"}))
+        assert not [w for w in caught if issubclass(w.category, RuntimeWarning)]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs import control as obs_control
 from repro.traffic import (
+    ATTACK_SOURCES,
     DEFAULT_MIX,
     SOURCES,
     TRUTH_BY_SOURCE,
@@ -124,6 +125,8 @@ class TestConfig:
         monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_HOUR", "3.0")
         monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_FACTOR", "4.0")
         monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_SOURCE", "replay")
+        monkeypatch.setenv("REPRO_TRAFFIC_ATTACK_MIX", "0.25")
+        monkeypatch.setenv("REPRO_TRAFFIC_ATTACK_SOPHISTICATION", "2.0")
         config = TrafficConfig.from_env()
         assert config.households == 77
         assert config.seed == 5
@@ -135,6 +138,8 @@ class TestConfig:
         assert config.shift_hour == 3.0
         assert config.shift_factor == 4.0
         assert config.shift_source == "replay"
+        assert config.attack_mix == 0.25
+        assert config.attack_sophistication == 2.0
 
     def test_from_env_invalid_combination_warns_once_and_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRAFFIC_SHIFT_SOURCE", "television")
@@ -155,6 +160,45 @@ class TestConfig:
             TrafficConfig(mix=(("live-facing", 0.0),))
         with pytest.raises(ValueError):
             TrafficConfig(shift_source="tv")
+        with pytest.raises(ValueError):
+            TrafficConfig(attack_mix=1.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(attack_mix=-0.1)
+        with pytest.raises(ValueError):
+            TrafficConfig(attack_sophistication=-1.0)
+
+
+class TestAttackMix:
+    def test_zero_attack_mix_keeps_the_clean_stream_byte_identical(self):
+        clean = TrafficConfig(households=30, seed=3)
+        assert clean.event_mix() == clean.mix
+        explicit = TrafficConfig(households=30, seed=3, attack_mix=0.0)
+        _, first = generate_city(clean)
+        _, second = generate_city(explicit)
+        assert event_stream_fingerprint(first) == event_stream_fingerprint(second)
+
+    def test_event_mix_lands_attacks_at_the_requested_fraction(self):
+        config = TrafficConfig(attack_mix=0.2)
+        mix = dict(config.event_mix())
+        attack_total = sum(mix[s] for s in ATTACK_SOURCES)
+        base_total = sum(w for s, w in mix.items() if s not in ATTACK_SOURCES)
+        assert attack_total / (attack_total + base_total) == pytest.approx(0.2)
+        # Split evenly over the four families.
+        assert len({mix[s] for s in ATTACK_SOURCES}) == 1
+
+    def test_attack_events_are_labelled_and_false_truth(self):
+        config = TrafficConfig(households=60, seed=1, attack_mix=0.3)
+        _, events = generate_city(config)
+        attack_events = [e for e in events if e.source in ATTACK_SOURCES]
+        assert attack_events, "a 30% attack mix over 60 households must land events"
+        assert all(not e.truth for e in attack_events)
+        assert all(TRUTH_BY_SOURCE[s] is False for s in ATTACK_SOURCES)
+
+    def test_attack_day_is_deterministic(self):
+        config = TrafficConfig(households=30, seed=5, attack_mix=0.2)
+        _, first = generate_city(config)
+        _, second = generate_city(config)
+        assert event_stream_fingerprint(first) == event_stream_fingerprint(second)
 
 
 class TestCaptureBank:
@@ -181,3 +225,29 @@ class TestCaptureBank:
         captures = list(bank.captures.values())
         assert capture_fingerprint(captures[0]) != capture_fingerprint(captures[1])
         assert capture_fingerprint(captures[0]) == capture_fingerprint(captures[0])
+
+    def test_attack_mix_adds_attack_archetypes_without_touching_clean_ones(self):
+        clean = TrafficConfig(households=1, seed=0, variants=1, rooms=("lab",))
+        armed = TrafficConfig(
+            households=1, seed=0, variants=1, rooms=("lab",),
+            attack_mix=0.2, attack_sophistication=2.0,
+        )
+        clean_bank, armed_bank = CaptureBank(clean), CaptureBank(armed)
+        clean_bank.render(workers=1)
+        armed_bank.render(workers=1)
+        clean_prints = clean_bank.fingerprints()
+        armed_prints = armed_bank.fingerprints()
+        # Clean archetypes keep their bytes; attack archetypes join.
+        assert {k: v for k, v in armed_prints.items() if k in clean_prints} == clean_prints
+        assert set(armed_prints) - set(clean_prints) == {
+            ("lab", source, 0) for source in ATTACK_SOURCES
+        }
+
+    def test_attack_archetypes_render_identically_serial_vs_pool(self):
+        config = TrafficConfig(
+            households=1, seed=0, variants=1, rooms=("lab",), attack_mix=0.2
+        )
+        serial, pooled = CaptureBank(config), CaptureBank(config)
+        serial.render(workers=1)
+        pooled.render(workers=2)
+        assert serial.fingerprints() == pooled.fingerprints()
